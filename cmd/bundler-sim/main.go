@@ -1,0 +1,65 @@
+// Command bundler-sim runs a single Bundler emulation scenario and prints
+// its flow-completion statistics — a quick way to explore how the paper's
+// §7.1 setup responds to different knobs.
+//
+// Example:
+//
+//	bundler-sim -mode bundler -alg copa -sched sfq -requests 20000
+//	bundler-sim -mode statusquo -rate 48e6 -rtt 100ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bundler/internal/scenario"
+	"bundler/internal/sim"
+	"bundler/internal/workload"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "bundler", `"statusquo", "bundler", or "innetwork"`)
+		alg      = flag.String("alg", "copa", `inner-loop algorithm: "copa", "basicdelay", "bbr"`)
+		sched    = flag.String("sched", "sfq", `sendbox scheduler: "sfq", "fifo", "fqcodel", "prio:<port>"`)
+		endhost  = flag.String("endhost", "cubic", `endhost congestion control: "cubic", "reno", "bbr"`)
+		rate     = flag.Float64("rate", 96e6, "bottleneck rate, bits/s")
+		rtt      = flag.Duration("rtt", 50*time.Millisecond, "path round-trip propagation delay")
+		load     = flag.Float64("load", 84e6, "offered load, bits/s")
+		requests = flag.Int("requests", 10000, "number of requests to complete")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		tunnel   = flag.Bool("tunnel", false, "use encapsulation-based epoch marking (§4.5 tunnel mode)")
+	)
+	flag.Parse()
+
+	rec := scenario.RunFCT(scenario.FCTOptions{
+		Seed:       *seed,
+		LinkRate:   *rate,
+		RTT:        sim.FromSeconds(rtt.Seconds()),
+		Requests:   *requests,
+		OfferedBps: *load,
+		Mode:       *mode,
+		InnerAlg:   *alg,
+		Scheduler:  *sched,
+		EndhostCC:  *endhost,
+		TunnelMode: *tunnel,
+	})
+	if rec.Completed < *requests {
+		fmt.Fprintf(os.Stderr, "warning: only %d of %d requests completed before the horizon\n",
+			rec.Completed, *requests)
+	}
+
+	s := rec.Slowdowns.Summarize()
+	fmt.Printf("mode=%s alg=%s sched=%s endhost=%s rate=%.0fMbps rtt=%s load=%.0fMbps\n",
+		*mode, *alg, *sched, *endhost, *rate/1e6, rtt, *load/1e6)
+	fmt.Printf("completed %d requests, %.1f MB total\n", rec.Completed, float64(rec.Bytes)/1e6)
+	fmt.Printf("slowdown: p10=%.2f p50=%.2f p90=%.2f p99=%.2f mean=%.2f\n",
+		s.P10, s.P50, s.P90, s.P99, s.Mean)
+	for c := workload.ClassSmall; c <= workload.ClassLarge; c++ {
+		cs := rec.ByClass[c].Summarize()
+		fmt.Printf("  %-12s n=%-6d p50=%.2f p90=%.2f p99=%.2f\n", c, cs.N, cs.P50, cs.P90, cs.P99)
+	}
+	fmt.Printf("FCT: p50=%.1fms p99=%.1fms\n", rec.FCTms.Quantile(0.5), rec.FCTms.Quantile(0.99))
+}

@@ -1,0 +1,32 @@
+// Multipath reproduces Figure 7: when a load balancer sprays the bundle
+// across paths with imbalanced delays, Bundler's epoch measurements mix
+// the paths — but the fraction of out-of-order congestion ACKs exposes the
+// imbalance, and the sendbox disables rate control (§5.2) rather than
+// mis-steer the bundle.
+package main
+
+import (
+	"fmt"
+
+	"bundler/internal/scenario"
+	"bundler/internal/sim"
+)
+
+func main() {
+	fmt.Println("40 flows across 4 load-balanced paths with 60 ms delay skew...")
+	res := scenario.RunFig7(3, 20*sim.Second)
+
+	for i, ts := range res.PathRTTms {
+		fmt.Printf("path %d true RTT ≈ %6.1f ms\n", i+1, ts.MeanOver(0, 20*sim.Second))
+	}
+	est := 0.0
+	for _, v := range res.EstimateRTTms.V {
+		est += v
+	}
+	if n := len(res.EstimateRTTms.V); n > 0 {
+		fmt.Printf("sendbox epoch RTT estimates: %d samples, mean %.1f ms (a blur across paths)\n",
+			n, est/float64(n))
+	}
+	fmt.Printf("out-of-order congestion-ACK fraction: %.1f%%  (disable threshold: 5%%)\n", res.OOOFraction*100)
+	fmt.Printf("sendbox mode: %v\n", res.Mode)
+}

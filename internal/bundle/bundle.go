@@ -1,0 +1,916 @@
+// Package bundle implements the paper's contribution: the Bundler
+// middlebox pair. A Sendbox at the source site paces and schedules the
+// site's egress traffic at a rate computed by an inner congestion-control
+// loop; a Receivebox at the destination site observes arriving traffic and
+// returns out-of-band congestion ACKs. Rate-limiting the bundle at the
+// delay-controlled rate moves the bottleneck queue from the network into
+// the sendbox, where the operator's scheduling policy (SFQ, FQ-CoDel,
+// priorities, ...) can act on it.
+//
+// The measurement machinery follows §4.5: both boxes hash each packet's
+// header subset with FNV-1a; packets whose hash is ≡ 0 modulo the epoch
+// size are epoch boundaries. The receivebox sends a congestion ACK
+// carrying the boundary's hash and the bundle's cumulative received bytes;
+// the sendbox matches it against recorded send state to compute RTT, send
+// rate, and receive rate, averaged over a sliding window of about one RTT.
+// The epoch size adapts to ¼·minRTT·send_rate and is rounded down to a
+// power of two so stale receivebox epochs stay strict sub/supersets.
+package bundle
+
+import (
+	"math"
+
+	"bundler/internal/ccalg"
+	"bundler/internal/netem"
+	"bundler/internal/pkt"
+	"bundler/internal/qdisc"
+	"bundler/internal/sim"
+	"bundler/internal/stats"
+)
+
+// CtlAck is the congestion ACK the receivebox returns for each epoch
+// boundary packet it observes (§4.5): the boundary's hash and the running
+// count of bundle bytes received.
+type CtlAck struct {
+	Hash      uint64
+	BytesRcvd int64
+}
+
+// CtlEpochUpdate tells the receivebox the new epoch size (§4.5).
+type CtlEpochUpdate struct {
+	N uint64
+}
+
+// CtlPacketSize is the on-wire size of a control message (a small UDP
+// datagram in the prototype).
+const CtlPacketSize = 60
+
+// Mode is the sendbox's operating mode (§5).
+type Mode int
+
+// Sendbox modes.
+const (
+	// ModeDelayControl is normal operation: the inner loop's delay-based
+	// rate moves the bottleneck queue into the sendbox.
+	ModeDelayControl Mode = iota
+	// ModePassThrough engages when buffer-filling cross traffic is
+	// detected: traffic passes at a PI-controlled rate that holds a small
+	// standing sendbox queue (the Nimbus up-pulse budget, §5.1).
+	ModePassThrough
+	// ModeDisabled engages when imbalanced multipath is detected (§5.2):
+	// rate control is released entirely, reverting to the status quo.
+	ModeDisabled
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeDelayControl:
+		return "delay-control"
+	case ModePassThrough:
+		return "pass-through"
+	case ModeDisabled:
+		return "disabled"
+	}
+	return "unknown"
+}
+
+// Config parameterizes a Sendbox.
+type Config struct {
+	// Algorithm names the inner-loop controller: "copa" (default),
+	// "basicdelay", or "bbr".
+	Algorithm string
+	// Scheduler is the qdisc applied to the bundle's queue at the
+	// sendbox. Defaults to SFQ with 1024 buckets and a 4096-packet cap.
+	Scheduler qdisc.Qdisc
+	// EnablePulses turns on the Nimbus pulses + elasticity detector.
+	// Default true (the paper always runs Copa with Nimbus detection).
+	EnablePulses *bool
+	// EnableMultipathDetection turns on the §5.2 out-of-order heuristic.
+	// Default true.
+	EnableMultipathDetection *bool
+	// InitialEpochN is the initial epoch size in packets (power of two).
+	InitialEpochN uint64
+	// InitialRate seeds the pacer before the first measurement.
+	InitialRate float64
+	// ControlInterval is the CCP invocation cadence (§6.2). Default 10 ms.
+	ControlInterval sim.Time
+	// OOOThreshold is the out-of-order fraction above which multipath
+	// imbalance is declared (§7.6 determines 5 %).
+	OOOThreshold float64
+	// ExactEpochSize disables the power-of-two rounding of N (§4.5) for
+	// the ablation benchmark: without rounding, a delayed or lost
+	// epoch-size update leaves the two boxes sampling incomparable sets.
+	ExactEpochSize bool
+	// MeasurementWindowRTTs scales the sliding measurement window
+	// (default 1 RTT per §4.5); the ablation benchmark compares against
+	// single-epoch operation (a small fraction).
+	MeasurementWindowRTTs float64
+	// TunnelMode switches epoch identification from header hashing to an
+	// explicit encapsulation header (§4.5's IPv6-capable alternative):
+	// the sendbox wraps every packet (+TunnelOverhead bytes on the wire),
+	// marks exactly every N-th with a unique sequence number, and the
+	// receivebox echoes markers instead of hashing. Deterministic
+	// spacing, no hash collisions, no IP-ID dependence — at the cost of
+	// per-packet overhead and the loss of transparent fail-open.
+	TunnelMode bool
+}
+
+func (c *Config) fillDefaults(eng *sim.Engine) {
+	if c.Algorithm == "" {
+		c.Algorithm = "copa"
+	}
+	if c.Scheduler == nil {
+		// Linux SFQ defaults to a 127-packet limit; the prototype's TBF
+		// inner qdisc is similarly shallow. A modestly larger default
+		// keeps per-flow scheduling headroom without inflating endhost
+		// RTTs by hundreds of milliseconds.
+		c.Scheduler = qdisc.NewSFQ(1024, 1000)
+	}
+	if c.EnablePulses == nil {
+		t := true
+		c.EnablePulses = &t
+	}
+	if c.EnableMultipathDetection == nil {
+		t := true
+		c.EnableMultipathDetection = &t
+	}
+	if c.InitialEpochN == 0 {
+		c.InitialEpochN = 16
+	}
+	if c.InitialRate == 0 {
+		c.InitialRate = 10e6
+	}
+	if c.ControlInterval == 0 {
+		c.ControlInterval = 10 * sim.Millisecond
+	}
+	if c.OOOThreshold == 0 {
+		c.OOOThreshold = 0.05
+	}
+	if c.MeasurementWindowRTTs == 0 {
+		c.MeasurementWindowRTTs = 1
+	}
+	_ = eng
+}
+
+// boundary is the sendbox's record of one epoch boundary packet.
+type boundary struct {
+	hash      uint64
+	seq       uint64 // dequeue order
+	tsent     sim.Time
+	bytesSent int64
+}
+
+// epochMeasurement is one matched (boundary, congestion-ACK) sample.
+type epochMeasurement struct {
+	at       sim.Time
+	rtt      sim.Time
+	sendRate float64
+	recvRate float64
+}
+
+// ackPoint is one congestion-ACK arrival, kept for multi-epoch rate
+// computation.
+type ackPoint struct {
+	at    sim.Time
+	bytes int64
+}
+
+// oooWindowSize is the sliding window (in congestion ACKs) over which the
+// out-of-order fraction is computed.
+const oooWindowSize = 256
+
+// Sendbox is the source-site Bundler box. It implements netem.Receiver:
+// feed it the site's egress packets (and the receivebox's control
+// messages returning on the reverse path).
+type Sendbox struct {
+	eng        *sim.Engine
+	cfg        Config
+	link       *netem.Link
+	downstream netem.Receiver
+	ctlAddr    pkt.Addr
+	peerCtl    pkt.Addr
+
+	// Inner loop.
+	alg      ccalg.Alg
+	pulser   *ccalg.Pulser
+	detector *ccalg.Detector
+	pi       *ccalg.PIController
+	mode     Mode
+
+	// Epoch/measurement state.
+	epochN        uint64
+	boundaries    map[uint64]*boundary
+	boundaryOrder []uint64
+	seqCounter    uint64
+	maxAckedSeq   uint64
+	bytesDequeued int64
+	pktsDequeued  int64
+	bytesIn       int64
+	lastBytesIn   int64
+	arrivalEwma   float64 // smoothed bundle arrival rate, bits/s
+
+	lastAcked      *boundary
+	lastAckArrival sim.Time
+	lastBytesRcvd  int64
+	ackHistory     []ackPoint // recent ACK arrivals for multi-epoch rates
+
+	window     []epochMeasurement
+	minRTT     sim.Time
+	latestRTT  sim.Time
+	muFilter   muMaxFilter
+	muSmooth   float64
+	lastEpochZ float64
+
+	oooRing  [oooWindowSize]bool
+	oooNext  int
+	oooCount int
+	oooTotal int
+
+	elasticVotes  []bool
+	lastDetectAt  sim.Time
+	modeChangedAt sim.Time
+	dqEwma        float64 // smoothed in-network queueing delay, seconds
+	xcEwma        float64 // smoothed cross-traffic estimate, bits/s
+	starvedSince  sim.Time
+	ipid          uint16
+	ticker        *sim.Ticker
+
+	// OnEpochSample, when set, observes every matched epoch measurement
+	// (the Figure 5/6 microbenchmark pairs these against per-packet
+	// ground truth recorded at the emulated bottleneck).
+	OnEpochSample func(hash uint64, rtt sim.Time, at sim.Time)
+
+	// Telemetry for experiments.
+	RTTEstimates  stats.TimeSeries // milliseconds
+	RateEstimates stats.TimeSeries // receive rate, Mbit/s
+	ModeTrace     stats.TimeSeries // Mode as float
+	RateTrace     stats.TimeSeries // applied pacing rate, Mbit/s
+	QueueTrace    stats.TimeSeries // sendbox queue delay, ms
+	AcksMatched   int
+	AcksSpurious  int
+}
+
+// NewSendbox builds the source-site box. Packets it forwards are paced
+// through cfg.Scheduler and handed to downstream (the first hop of the WAN
+// path). ctlAddr is this box's control-plane address (congestion ACKs are
+// sent to it); peerCtl is the receivebox's control address for epoch-size
+// updates.
+func NewSendbox(eng *sim.Engine, cfg Config, downstream netem.Receiver, ctlAddr, peerCtl pkt.Addr) *Sendbox {
+	cfg.fillDefaults(eng)
+	s := &Sendbox{
+		eng:        eng,
+		cfg:        cfg,
+		downstream: downstream,
+		ctlAddr:    ctlAddr,
+		peerCtl:    peerCtl,
+		alg:        ccalg.New(cfg.Algorithm),
+		pulser:     ccalg.NewPulser(),
+		pi:         ccalg.NewPIController(),
+		epochN:     cfg.InitialEpochN,
+		boundaries: make(map[uint64]*boundary),
+	}
+	s.detector = ccalg.NewDetector(s.pulser.Frequency(), 1/cfg.ControlInterval.Seconds())
+	// The pacer is a link whose qdisc is the operator's scheduler; its
+	// rate is rewritten by the control loop, exactly like the patched TBF
+	// in the prototype (§6.1).
+	s.link = netem.NewLink(eng, "sendbox-pacer", cfg.InitialRate, 0, cfg.Scheduler, downstream)
+	s.link.OnTransmitted(s.onTransmitted)
+	s.ticker = sim.Tick(eng, cfg.ControlInterval, s.controlTick)
+	return s
+}
+
+// Receive implements netem.Receiver. Control messages addressed to the
+// box are consumed; everything else enters the bundle's paced queue.
+func (s *Sendbox) Receive(p *pkt.Packet) {
+	if p.Proto == pkt.ProtoCtl && p.Dst == s.ctlAddr {
+		if ack, ok := p.Payload.(*CtlAck); ok {
+			s.onCtlAck(ack)
+		}
+		return
+	}
+	s.bytesIn += int64(p.Size)
+	if s.cfg.TunnelMode {
+		p.Tunneled = true
+		p.TunnelSeq = 0
+		p.Size += pkt.TunnelOverhead
+	}
+	s.link.Receive(p)
+}
+
+// onTransmitted runs as each packet finishes serializing out of the
+// sendbox: this is where epoch boundaries are recorded, because tsent must
+// exclude both the sendbox's queueing delay and the packet's own
+// serialization time (which balloons at low pacing rates and would read as
+// phantom network queueing).
+func (s *Sendbox) onTransmitted(p *pkt.Packet) {
+	if p.Proto == pkt.ProtoCtl {
+		return
+	}
+	s.bytesDequeued += int64(p.Size)
+	s.pktsDequeued++
+	var h uint64
+	if s.cfg.TunnelMode {
+		// Deterministic marking: exactly every N-th packet, identified by
+		// a unique sequence number carried in the encapsulation header.
+		if uint64(s.pktsDequeued)%s.epochN != 0 {
+			return
+		}
+		s.seqCounter++
+		h = s.seqCounter
+		p.TunnelSeq = h
+	} else {
+		h = pkt.EpochHash(p)
+		if h%s.epochN != 0 {
+			return
+		}
+		s.seqCounter++
+	}
+	b := &boundary{hash: h, seq: s.seqCounter, tsent: s.eng.Now(), bytesSent: s.bytesDequeued}
+	s.evictStaleBoundaries()
+	if _, dup := s.boundaries[h]; !dup {
+		s.boundaries[h] = b
+		s.boundaryOrder = append(s.boundaryOrder, h)
+		// Bound state: Bundler keeps no per-flow state, and its boundary
+		// table is bounded too.
+		if len(s.boundaryOrder) > 4096 {
+			old := s.boundaryOrder[0]
+			s.boundaryOrder = s.boundaryOrder[1:]
+			delete(s.boundaries, old)
+		}
+	}
+}
+
+// evictStaleBoundaries drops records whose congestion ACK can no longer
+// plausibly arrive. Staleness matters beyond memory: the IP ID field wraps
+// every 2^16 packets per flow, so a record that lingers past the wrap
+// period (≈8 s for one flow at 96 Mbit/s) can be matched by a *different*
+// packet's ACK, yielding a garbage RTT and a phantom reordering signal.
+func (s *Sendbox) evictStaleBoundaries() {
+	maxAge := 8 * s.latestRTT
+	if maxAge < sim.Second {
+		maxAge = sim.Second
+	}
+	cutoff := s.eng.Now() - maxAge
+	for len(s.boundaryOrder) > 0 {
+		h := s.boundaryOrder[0]
+		b, ok := s.boundaries[h]
+		if ok && b.tsent >= cutoff {
+			break
+		}
+		s.boundaryOrder = s.boundaryOrder[1:]
+		if ok {
+			delete(s.boundaries, h)
+		}
+	}
+}
+
+// onCtlAck matches a congestion ACK against recorded boundaries and
+// produces one epoch measurement (Figure 4).
+func (s *Sendbox) onCtlAck(ack *CtlAck) {
+	now := s.eng.Now()
+	b, ok := s.boundaries[ack.Hash]
+	if !ok {
+		// Receivebox sampled a superset (stale, smaller epoch size) or
+		// the record aged out: ignore, per §4.5.
+		s.AcksSpurious++
+		return
+	}
+	delete(s.boundaries, ack.Hash)
+	s.AcksMatched++
+
+	// Out-of-order tracking (§5.2): congestion ACKs should arrive in the
+	// order their boundaries were sent.
+	ooo := b.seq < s.maxAckedSeq
+	if !ooo {
+		s.maxAckedSeq = b.seq
+	}
+	s.recordOOO(ooo)
+
+	rtt := now - b.tsent
+	if s.minRTT == 0 || rtt < s.minRTT {
+		s.minRTT = rtt
+	}
+	s.latestRTT = rtt
+	s.RTTEstimates.Add(now, rtt.Millis())
+	if s.OnEpochSample != nil {
+		s.OnEpochSample(ack.Hash, rtt, now)
+	}
+
+	if s.lastAcked != nil && b.seq > s.lastAcked.seq &&
+		b.tsent > s.lastAcked.tsent && now > s.lastAckArrival {
+		sendRate := float64(b.bytesSent-s.lastAcked.bytesSent) * 8 / (b.tsent - s.lastAcked.tsent).Seconds()
+		recvRate := float64(ack.BytesRcvd-s.lastBytesRcvd) * 8 / (now - s.lastAckArrival).Seconds()
+		if recvRate >= 0 && sendRate >= 0 {
+			s.window = append(s.window, epochMeasurement{at: now, rtt: rtt, sendRate: sendRate, recvRate: recvRate})
+			s.RateEstimates.Add(now, recvRate/1e6)
+			// Capacity samples span several epochs: a single inter-ACK
+			// gap is at the mercy of reverse-path jitter (a compressed
+			// gap reads as a rate far above the line rate, and a
+			// max-filter would lock onto it).
+			s.ackHistory = append(s.ackHistory, ackPoint{at: now, bytes: ack.BytesRcvd})
+			if len(s.ackHistory) > 8 {
+				s.ackHistory = s.ackHistory[1:]
+			}
+			if n := len(s.ackHistory); n >= 5 {
+				first, last := s.ackHistory[0], s.ackHistory[n-1]
+				if last.at > first.at {
+					muSample := float64(last.bytes-first.bytes) * 8 / (last.at - first.at).Seconds()
+					s.muFilter.update(now, muSample, 10*sim.Second)
+				}
+			}
+			// Instantaneous cross-traffic estimate from this epoch pair.
+			// The detector needs per-epoch resolution: averaging over an
+			// RTT window would smear the 5 Hz pulse response whenever
+			// buffer-filling cross traffic inflates the RTT beyond the
+			// pulse period.
+			s.lastEpochZ = ccalg.CrossTrafficRate(ccalg.Measurement{
+				RTT: rtt, MinRTT: s.minRTT,
+				SendRate: sendRate, RecvRate: recvRate, Mu: s.mu(),
+			})
+		}
+	}
+	if s.lastAcked == nil || b.seq > s.lastAcked.seq {
+		s.lastAcked = b
+		s.lastAckArrival = now
+		s.lastBytesRcvd = ack.BytesRcvd
+	}
+
+	s.maybeUpdateEpochSize()
+}
+
+func (s *Sendbox) recordOOO(ooo bool) {
+	if s.oooTotal >= oooWindowSize {
+		if s.oooRing[s.oooNext] {
+			s.oooCount--
+		}
+	} else {
+		s.oooTotal++
+	}
+	s.oooRing[s.oooNext] = ooo
+	if ooo {
+		s.oooCount++
+	}
+	s.oooNext = (s.oooNext + 1) % oooWindowSize
+}
+
+// OOOFraction reports the out-of-order fraction over the recent window.
+func (s *Sendbox) OOOFraction() float64 {
+	if s.oooTotal == 0 {
+		return 0
+	}
+	return float64(s.oooCount) / float64(s.oooTotal)
+}
+
+// maybeUpdateEpochSize recomputes N = ¼·minRTT·send_rate (in packets),
+// rounded down to a power of two, and notifies the receivebox on change.
+func (s *Sendbox) maybeUpdateEpochSize() {
+	if s.minRTT == 0 || s.pktsDequeued == 0 {
+		return
+	}
+	m, ok := s.currentMeasurement()
+	if !ok || m.SendRate <= 0 {
+		return
+	}
+	avgPkt := float64(s.bytesDequeued) / float64(s.pktsDequeued)
+	pps := m.SendRate / 8 / avgPkt
+	target := 0.25 * s.minRTT.Seconds() * pps
+	var n uint64
+	if s.cfg.ExactEpochSize {
+		// Ablation: no rounding. Sub/superset resilience across
+		// epoch-size updates is lost.
+		n = uint64(target)
+		if n < 1 {
+			n = 1
+		}
+	} else {
+		n = floorPow2(target)
+	}
+	if n == s.epochN {
+		return
+	}
+	s.epochN = n
+	s.sendEpochUpdate(n)
+}
+
+// sendEpochUpdate ships the new epoch size out-of-band. Control-plane
+// messages bypass the bundle's own pacer (they originate from the box, not
+// from bundled traffic) and enter the WAN path directly.
+func (s *Sendbox) sendEpochUpdate(n uint64) {
+	s.ipid++
+	s.downstream.Receive(&pkt.Packet{
+		IPID:    s.ipid,
+		Src:     s.ctlAddr,
+		Dst:     s.peerCtl,
+		Proto:   pkt.ProtoCtl,
+		Size:    CtlPacketSize,
+		Payload: &CtlEpochUpdate{N: n},
+		SentAt:  s.eng.Now(),
+	})
+}
+
+func floorPow2(x float64) uint64 {
+	if x < 1 {
+		return 1
+	}
+	n := uint64(1)
+	for n*2 <= uint64(x) && n < 1<<20 {
+		n *= 2
+	}
+	return n
+}
+
+// currentMeasurement averages the epoch window spanning the last RTT.
+func (s *Sendbox) currentMeasurement() (ccalg.Measurement, bool) {
+	now := s.eng.Now()
+	horizon := sim.Time(float64(s.latestRTT) * s.cfg.MeasurementWindowRTTs)
+	if floor := sim.Time(float64(50*sim.Millisecond) * s.cfg.MeasurementWindowRTTs); horizon < floor {
+		horizon = floor
+	}
+	if horizon < 10*sim.Millisecond {
+		horizon = 10 * sim.Millisecond
+	}
+	cutoff := now - horizon
+	keep := s.window[:0]
+	for _, e := range s.window {
+		if e.at >= cutoff {
+			keep = append(keep, e)
+		}
+	}
+	s.window = keep
+	if len(s.window) == 0 {
+		return ccalg.Measurement{}, false
+	}
+	var m ccalg.Measurement
+	var rttSum sim.Time
+	for _, e := range s.window {
+		rttSum += e.rtt
+		m.SendRate += e.sendRate
+		m.RecvRate += e.recvRate
+	}
+	n := float64(len(s.window))
+	m.RTT = rttSum / sim.Time(len(s.window))
+	m.SendRate /= n
+	m.RecvRate /= n
+	m.MinRTT = s.minRTT
+	m.Mu = s.mu()
+	m.LatestRTT = s.window[len(s.window)-1].rtt
+	return m, true
+}
+
+// controlTick is the 10 ms CCP invocation (§6.2): feed the algorithm the
+// windowed measurement, run detection, and set the pacing rate.
+func (s *Sendbox) controlTick() {
+	now := s.eng.Now()
+	s.decayMu()
+	m, ok := s.currentMeasurement()
+	if ok {
+		s.alg.OnMeasurement(m, now)
+		// Smoothed congestion state for the mode machine (~1 s constant).
+		dq := (m.RTT - s.minRTT).Seconds()
+		if dq < 0 {
+			dq = 0
+		}
+		s.dqEwma = 0.99*s.dqEwma + 0.01*dq
+		s.xcEwma = 0.99*s.xcEwma + 0.01*ccalg.CrossTrafficRate(m)
+	}
+	if *s.cfg.EnablePulses && s.AcksMatched > 0 {
+		// Zero-order hold of the most recent per-epoch estimate.
+		s.detector.AddSample(s.lastEpochZ)
+	}
+	s.updateMode(ok, now)
+
+	// Smoothed bundle arrival rate (the endhosts' aggregate demand).
+	in := float64(s.bytesIn-s.lastBytesIn) * 8 / s.cfg.ControlInterval.Seconds()
+	s.lastBytesIn = s.bytesIn
+	s.arrivalEwma = 0.95*s.arrivalEwma + 0.05*in
+
+	var rate float64
+	switch s.mode {
+	case ModeDelayControl:
+		rate = s.alg.Rate(now)
+		// Delay controllers back off against any queue, including ones
+		// they did not create (short cross-traffic bursts that vanish on
+		// their own). Floor the rate at a fraction of the endhosts'
+		// demand so a transient foreign queue cannot starve the bundle.
+		if floor := 0.3 * s.arrivalEwma; rate < floor {
+			rate = floor
+		}
+	case ModePassThrough:
+		rate = s.pi.Update(s.QueueDelay(), s.mu(), now)
+		// "Let the traffic pass": the PI may throttle to build its 10 ms
+		// pulse budget, but never much below the endhosts' demand — a
+		// queue target must not become a choke point when arrivals dip.
+		if floor := 0.8 * s.arrivalEwma; rate < floor {
+			rate = floor
+		}
+	case ModeDisabled:
+		rate = 1e11 // effectively unlimited: status quo
+	}
+	if s.mode != ModeDisabled && *s.cfg.EnablePulses && s.pulsesActive() {
+		rate += s.pulser.Offset(now, s.mu())
+	}
+	// Floor the pacing rate: a bundle must always retain enough rate to
+	// keep the measurement loop alive (one packet per few RTTs would
+	// stall recovery entirely).
+	if floor := 0.02 * s.mu(); rate < floor {
+		rate = floor
+	}
+	if rate < 100e3 {
+		rate = 100e3
+	}
+	s.link.SetRate(rate)
+	s.RateTrace.Add(now, s.link.Rate()/1e6)
+	s.ModeTrace.Add(now, float64(s.mode))
+	s.QueueTrace.Add(now, s.QueueDelay().Millis())
+}
+
+// pulsesActive decides whether the Nimbus pulses are worth their
+// utilization cost right now. Pulses exist to classify cross traffic; with
+// a negligible cross-traffic share there is nothing to classify, and every
+// down-pulse idles the bottleneck (the delay controller holds almost no
+// standing queue to absorb it). In pass-through mode pulses always run —
+// detecting the buffer-filler's departure is the whole point of the
+// maintained 10 ms queue (§5.1).
+func (s *Sendbox) pulsesActive() bool {
+	if s.mode == ModePassThrough {
+		return true
+	}
+	return s.detector.WindowMean() >= 0.05*s.mu()
+}
+
+// mu returns the capacity estimate: the windowed max of measured receive
+// rates, floored by a slowly decaying envelope. The envelope matters when
+// the bundle itself is the only load: a throttled bundle measures only its
+// own (reduced) receive rate, and a bare max-filter would let the capacity
+// estimate chase it downward — a self-reinforcing collapse.
+func (s *Sendbox) mu() float64 {
+	mu := s.muFilter.get()
+	if s.muSmooth > mu {
+		mu = s.muSmooth
+	}
+	if mu <= 0 {
+		mu = s.cfg.InitialRate
+	}
+	return mu
+}
+
+// decayMu advances the envelope once per control tick (≈5 %/second).
+func (s *Sendbox) decayMu() {
+	if v := s.muFilter.get(); v > s.muSmooth {
+		s.muSmooth = v
+	} else {
+		s.muSmooth *= 0.9995
+	}
+}
+
+// updateMode runs the §5 state machine: multipath imbalance dominates;
+// otherwise elasticity votes flip between delay control and pass-through.
+func (s *Sendbox) updateMode(haveMeas bool, now sim.Time) {
+	if *s.cfg.EnableMultipathDetection && s.oooTotal >= 32 {
+		frac := s.OOOFraction()
+		if s.mode != ModeDisabled && frac > s.cfg.OOOThreshold {
+			s.setMode(ModeDisabled, now)
+			return
+		}
+		if s.mode == ModeDisabled {
+			if frac < s.cfg.OOOThreshold/4 && now-s.modeChangedAt > 5*sim.Second {
+				s.setMode(ModeDelayControl, now)
+			}
+			return
+		}
+	} else if s.mode == ModeDisabled {
+		return
+	}
+
+	if !*s.cfg.EnablePulses || !haveMeas {
+		return
+	}
+	// Starvation fallback: when the delay controller is pinned at its
+	// floor while cross traffic owns the bottleneck (huge standing queue,
+	// dominant cross share), classification details no longer matter —
+	// competing via the endhost loops is the only sensible action. This
+	// is the paper's §3 litmus test applied directly.
+	if s.mode == ModeDelayControl {
+		mu := s.mu()
+		starved := s.link.Rate() <= 0.1*mu && s.xcEwma >= 0.5*mu &&
+			s.dqEwma > 4*s.pi.Target.Seconds()
+		if !starved {
+			s.starvedSince = 0
+		} else {
+			if s.starvedSince == 0 {
+				s.starvedSince = now
+			}
+			if now-s.starvedSince > 2*sim.Second {
+				s.pi.Reset(s.link.Rate(), now)
+				s.setMode(ModePassThrough, now)
+				return
+			}
+		}
+	}
+	// Evaluate elasticity every 100 ms.
+	if now-s.lastDetectAt < 100*sim.Millisecond || !s.detector.Ready() {
+		return
+	}
+	s.lastDetectAt = now
+	gate := 0.2
+	if s.mode == ModePassThrough {
+		// Asymmetric gate: while competing fairly, the cross traffic's
+		// share shrinks; requiring the full entry magnitude to *stay*
+		// would flap between modes.
+		gate = 0.05
+	}
+	elastic := s.detector.ElasticGated(s.mu(), gate)
+	s.elasticVotes = append(s.elasticVotes, elastic)
+	if len(s.elasticVotes) > 20 {
+		s.elasticVotes = s.elasticVotes[1:]
+	}
+	recent := s.elasticVotes
+	if len(recent) > 5 {
+		recent = recent[len(recent)-5:]
+	}
+	yes := 0
+	for _, v := range recent {
+		if v {
+			yes++
+		}
+	}
+	switch s.mode {
+	case ModeDelayControl:
+		if yes >= 3 {
+			s.pi.Reset(s.link.Rate(), now)
+			s.setMode(ModePassThrough, now)
+		}
+	case ModePassThrough:
+		all := 0
+		for _, v := range s.elasticVotes {
+			if v {
+				all++
+			}
+		}
+		// Re-engage once two seconds of votes come back clean AND it is
+		// safe to do so (§3's litmus test): either the in-network queue
+		// has calmed, or whatever queue remains is mostly self-inflicted
+		// (the cross traffic's share is modest), in which case delay
+		// control is exactly the tool to remove it. Exiting while a
+		// buffer-filler still owns the queue would immediately
+		// re-collapse the delay controller.
+		queueCalm := s.dqEwma < math.Max(0.25*s.minRTT.Seconds(), 0.005)
+		selfInflicted := s.xcEwma < 0.3*s.mu()
+		if len(s.elasticVotes) >= 20 && all == 0 && (queueCalm || selfInflicted) &&
+			now-s.modeChangedAt > 2*sim.Second {
+			s.setMode(ModeDelayControl, now)
+		}
+	}
+}
+
+func (s *Sendbox) setMode(m Mode, now sim.Time) {
+	s.mode = m
+	s.modeChangedAt = now
+	s.elasticVotes = s.elasticVotes[:0]
+}
+
+// Mode reports the current operating mode.
+func (s *Sendbox) Mode() Mode { return s.mode }
+
+// QueueDelay reports the sendbox queue's drain time at the capacity
+// estimate.
+func (s *Sendbox) QueueDelay() sim.Time {
+	mu := s.mu()
+	return sim.Time(float64(s.link.Queue().Bytes()*8) / mu * float64(sim.Second))
+}
+
+// QueueBytes reports the sendbox queue occupancy.
+func (s *Sendbox) QueueBytes() int { return s.link.Queue().Bytes() }
+
+// CurrentRate reports the applied pacing rate in bits/s.
+func (s *Sendbox) CurrentRate() float64 { return s.link.Rate() }
+
+// EpochN reports the current epoch size in packets.
+func (s *Sendbox) EpochN() uint64 { return s.epochN }
+
+// MinRTT reports the minimum RTT the inner loop has observed.
+func (s *Sendbox) MinRTT() sim.Time { return s.minRTT }
+
+// Measurement exposes the current windowed measurement for tests and
+// experiment harnesses.
+func (s *Sendbox) Measurement() (ccalg.Measurement, bool) { return s.currentMeasurement() }
+
+// Stop halts the control loop (end of experiment).
+func (s *Sendbox) Stop() { s.ticker.Stop() }
+
+// muMaxFilter is a time-windowed maximum for the capacity estimate.
+type muMaxFilter struct {
+	samples []muSample
+}
+
+type muSample struct {
+	at sim.Time
+	v  float64
+}
+
+func (m *muMaxFilter) update(now sim.Time, v float64, window sim.Time) {
+	cut := 0
+	for cut < len(m.samples) && now-m.samples[cut].at > window {
+		cut++
+	}
+	m.samples = m.samples[cut:]
+	for len(m.samples) > 0 && m.samples[len(m.samples)-1].v <= v {
+		m.samples = m.samples[:len(m.samples)-1]
+	}
+	m.samples = append(m.samples, muSample{now, v})
+}
+
+func (m *muMaxFilter) get() float64 {
+	if len(m.samples) == 0 {
+		return 0
+	}
+	return m.samples[0].v
+}
+
+// Receivebox is the destination-site box: a passive tap plus a
+// control-message endpoint. Wire Observe into a netem.Tap on the site's
+// ingress, register Receive at the site mux under the box's control
+// address, and point out at the reverse path toward the sendbox.
+type Receivebox struct {
+	eng     *sim.Engine
+	out     netem.Receiver
+	addr    pkt.Addr
+	peerCtl pkt.Addr
+
+	epochN    uint64
+	bytesRcvd int64
+	pktsRcvd  int64
+	ipid      uint16
+
+	// AcksSent counts congestion ACKs emitted.
+	AcksSent int
+	// EpochUpdates counts epoch-size changes applied.
+	EpochUpdates int
+}
+
+// NewReceivebox builds the destination-site box. out carries congestion
+// ACKs back toward the sendbox (they are addressed to peerCtl).
+func NewReceivebox(eng *sim.Engine, out netem.Receiver, addr, peerCtl pkt.Addr, initialEpochN uint64) *Receivebox {
+	if initialEpochN == 0 {
+		initialEpochN = 16
+	}
+	return &Receivebox{eng: eng, out: out, addr: addr, peerCtl: peerCtl, epochN: initialEpochN}
+}
+
+// Observe is the datapath tap: count bundle bytes and emit a congestion
+// ACK for each epoch boundary. Control packets are not bundle traffic and
+// are skipped. Tunnel-mode packets are decapsulated here (the receivebox
+// strips the outer header before the packet enters the site), and their
+// explicit markers replace hash sampling.
+func (r *Receivebox) Observe(p *pkt.Packet) {
+	if p.Proto == pkt.ProtoCtl {
+		return
+	}
+	r.bytesRcvd += int64(p.Size)
+	r.pktsRcvd++
+	var marker uint64
+	if p.Tunneled {
+		marker = p.TunnelSeq
+		p.Tunneled = false
+		p.TunnelSeq = 0
+		p.Size -= pkt.TunnelOverhead
+		if marker == 0 {
+			return
+		}
+	} else {
+		h := pkt.EpochHash(p)
+		if h%r.epochN != 0 {
+			return
+		}
+		marker = h
+	}
+	r.ipid++
+	r.AcksSent++
+	r.out.Receive(&pkt.Packet{
+		IPID:    r.ipid,
+		Src:     r.addr,
+		Dst:     r.peerCtl,
+		Proto:   pkt.ProtoCtl,
+		Size:    CtlPacketSize,
+		Payload: &CtlAck{Hash: marker, BytesRcvd: r.bytesRcvd},
+		SentAt:  r.eng.Now(),
+	})
+}
+
+// Receive implements netem.Receiver for the control channel (epoch-size
+// updates from the sendbox).
+func (r *Receivebox) Receive(p *pkt.Packet) {
+	if p.Proto != pkt.ProtoCtl || p.Dst != r.addr {
+		return
+	}
+	if up, ok := p.Payload.(*CtlEpochUpdate); ok && up.N > 0 {
+		r.epochN = up.N
+		r.EpochUpdates++
+	}
+}
+
+// EpochN reports the receivebox's current epoch size.
+func (r *Receivebox) EpochN() uint64 { return r.epochN }
+
+// BytesReceived reports cumulative bundle bytes observed.
+func (r *Receivebox) BytesReceived() int64 { return r.bytesRcvd }

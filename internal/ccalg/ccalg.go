@@ -1,0 +1,604 @@
+// Package ccalg implements the congestion-control algorithms Bundler's
+// inner loop runs at the sendbox (§4.3, §6.1 of the paper): Copa, Nimbus
+// BasicDelay, and a rate-based BBR, plus the Nimbus machinery from §5.1 —
+// the asymmetric rate pulser, the FFT-based elasticity detector for
+// buffer-filling cross traffic, and the PI controller that holds a small
+// sendbox queue while "letting traffic pass".
+//
+// All rates are bits/second; all algorithms consume epoch Measurements
+// produced by the sendbox measurement module and are polled for a rate on
+// the 10 ms CCP control cadence.
+package ccalg
+
+import (
+	"math"
+
+	"bundler/internal/fft"
+	"bundler/internal/pkt"
+	"bundler/internal/sim"
+)
+
+// Measurement is one windowed congestion sample: the sendbox averages
+// epoch measurements over a sliding window of about one RTT (§4.5).
+type Measurement struct {
+	RTT      sim.Time // windowed RTT
+	MinRTT   sim.Time // minimum RTT observed for the bundle
+	SendRate float64  // bits/s measured across send epochs
+	RecvRate float64  // bits/s measured across congestion-ACK arrivals
+	Mu       float64  // bottleneck capacity estimate (windowed max recv rate)
+	// LatestRTT is the most recent single-epoch RTT sample (0 if unset).
+	// Algorithms that maintain their own filters (Copa's standing-RTT
+	// window) consume this: filtering an already window-averaged RTT
+	// doubles the smoothing lag.
+	LatestRTT sim.Time
+}
+
+// Alg computes the bundle's base sending rate from measurements.
+type Alg interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// OnMeasurement feeds one new windowed measurement.
+	OnMeasurement(m Measurement, now sim.Time)
+	// Rate returns the base sending rate in bits/s.
+	Rate(now sim.Time) float64
+}
+
+// minRatePkts floors internal windows so algorithms can always probe.
+const minCwndPkts = 4
+
+// Copa implements Copa (Arun & Balakrishnan, NSDI 2018) adapted to
+// aggregate, epoch-measurement-driven operation. The target rate is
+// 1/(δ·dq) packets/s where dq is the standing queueing delay; the window
+// moves toward the target with a velocity that doubles while the direction
+// is stable, yielding Copa's characteristic small standing queue.
+type Copa struct {
+	delta float64
+	cwnd  float64 // packets
+	vel   float64
+	dir   float64
+	// Velocity doubles at most once per RTT while direction persists.
+	lastVelUpdate sim.Time
+	lastDir       float64
+
+	// Standing RTT: minimum over the most recent half-RTT of samples.
+	recent []rttSample
+
+	lastRate float64
+	lastTime sim.Time
+}
+
+type rttSample struct {
+	at  sim.Time
+	rtt sim.Time
+}
+
+// NewCopa returns a Copa controller with the default δ = 0.5.
+func NewCopa() *Copa {
+	return &Copa{delta: 0.5, cwnd: 2 * minCwndPkts, vel: 1, dir: 1, lastDir: 1}
+}
+
+// Name implements Alg.
+func (c *Copa) Name() string { return "copa" }
+
+// OnMeasurement implements Alg.
+func (c *Copa) OnMeasurement(m Measurement, now sim.Time) {
+	if m.RTT <= 0 || m.MinRTT <= 0 {
+		return
+	}
+	sample := m.LatestRTT
+	if sample <= 0 {
+		sample = m.RTT
+	}
+	// Maintain the standing-RTT window (half an RTT of history).
+	c.recent = append(c.recent, rttSample{now, sample})
+	cutoff := now - m.RTT/2
+	for len(c.recent) > 1 && c.recent[0].at < cutoff {
+		c.recent = c.recent[1:]
+	}
+	standing := c.recent[0].rtt
+	for _, s := range c.recent[1:] {
+		if s.rtt < standing {
+			standing = s.rtt
+		}
+	}
+
+	dq := (standing - m.MinRTT).Seconds()
+	curRate := c.cwnd / standing.Seconds() // packets/s
+	var dir float64 = 1
+	if dq > 0 {
+		target := 1 / (c.delta * dq)
+		switch {
+		case curRate > 1.05*target:
+			dir = -1
+		case curRate < 0.95*target:
+			dir = 1
+		default:
+			// Dead band: aggregate epoch measurements put the equilibrium
+			// standing queue (sub-millisecond) inside the noise floor;
+			// holding here avoids direction chatter.
+			c.vel = 1
+			c.lastDir = 0
+			return
+		}
+	}
+	// Velocity: double every two RTTs while the direction persists; reset
+	// on reversal. The feedback path (epoch measurement + 1 RTT of
+	// window smoothing) is laggier than per-ACK Copa, so doubling is
+	// slowed and capped harder to avoid bang-bang oscillation.
+	if dir != c.lastDir {
+		c.vel = 1
+		c.lastDir = dir
+		c.lastVelUpdate = now
+	} else if now-c.lastVelUpdate >= 2*standing {
+		c.vel *= 2
+		if lim := c.cwnd / 4; c.vel > lim && lim >= 1 {
+			c.vel = lim
+		}
+		c.lastVelUpdate = now
+	}
+
+	dt := (now - c.lastTime).Seconds()
+	if c.lastTime == 0 || dt <= 0 || dt > 1 {
+		dt = standing.Seconds()
+	}
+	c.lastTime = now
+	// Copa moves v/δ packets per RTT.
+	c.cwnd += dir * (c.vel / c.delta) * (dt / standing.Seconds())
+	if c.cwnd < minCwndPkts {
+		c.cwnd = minCwndPkts
+	}
+	// At aggregate rates, Copa's equilibrium standing queue
+	// (1/(δ·rate) seconds) is below both the queue's own packet
+	// granularity and the epoch measurement resolution, so the window
+	// rule alone oscillates around queue-empty and parks a few percent
+	// under capacity. When the queue measures empty and the window sits
+	// below the measured bandwidth-delay product, snap up to it — the
+	// δ-rule still trims any overshoot the moment a standing queue
+	// appears.
+	if m.Mu > 0 {
+		bdp := m.Mu / 8 / float64(pkt.MTU) * standing.Seconds()
+		if dq < 0.0005 && c.cwnd < bdp && bdp >= minCwndPkts {
+			c.cwnd = bdp
+		}
+		// Cap at 2.5 BDP: aggregate operation can leave the standing-RTT
+		// estimate stale across queue drains, and an uncapped window then
+		// converts into an enormous instantaneous rate.
+		if maxW := 2.5 * bdp; maxW >= minCwndPkts && c.cwnd > maxW {
+			c.cwnd = maxW
+		}
+	}
+	c.lastRate = c.cwnd * pkt.MTU * 8 / standing.Seconds()
+	// Never fall far below the rate the network is demonstrably
+	// delivering: draining a self-inflicted queue needs only a modest
+	// deficit, while collapsing below the achieved rate during a foreign
+	// queue burst surrenders the bundle's share for nothing.
+	if floor := 0.8 * m.RecvRate; c.lastRate < floor && floor > 0 {
+		c.lastRate = floor
+		c.cwnd = floor / (pkt.MTU * 8) * standing.Seconds()
+		if c.cwnd < minCwndPkts {
+			c.cwnd = minCwndPkts
+		}
+	}
+}
+
+// Rate implements Alg.
+func (c *Copa) Rate(sim.Time) float64 {
+	if c.lastRate == 0 {
+		return float64(2*minCwndPkts) * pkt.MTU * 8 / 0.1
+	}
+	return c.lastRate
+}
+
+// BasicDelay implements the Nimbus paper's basic delay-control rule: send
+// at the estimated available capacity (total minus cross traffic),
+// modulated to hold queueing delay at a small target.
+type BasicDelay struct {
+	// QueueTargetFrac expresses the queueing-delay target as a fraction
+	// of the minimum RTT (Nimbus holds a small standing queue; 1/8 works
+	// well across the evaluation's RTT range).
+	QueueTargetFrac float64
+	// Gain scales the corrective term.
+	Gain float64
+
+	rate float64
+}
+
+// NewBasicDelay returns the controller with the defaults used in the
+// evaluation.
+func NewBasicDelay() *BasicDelay {
+	return &BasicDelay{QueueTargetFrac: 0.125, Gain: 0.8}
+}
+
+// Name implements Alg.
+func (b *BasicDelay) Name() string { return "basicdelay" }
+
+// OnMeasurement implements Alg.
+func (b *BasicDelay) OnMeasurement(m Measurement, now sim.Time) {
+	if m.MinRTT <= 0 || m.Mu <= 0 {
+		return
+	}
+	xc := CrossTrafficRate(m)
+	avail := m.Mu - xc
+	if avail < 0.05*m.Mu {
+		avail = 0.05 * m.Mu
+	}
+	dq := (m.RTT - m.MinRTT).Seconds()
+	dt := b.QueueTargetFrac * m.MinRTT.Seconds()
+	if dt <= 0 {
+		dt = 0.005
+	}
+	// The corrective multiplier is clamped: a deep queue spike (often
+	// caused by cross traffic, already subtracted via avail) must slow us
+	// down, not starve the bundle until someone else's queue drains.
+	mult := 1 + b.Gain*(dt-dq)/dt
+	if mult < 0.3 {
+		mult = 0.3
+	}
+	// Probing above the available rate is bounded: avail already sits at
+	// (or above) the bundle's fair share, and a large overshoot converts
+	// straight into a bottleneck queue spike.
+	if mult > 1.2 {
+		mult = 1.2
+	}
+	r := avail * mult
+	if dq <= dt {
+		// Below the queue target there is no congestion evidence at all:
+		// pace at capacity rather than at the (noisy) availability
+		// estimate — epochs straddling busy and idle periods can read
+		// spare capacity as cross traffic and talk the rate down.
+		if probe := 1.02 * m.Mu; r < probe {
+			r = probe
+		}
+	}
+	lo, hi := 0.05*m.Mu, 2*m.Mu
+	if r < lo {
+		r = lo
+	}
+	if r > hi {
+		r = hi
+	}
+	b.rate = r
+}
+
+// Rate implements Alg.
+func (b *BasicDelay) Rate(sim.Time) float64 {
+	if b.rate == 0 {
+		return 1e6
+	}
+	return b.rate
+}
+
+// BBRBundle is a rate-based BBR for the bundle: pace at a gain cycle
+// around the windowed-max receive rate. As §7.4 shows, its 1.25× probing
+// phases keep a standing in-network queue, which is why it underperforms
+// the delay controllers at the sendbox.
+type BBRBundle struct {
+	mu         float64 // windowed max recv rate
+	muAt       sim.Time
+	minRTT     sim.Time
+	cycleIdx   int
+	cycleStart sim.Time
+	started    bool
+	startup    bool
+	lastMu     float64
+	plateau    int
+}
+
+var bundleCycleGains = [8]float64{1.25, 0.75, 1, 1, 1, 1, 1, 1}
+
+// NewBBRBundle returns the controller.
+func NewBBRBundle() *BBRBundle { return &BBRBundle{startup: true} }
+
+// Name implements Alg.
+func (b *BBRBundle) Name() string { return "bbr" }
+
+// OnMeasurement implements Alg.
+func (b *BBRBundle) OnMeasurement(m Measurement, now sim.Time) {
+	if m.RecvRate > b.mu || now-b.muAt > 10*sim.Second {
+		b.mu = m.RecvRate
+		b.muAt = now
+	}
+	if m.MinRTT > 0 {
+		b.minRTT = m.MinRTT
+	}
+	b.started = true
+	if b.startup {
+		if b.mu > b.lastMu*1.25 {
+			b.lastMu = b.mu
+			b.plateau = 0
+		} else {
+			b.plateau++
+			if b.plateau >= 3 {
+				b.startup = false
+				b.cycleStart = now
+			}
+		}
+	} else if rt := b.rtprop(); now-b.cycleStart >= rt {
+		b.cycleIdx = (b.cycleIdx + 1) % len(bundleCycleGains)
+		b.cycleStart = now
+	}
+}
+
+func (b *BBRBundle) rtprop() sim.Time {
+	if b.minRTT == 0 {
+		return 100 * sim.Millisecond
+	}
+	return b.minRTT
+}
+
+// Rate implements Alg.
+func (b *BBRBundle) Rate(sim.Time) float64 {
+	if !b.started || b.mu == 0 {
+		return 1e6
+	}
+	if b.startup {
+		return 2.885 * b.mu
+	}
+	return bundleCycleGains[b.cycleIdx] * b.mu
+}
+
+// CrossTrafficRate estimates the competing traffic's rate at the shared
+// bottleneck (Nimbus eq. 1): x = μ·S/R − S. A receive rate at capacity
+// with S below it implies the gap is someone else's traffic.
+//
+// The formula is only meaningful while the bottleneck is busy: on an idle
+// link R equals S and the expression degenerates to μ − S, which is spare
+// capacity, not cross traffic. Measurements that include RTT information
+// therefore gate on observed queueing delay.
+func CrossTrafficRate(m Measurement) float64 {
+	if m.RecvRate <= 0 || m.Mu <= 0 {
+		return 0
+	}
+	if m.RTT > 0 && m.MinRTT > 0 {
+		if dq := m.RTT - m.MinRTT; dq < queueBusyThreshold(m.MinRTT) {
+			return 0
+		}
+	}
+	x := m.Mu*m.SendRate/m.RecvRate - m.SendRate
+	if x < 0 {
+		return 0
+	}
+	if x > m.Mu {
+		return m.Mu
+	}
+	return x
+}
+
+// queueBusyThreshold is the queueing delay below which the bottleneck is
+// treated as effectively idle for cross-traffic estimation.
+func queueBusyThreshold(minRTT sim.Time) sim.Time {
+	th := minRTT / 20
+	if th < 2*sim.Millisecond {
+		th = 2 * sim.Millisecond
+	}
+	return th
+}
+
+// New builds an inner-loop algorithm by name: "copa", "basicdelay", or
+// "bbr". Unknown names panic.
+func New(name string) Alg {
+	switch name {
+	case "copa":
+		return NewCopa()
+	case "basicdelay":
+		return NewBasicDelay()
+	case "bbr":
+		return NewBBRBundle()
+	default:
+		panic("ccalg: unknown algorithm " + name)
+	}
+}
+
+// Pulser superimposes the Nimbus asymmetric sinusoid on a base rate: a
+// half-sine up-pulse of amplitude A over the first quarter period,
+// balanced by a shallow A/3 down-pulse over the remaining three quarters,
+// so the mean added rate is zero. The paper uses T = 0.2 s and
+// A = μ/4 (§5.1).
+type Pulser struct {
+	// Period is the pulse period T.
+	Period sim.Time
+	// AmplitudeFrac is A as a fraction of the capacity estimate μ.
+	AmplitudeFrac float64
+}
+
+// NewPulser returns the paper's pulser configuration.
+func NewPulser() *Pulser {
+	return &Pulser{Period: 200 * sim.Millisecond, AmplitudeFrac: 0.25}
+}
+
+// Offset returns the rate offset at time now for capacity estimate mu.
+// The amplitude is μ/4 regardless of the base rate: detection matters most
+// precisely when the delay controller has collapsed against a
+// buffer-filler, and an attenuated pulse would be invisible in the cross
+// traffic's response. The caller floors the summed rate so the down-pulse
+// cannot stall the pacer.
+func (p *Pulser) Offset(now sim.Time, mu float64) float64 {
+	if mu <= 0 {
+		return 0
+	}
+	amp := p.AmplitudeFrac * mu
+	t := float64(now%p.Period) / float64(p.Period) // phase in [0,1)
+	if t < 0.25 {
+		return amp * math.Sin(math.Pi*t/0.25)
+	}
+	return -(amp / 3) * math.Sin(math.Pi*(t-0.25)/0.75)
+}
+
+// Frequency returns the pulse frequency in Hz.
+func (p *Pulser) Frequency() float64 { return 1 / p.Period.Seconds() }
+
+// Detector decides whether buffer-filling (elastic) cross traffic shares
+// the bottleneck, by looking for the pulser's frequency in the
+// cross-traffic rate estimate: elastic traffic reacts to our pulses at
+// f_p, inelastic traffic does not (§5.1, after Nimbus).
+type Detector struct {
+	pulseHz  float64
+	sampleHz float64
+	buf      []float64
+	next     int
+	filled   bool
+
+	// Threshold is the required ratio of pulse-bin power to comparison
+	// band power.
+	Threshold float64
+	// MinCrossFrac gates detection: with negligible cross traffic there
+	// is nothing to classify.
+	MinCrossFrac float64
+}
+
+// DetectorWindow is the FFT window size (power of two).
+const DetectorWindow = 512
+
+// NewDetector builds a detector for a pulser at pulseHz sampled at
+// sampleHz (the 10 ms control tick → 100 Hz).
+func NewDetector(pulseHz, sampleHz float64) *Detector {
+	return &Detector{
+		pulseHz:   pulseHz,
+		sampleHz:  sampleHz,
+		buf:       make([]float64, DetectorWindow),
+		Threshold: 3.0,
+		// Aggregate send rates swing more than a single Nimbus flow's, and
+		// pulses leak into the cross-traffic estimate whenever the
+		// bottleneck runs empty; requiring the window-mean cross traffic
+		// to reach 20 % of capacity rejects that self-signal.
+		MinCrossFrac: 0.2,
+	}
+}
+
+// AddSample appends one cross-traffic rate estimate (bits/s), sampled at
+// the detector's sample rate.
+func (d *Detector) AddSample(z float64) {
+	d.buf[d.next] = z
+	d.next++
+	if d.next == len(d.buf) {
+		d.next = 0
+		d.filled = true
+	}
+}
+
+// Ready reports whether a full window has accumulated.
+func (d *Detector) Ready() bool { return d.filled }
+
+// WindowMean reports the mean cross-traffic estimate over the current
+// window (0 until the window fills).
+func (d *Detector) WindowMean() float64 {
+	if !d.filled {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range d.buf {
+		mean += v
+	}
+	return mean / float64(len(d.buf))
+}
+
+// Elastic classifies the current window with the default magnitude gate.
+func (d *Detector) Elastic(mu float64) bool {
+	return d.ElasticGated(mu, d.MinCrossFrac)
+}
+
+// ElasticGated classifies the current window. The gate requires the cross
+// traffic to average minFrac of capacity over the whole window —
+// instantaneous estimates spike whenever the bundle's own rate transients
+// drain the queue, and must not self-trigger detection. Callers already in
+// pass-through mode use a lower gate: competing fairly suppresses the
+// cross traffic's share, and a symmetric gate would oscillate between
+// modes.
+func (d *Detector) ElasticGated(mu, minFrac float64) bool {
+	if !d.filled || mu <= 0 {
+		return false
+	}
+	mean := 0.0
+	for _, v := range d.buf {
+		mean += v
+	}
+	mean /= float64(len(d.buf))
+	if mean < minFrac*mu {
+		return false
+	}
+	// Unroll the ring into chronological order.
+	window := make([]float64, len(d.buf))
+	copy(window, d.buf[d.next:])
+	copy(window[len(d.buf)-d.next:], d.buf[:d.next])
+	return ElasticSpectrum(window, d.pulseHz, d.sampleHz, d.Threshold)
+}
+
+// ElasticSpectrum applies the Nimbus criterion to one window of
+// cross-traffic samples: the power near the pulse frequency must dominate
+// the power at half the pulse frequency (elastic traffic reacts at f_p;
+// the half-frequency band measures broadband churn).
+func ElasticSpectrum(window []float64, pulseHz, sampleHz, threshold float64) bool {
+	spec := fft.PowerSpectrum(window)
+	n := len(window)
+	pb := fft.BinOf(pulseHz, sampleHz, n)
+	hb := fft.BinOf(pulseHz/2, sampleHz, n)
+	pulsePower := bandMax(spec, pb, 1)
+	refPower := bandMax(spec, hb, 1)
+	if refPower <= 0 {
+		return pulsePower > 0
+	}
+	return pulsePower/refPower > threshold
+}
+
+func bandMax(spec []float64, center, halfWidth int) float64 {
+	best := 0.0
+	for k := center - halfWidth; k <= center+halfWidth; k++ {
+		if k >= 0 && k < len(spec) && spec[k] > best {
+			best = spec[k]
+		}
+	}
+	return best
+}
+
+// PIController is the §5.1 controller that holds the sendbox queue at the
+// target while traffic passes: ṙ = α(q − q_T) + β·q̇ with α = β = 10.
+// Gains are normalized: one target's worth of queue error moves the rate
+// by α·μ per second.
+type PIController struct {
+	Alpha, Beta float64
+	// Target is q_T, expressed as queueing delay.
+	Target sim.Time
+
+	rate     float64
+	lastQ    sim.Time
+	lastTime sim.Time
+}
+
+// NewPIController returns the paper's configuration: α = β = 10 and a
+// 10 ms target (8 ms for the up-pulse area plus 2 ms cushion).
+func NewPIController() *PIController {
+	return &PIController{Alpha: 10, Beta: 10, Target: 10 * sim.Millisecond}
+}
+
+// Reset initializes the controller when pass-through mode engages,
+// starting from the given rate.
+func (pi *PIController) Reset(rate float64, now sim.Time) {
+	pi.rate = rate
+	pi.lastQ = 0
+	pi.lastTime = now
+}
+
+// Update advances the controller: q is the current sendbox queueing delay
+// and mu the capacity estimate used for normalization. It returns the new
+// base rate.
+func (pi *PIController) Update(q sim.Time, mu float64, now sim.Time) float64 {
+	dt := (now - pi.lastTime).Seconds()
+	if dt <= 0 {
+		return pi.rate
+	}
+	qErr := (q - pi.Target).Seconds() / pi.Target.Seconds()
+	qDot := (q - pi.lastQ).Seconds() / dt / pi.Target.Seconds()
+	pi.lastQ = q
+	pi.lastTime = now
+	pi.rate += (pi.Alpha*qErr + pi.Beta*qDot) * mu * dt
+	if pi.rate < 0.01*mu {
+		pi.rate = 0.01 * mu
+	}
+	if pi.rate > 4*mu {
+		pi.rate = 4 * mu
+	}
+	return pi.rate
+}
+
+// Rate returns the controller's current rate.
+func (pi *PIController) Rate() float64 { return pi.rate }

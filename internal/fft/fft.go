@@ -1,0 +1,99 @@
+// Package fft provides a small radix-2 FFT used by the Nimbus
+// cross-traffic elasticity detector (§5.1 of the paper): the detector
+// superimposes sinusoidal pulses on the bundle's sending rate and looks
+// for that frequency in the cross traffic's estimated rate.
+package fft
+
+import "math"
+
+// Transform computes the in-place decimation-in-time FFT of x, whose
+// length must be a power of two. It returns x for convenience.
+func Transform(x []complex128) []complex128 {
+	n := len(x)
+	if n&(n-1) != 0 || n == 0 {
+		panic("fft: length must be a positive power of two")
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := complex(math.Cos(ang), math.Sin(ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := x[i+j]
+				v := x[i+j+length/2] * w
+				x[i+j] = u + v
+				x[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	return x
+}
+
+// HannWindow applies a Hann window to samples in place, reducing spectral
+// leakage before transforming.
+func HannWindow(x []float64) {
+	n := len(x)
+	if n < 2 {
+		return
+	}
+	for i := range x {
+		x[i] *= 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+}
+
+// PowerSpectrum returns the one-sided power spectrum of the real samples,
+// after removing the mean (so the DC bin does not swamp everything). The
+// result has len(samples)/2+1 bins; bin k corresponds to frequency
+// k*sampleRate/len(samples).
+func PowerSpectrum(samples []float64) []float64 {
+	n := len(samples)
+	if n&(n-1) != 0 || n == 0 {
+		panic("fft: sample count must be a positive power of two")
+	}
+	mean := 0.0
+	for _, v := range samples {
+		mean += v
+	}
+	mean /= float64(n)
+	buf := make([]float64, n)
+	for i, v := range samples {
+		buf[i] = v - mean
+	}
+	HannWindow(buf)
+	x := make([]complex128, n)
+	for i, v := range buf {
+		x[i] = complex(v, 0)
+	}
+	Transform(x)
+	out := make([]float64, n/2+1)
+	for k := range out {
+		re, im := real(x[k]), imag(x[k])
+		out[k] = (re*re + im*im) / float64(n)
+	}
+	return out
+}
+
+// BinOf returns the spectrum bin closest to freq for a spectrum computed
+// over n samples taken at sampleRate Hz.
+func BinOf(freq, sampleRate float64, n int) int {
+	b := int(math.Round(freq * float64(n) / sampleRate))
+	if b < 0 {
+		b = 0
+	}
+	if b > n/2 {
+		b = n / 2
+	}
+	return b
+}

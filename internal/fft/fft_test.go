@@ -1,0 +1,143 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransformKnownDFT(t *testing.T) {
+	// FFT of an impulse is flat.
+	x := make([]complex128, 8)
+	x[0] = 1
+	Transform(x)
+	for k, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestTransformSinusoidPeaksAtItsBin(t *testing.T) {
+	const n = 256
+	x := make([]complex128, n)
+	f := 16.0
+	for i := range x {
+		x[i] = complex(math.Sin(2*math.Pi*f*float64(i)/n), 0)
+	}
+	Transform(x)
+	best, bestMag := 0, 0.0
+	for k := 1; k < n/2; k++ {
+		if m := cmplx.Abs(x[k]); m > bestMag {
+			best, bestMag = k, m
+		}
+	}
+	if best != 16 {
+		t.Fatalf("peak at bin %d, want 16", best)
+	}
+}
+
+func TestTransformPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for length 6")
+		}
+	}()
+	Transform(make([]complex128, 6))
+}
+
+// Property: Parseval's theorem holds: sum |x|^2 == (1/N) sum |X|^2.
+func TestPropertyParseval(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const n = 128
+		x := make([]complex128, n)
+		energyTime := 0.0
+		for i := range x {
+			v := r.NormFloat64()
+			x[i] = complex(v, 0)
+			energyTime += v * v
+		}
+		Transform(x)
+		energyFreq := 0.0
+		for _, v := range x {
+			energyFreq += real(v)*real(v) + imag(v)*imag(v)
+		}
+		energyFreq /= n
+		return math.Abs(energyTime-energyFreq) < 1e-6*math.Max(1, energyTime)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: linearity of the transform.
+func TestPropertyLinearity(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	const n = 64
+	a := make([]complex128, n)
+	b := make([]complex128, n)
+	sum := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		a[i] = complex(r.NormFloat64(), r.NormFloat64())
+		b[i] = complex(r.NormFloat64(), r.NormFloat64())
+		sum[i] = a[i] + b[i]
+	}
+	Transform(a)
+	Transform(b)
+	Transform(sum)
+	for k := 0; k < n; k++ {
+		if cmplx.Abs(sum[k]-(a[k]+b[k])) > 1e-9 {
+			t.Fatalf("linearity violated at bin %d", k)
+		}
+	}
+}
+
+func TestPowerSpectrumDetectsPulseFrequency(t *testing.T) {
+	// 512 samples at 100 Hz; 5 Hz sinusoid (the Nimbus pulse frequency)
+	// buried in noise must dominate the 5 Hz bin region.
+	const n, rate, f = 512, 100.0, 5.0
+	r := rand.New(rand.NewSource(3))
+	samples := make([]float64, n)
+	for i := range samples {
+		tt := float64(i) / rate
+		samples[i] = 3*math.Sin(2*math.Pi*f*tt) + 0.3*r.NormFloat64() + 10
+	}
+	spec := PowerSpectrum(samples)
+	peak := BinOf(f, rate, n)
+	for k := 1; k < len(spec); k++ {
+		if k >= peak-1 && k <= peak+1 {
+			continue
+		}
+		if spec[k] > spec[peak] {
+			t.Fatalf("bin %d power %.3f exceeds pulse bin %d power %.3f", k, spec[k], peak, spec[peak])
+		}
+	}
+}
+
+func TestPowerSpectrumRemovesDC(t *testing.T) {
+	samples := make([]float64, 64)
+	for i := range samples {
+		samples[i] = 42 // pure DC
+	}
+	spec := PowerSpectrum(samples)
+	for k, v := range spec {
+		if v > 1e-18 {
+			t.Fatalf("bin %d = %g for constant input, want ~0", k, v)
+		}
+	}
+}
+
+func TestBinOfBounds(t *testing.T) {
+	if BinOf(5, 100, 512) != 26 { // 5*512/100 = 25.6 -> 26
+		t.Fatalf("BinOf(5,100,512) = %d, want 26", BinOf(5, 100, 512))
+	}
+	if BinOf(-3, 100, 512) != 0 {
+		t.Fatal("negative freq not clamped")
+	}
+	if BinOf(1e9, 100, 512) != 256 {
+		t.Fatal("super-Nyquist freq not clamped")
+	}
+}

@@ -1,0 +1,356 @@
+// Package netem is a deterministic packet-level network emulator: the
+// repository's substitute for the paper's mahimahi testbed. It provides
+// rate-limited links with configurable propagation delay and queueing
+// discipline, pure-delay pipes, destination demultiplexers, passive taps
+// (the hook the Bundler boxes use to observe traffic), and a hash-based
+// multipath load balancer for the §5.2 / §7.6 experiments.
+//
+// Components implement Receiver and are wired explicitly into a forwarding
+// graph; all behaviour unfolds on the shared sim.Engine's virtual clock.
+package netem
+
+import (
+	"fmt"
+
+	"bundler/internal/pkt"
+	"bundler/internal/qdisc"
+	"bundler/internal/sim"
+)
+
+// Receiver consumes packets. Links, boxes, endpoints, and taps all
+// implement it.
+type Receiver interface {
+	Receive(p *pkt.Packet)
+}
+
+// ReceiverFunc adapts a function to the Receiver interface.
+type ReceiverFunc func(p *pkt.Packet)
+
+// Receive implements Receiver.
+func (f ReceiverFunc) Receive(p *pkt.Packet) { f(p) }
+
+// Sink discards packets, counting them.
+type Sink struct{ Count int }
+
+// Receive implements Receiver.
+func (s *Sink) Receive(*pkt.Packet) { s.Count++ }
+
+// Link is a store-and-forward link: packets are queued in a qdisc, drained
+// at the link rate (serialization), then delivered after the propagation
+// delay. The rate is adjustable at runtime, which is exactly how the
+// Bundler sendbox enforces its pacing rate (a token-bucket filter whose
+// rate the control plane rewrites).
+type Link struct {
+	eng   *sim.Engine
+	name  string
+	rate  float64 // bits per second
+	delay sim.Time
+	q     qdisc.Qdisc
+	dst   Receiver
+
+	busy bool
+
+	// Stats.
+	delivered     int
+	bytesSent     int64
+	rejected      int
+	onDequeue     func(p *pkt.Packet, qdelay sim.Time)
+	onTransmitted func(p *pkt.Packet)
+	onDelivery    func(p *pkt.Packet)
+}
+
+// MinRate floors SetRate so a paced link can never stall entirely.
+const MinRate = 1e3 // 1 kbit/s
+
+// NewLink builds a link. rate is in bits/second; delay is one-way
+// propagation; q is the queueing discipline holding backlogged packets.
+func NewLink(eng *sim.Engine, name string, rate float64, delay sim.Time, q qdisc.Qdisc, dst Receiver) *Link {
+	if rate < MinRate {
+		panic(fmt.Sprintf("netem: link %s rate %.0f below minimum", name, rate))
+	}
+	if dst == nil {
+		panic("netem: link needs a destination")
+	}
+	return &Link{eng: eng, name: name, rate: rate, delay: delay, q: q, dst: dst}
+}
+
+// Receive implements Receiver: enqueue and start transmitting if idle.
+func (l *Link) Receive(p *pkt.Packet) {
+	p.EnqueuedAt = l.eng.Now()
+	if !l.q.Enqueue(p) {
+		l.rejected++
+		return
+	}
+	if !l.busy {
+		l.transmitNext()
+	}
+}
+
+func (l *Link) transmitNext() {
+	p := l.q.Dequeue()
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	if l.onDequeue != nil {
+		l.onDequeue(p, l.eng.Now()-p.EnqueuedAt)
+	}
+	tx := sim.Time(float64(p.Size*8) / l.rate * float64(sim.Second))
+	if tx < 1 {
+		tx = 1
+	}
+	l.eng.After(tx, func() {
+		l.delivered++
+		l.bytesSent += int64(p.Size)
+		if l.onTransmitted != nil {
+			l.onTransmitted(p)
+		}
+		dst, delay := l.dst, l.delay
+		if delay == 0 {
+			if l.onDelivery != nil {
+				l.onDelivery(p)
+			}
+			// Continue draining before delivering so the link never
+			// re-enters itself via synchronous feedback loops.
+			l.transmitNext()
+			dst.Receive(p)
+			return
+		}
+		l.eng.After(delay, func() {
+			if l.onDelivery != nil {
+				l.onDelivery(p)
+			}
+			dst.Receive(p)
+		})
+		l.transmitNext()
+	})
+}
+
+// SetRate changes the drain rate, clamped to MinRate. The packet currently
+// being serialized finishes at the old rate, matching a token bucket whose
+// refill rate changed mid-packet.
+func (l *Link) SetRate(bps float64) {
+	if bps < MinRate {
+		bps = MinRate
+	}
+	l.rate = bps
+}
+
+// Rate returns the configured drain rate in bits/second.
+func (l *Link) Rate() float64 { return l.rate }
+
+// Delay returns the propagation delay.
+func (l *Link) Delay() sim.Time { return l.delay }
+
+// Queue exposes the link's qdisc (the sendbox reads its occupancy, and
+// tests inspect drops).
+func (l *Link) Queue() qdisc.Qdisc { return l.q }
+
+// QueueDelay estimates the queueing delay a packet arriving now would
+// experience: backlog divided by drain rate.
+func (l *Link) QueueDelay() sim.Time {
+	return sim.Time(float64(l.q.Bytes()*8) / l.rate * float64(sim.Second))
+}
+
+// Delivered reports packets fully serialized.
+func (l *Link) Delivered() int { return l.delivered }
+
+// BytesSent reports bytes fully serialized.
+func (l *Link) BytesSent() int64 { return l.bytesSent }
+
+// Rejected reports packets the qdisc refused at enqueue.
+func (l *Link) Rejected() int { return l.rejected }
+
+// OnDequeue registers a hook called as each packet leaves the queue, with
+// its queueing delay. Used by experiments to trace where queues build.
+func (l *Link) OnDequeue(fn func(p *pkt.Packet, qdelay sim.Time)) { l.onDequeue = fn }
+
+// OnTransmitted registers a hook called the instant each packet finishes
+// serializing (before propagation). The sendbox timestamps epoch
+// boundaries here: a timestamp taken at dequeue would fold the packet's
+// own serialization time — enormous at low pacing rates — into the
+// measured RTT and read as phantom queueing.
+func (l *Link) OnTransmitted(fn func(p *pkt.Packet)) { l.onTransmitted = fn }
+
+// OnDelivery registers a hook called as each packet finishes the link
+// (after propagation). Experiments use it to measure ground-truth receive
+// rate at the bottleneck.
+func (l *Link) OnDelivery(fn func(p *pkt.Packet)) { l.onDelivery = fn }
+
+// Pipe delivers packets after a fixed delay with no queueing or rate
+// limit: an uncongested path segment.
+type Pipe struct {
+	eng   *sim.Engine
+	delay sim.Time
+	dst   Receiver
+}
+
+// NewPipe builds a pure-delay element.
+func NewPipe(eng *sim.Engine, delay sim.Time, dst Receiver) *Pipe {
+	return &Pipe{eng: eng, delay: delay, dst: dst}
+}
+
+// Receive implements Receiver.
+func (pp *Pipe) Receive(p *pkt.Packet) {
+	pp.eng.After(pp.delay, func() { pp.dst.Receive(p) })
+}
+
+// Demux routes packets to receivers by destination host.
+type Demux struct {
+	routes map[uint32]Receiver
+	// Default receives packets with no route (nil drops them silently).
+	Default Receiver
+	dropped int
+}
+
+// NewDemux returns an empty destination-host demultiplexer.
+func NewDemux() *Demux { return &Demux{routes: make(map[uint32]Receiver)} }
+
+// Route installs dst as the receiver for packets addressed to host.
+func (d *Demux) Route(host uint32, dst Receiver) { d.routes[host] = dst }
+
+// Receive implements Receiver.
+func (d *Demux) Receive(p *pkt.Packet) {
+	if r, ok := d.routes[p.Dst.Host]; ok {
+		r.Receive(p)
+		return
+	}
+	if d.Default != nil {
+		d.Default.Receive(p)
+		return
+	}
+	d.dropped++
+}
+
+// Dropped reports packets with no route.
+func (d *Demux) Dropped() int { return d.dropped }
+
+// Tap invokes a callback on every packet, then forwards it unmodified.
+// The receivebox observes traffic exactly this way (libpcap in the
+// prototype).
+type Tap struct {
+	fn   func(p *pkt.Packet)
+	next Receiver
+}
+
+// NewTap builds a passive observation point.
+func NewTap(fn func(p *pkt.Packet), next Receiver) *Tap {
+	return &Tap{fn: fn, next: next}
+}
+
+// Receive implements Receiver.
+func (t *Tap) Receive(p *pkt.Packet) {
+	t.fn(p)
+	t.next.Receive(p)
+}
+
+// Lossy drops each packet independently with the given probability —
+// failure injection for resilience tests (e.g. Bundler's control channel
+// losing congestion ACKs or epoch-size updates).
+type Lossy struct {
+	eng  *sim.Engine
+	prob float64
+	dst  Receiver
+	// Dropped counts discarded packets.
+	Dropped int
+	// Filter restricts dropping to matching packets (nil = all).
+	Filter func(*pkt.Packet) bool
+}
+
+// NewLossy builds a Bernoulli-loss element using the engine's
+// deterministic randomness.
+func NewLossy(eng *sim.Engine, prob float64, dst Receiver) *Lossy {
+	if prob < 0 || prob > 1 {
+		panic("netem: loss probability out of range")
+	}
+	return &Lossy{eng: eng, prob: prob, dst: dst}
+}
+
+// Receive implements Receiver.
+func (l *Lossy) Receive(p *pkt.Packet) {
+	if (l.Filter == nil || l.Filter(p)) && l.eng.Rand().Float64() < l.prob {
+		l.Dropped++
+		return
+	}
+	l.dst.Receive(p)
+}
+
+// Jitter delays each packet by a uniform random amount in [0, Max) on top
+// of the downstream path — reverse-path delay variation for measurement
+// robustness tests. Note that jitter larger than the inter-packet spacing
+// reorders packets, which Bundler's out-of-order heuristic will (by
+// design) notice.
+type Jitter struct {
+	eng *sim.Engine
+	max sim.Time
+	dst Receiver
+}
+
+// NewJitter builds a uniform-jitter element.
+func NewJitter(eng *sim.Engine, max sim.Time, dst Receiver) *Jitter {
+	if max < 0 {
+		panic("netem: negative jitter")
+	}
+	return &Jitter{eng: eng, max: max, dst: dst}
+}
+
+// Receive implements Receiver.
+func (j *Jitter) Receive(p *pkt.Packet) {
+	d := sim.Time(0)
+	if j.max > 0 {
+		d = sim.Time(j.eng.Rand().Int63n(int64(j.max)))
+	}
+	j.eng.After(d, func() { j.dst.Receive(p) })
+}
+
+// BalanceMode selects how the load balancer spreads packets.
+type BalanceMode int
+
+// Load-balancing modes.
+const (
+	// BalanceFlowHash picks a path per flow (ECMP-style), the common case
+	// the paper's Scamper study observed at 26 % of IP hops.
+	BalanceFlowHash BalanceMode = iota
+	// BalancePacketRandom sprays packets uniformly, the most adversarial
+	// case for Bundler's measurements.
+	BalancePacketRandom
+)
+
+// LoadBalancer splits traffic across parallel paths. Each path is the head
+// of an independent chain (typically a Link with its own delay/queue) that
+// eventually converges on the same downstream receiver.
+type LoadBalancer struct {
+	eng   *sim.Engine
+	paths []Receiver
+	mode  BalanceMode
+	sent  []int
+}
+
+// NewLoadBalancer builds a balancer over the given paths.
+func NewLoadBalancer(eng *sim.Engine, mode BalanceMode, paths ...Receiver) *LoadBalancer {
+	if len(paths) == 0 {
+		panic("netem: load balancer needs at least one path")
+	}
+	return &LoadBalancer{eng: eng, paths: paths, mode: mode, sent: make([]int, len(paths))}
+}
+
+// Receive implements Receiver.
+func (lb *LoadBalancer) Receive(p *pkt.Packet) {
+	var i int
+	switch lb.mode {
+	case BalancePacketRandom:
+		i = lb.eng.Rand().Intn(len(lb.paths))
+	default:
+		i = int(pkt.FlowHash(p, 0x9E3779B97F4A7C15) % uint64(len(lb.paths)))
+	}
+	lb.sent[i]++
+	lb.paths[i].Receive(p)
+}
+
+// SentPerPath reports how many packets took each path.
+func (lb *LoadBalancer) SentPerPath() []int {
+	out := make([]int, len(lb.sent))
+	copy(out, lb.sent)
+	return out
+}

@@ -1,0 +1,306 @@
+package netem
+
+import (
+	"math"
+	"testing"
+
+	"bundler/internal/pkt"
+	"bundler/internal/qdisc"
+	"bundler/internal/sim"
+)
+
+type recorder struct {
+	eng  *sim.Engine
+	pkts []*pkt.Packet
+	at   []sim.Time
+}
+
+func (r *recorder) Receive(p *pkt.Packet) {
+	r.pkts = append(r.pkts, p)
+	r.at = append(r.at, r.eng.Now())
+}
+
+func newpkt(size int) *pkt.Packet {
+	return &pkt.Packet{Size: size, Dst: pkt.Addr{Host: 9, Port: 80}}
+}
+
+func TestLinkSerializationAndPropagation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rec := &recorder{eng: eng}
+	// 12 Mbit/s: a 1500-byte packet serializes in exactly 1 ms.
+	l := NewLink(eng, "l", 12e6, 10*sim.Millisecond, qdisc.NewFIFO(1<<20), rec)
+	l.Receive(newpkt(1500))
+	eng.Run()
+	if len(rec.pkts) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(rec.pkts))
+	}
+	want := 11 * sim.Millisecond // 1 ms tx + 10 ms prop
+	if rec.at[0] != want {
+		t.Fatalf("delivered at %v, want %v", rec.at[0], want)
+	}
+}
+
+func TestLinkBackToBackSpacing(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rec := &recorder{eng: eng}
+	l := NewLink(eng, "l", 12e6, 0, qdisc.NewFIFO(1<<20), rec)
+	for i := 0; i < 3; i++ {
+		l.Receive(newpkt(1500))
+	}
+	eng.Run()
+	if len(rec.pkts) != 3 {
+		t.Fatalf("delivered %d, want 3", len(rec.pkts))
+	}
+	for i, at := range rec.at {
+		want := sim.Time(i+1) * sim.Millisecond
+		if at != want {
+			t.Errorf("packet %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestLinkQueueOverflowDrops(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rec := &recorder{eng: eng}
+	l := NewLink(eng, "l", 12e6, 0, qdisc.NewFIFO(3000), rec)
+	for i := 0; i < 5; i++ {
+		l.Receive(newpkt(1500))
+	}
+	eng.Run()
+	// One serializing + two queued fit initially; as the serializer takes
+	// packets out, space frees. The first packet dequeues immediately, so
+	// acceptance is: p0 (dequeued at t=0), p1, p2 fill the 3000-byte
+	// queue; p3, p4 dropped.
+	if got := len(rec.pkts); got != 3 {
+		t.Fatalf("delivered %d, want 3", got)
+	}
+	if l.Rejected() != 2 {
+		t.Fatalf("rejected %d, want 2", l.Rejected())
+	}
+}
+
+func TestLinkSetRateTakesEffect(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rec := &recorder{eng: eng}
+	l := NewLink(eng, "l", 12e6, 0, qdisc.NewFIFO(1<<20), rec)
+	l.Receive(newpkt(1500))
+	eng.Run()
+	l.SetRate(24e6)
+	start := eng.Now()
+	l.Receive(newpkt(1500))
+	eng.Run()
+	if got := rec.at[1] - start; got != 500*sim.Microsecond {
+		t.Fatalf("after rate doubling, tx took %v, want 0.5ms", got)
+	}
+}
+
+func TestLinkRateClampedToMin(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := NewLink(eng, "l", 1e6, 0, qdisc.NewFIFO(1<<20), &Sink{})
+	l.SetRate(0)
+	if l.Rate() != MinRate {
+		t.Fatalf("rate = %v, want clamp to %v", l.Rate(), MinRate)
+	}
+}
+
+func TestLinkQueueDelayEstimate(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := NewLink(eng, "l", 12e6, 0, qdisc.NewFIFO(1<<20), &Sink{})
+	for i := 0; i < 13; i++ { // 1 serializing + 12 queued
+		l.Receive(newpkt(1500))
+	}
+	// 12 packets * 1ms each = 12 ms.
+	got := l.QueueDelay().Millis()
+	if math.Abs(got-12) > 0.01 {
+		t.Fatalf("queue delay = %.3fms, want 12ms", got)
+	}
+	eng.Run()
+}
+
+func TestLinkHooksFire(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var deq, del int
+	var lastQDelay sim.Time
+	l := NewLink(eng, "l", 12e6, sim.Millisecond, qdisc.NewFIFO(1<<20), &Sink{})
+	l.OnDequeue(func(p *pkt.Packet, qd sim.Time) { deq++; lastQDelay = qd })
+	l.OnDelivery(func(p *pkt.Packet) { del++ })
+	l.Receive(newpkt(1500))
+	l.Receive(newpkt(1500))
+	eng.Run()
+	if deq != 2 || del != 2 {
+		t.Fatalf("hooks fired deq=%d del=%d, want 2/2", deq, del)
+	}
+	if lastQDelay != sim.Millisecond {
+		t.Fatalf("second packet queue delay %v, want 1ms", lastQDelay)
+	}
+	if l.Delivered() != 2 || l.BytesSent() != 3000 {
+		t.Fatalf("counters delivered=%d bytes=%d", l.Delivered(), l.BytesSent())
+	}
+}
+
+func TestPipeDelaysWithoutQueueing(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rec := &recorder{eng: eng}
+	p := NewPipe(eng, 5*sim.Millisecond, rec)
+	// Two packets at the same instant both arrive 5 ms later: no
+	// serialization.
+	p.Receive(newpkt(1500))
+	p.Receive(newpkt(1500))
+	eng.Run()
+	if len(rec.at) != 2 || rec.at[0] != 5*sim.Millisecond || rec.at[1] != 5*sim.Millisecond {
+		t.Fatalf("pipe deliveries at %v, want both at 5ms", rec.at)
+	}
+}
+
+func TestDemuxRoutesAndCountsDrops(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a, b := &recorder{eng: eng}, &recorder{eng: eng}
+	d := NewDemux()
+	d.Route(1, a)
+	d.Route(2, b)
+	p1 := newpkt(100)
+	p1.Dst.Host = 1
+	p2 := newpkt(100)
+	p2.Dst.Host = 2
+	p3 := newpkt(100)
+	p3.Dst.Host = 3
+	d.Receive(p1)
+	d.Receive(p2)
+	d.Receive(p3)
+	if len(a.pkts) != 1 || len(b.pkts) != 1 {
+		t.Fatal("routing failed")
+	}
+	if d.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", d.Dropped())
+	}
+}
+
+func TestDemuxDefaultRoute(t *testing.T) {
+	eng := sim.NewEngine(1)
+	def := &recorder{eng: eng}
+	d := NewDemux()
+	d.Default = def
+	d.Receive(newpkt(100))
+	if len(def.pkts) != 1 {
+		t.Fatal("default route unused")
+	}
+}
+
+func TestTapObservesAndForwards(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rec := &recorder{eng: eng}
+	seen := 0
+	tap := NewTap(func(p *pkt.Packet) { seen++ }, rec)
+	tap.Receive(newpkt(100))
+	if seen != 1 || len(rec.pkts) != 1 {
+		t.Fatal("tap did not observe+forward")
+	}
+}
+
+func TestLoadBalancerFlowHashIsSticky(t *testing.T) {
+	eng := sim.NewEngine(1)
+	recs := []*recorder{{eng: eng}, {eng: eng}, {eng: eng}, {eng: eng}}
+	lb := NewLoadBalancer(eng, BalanceFlowHash, recs[0], recs[1], recs[2], recs[3])
+	// All packets of one flow must take the same path.
+	for i := 0; i < 50; i++ {
+		p := newpkt(100)
+		p.Src = pkt.Addr{Host: 1, Port: 1000}
+		p.IPID = uint16(i)
+		lb.Receive(p)
+	}
+	nonEmpty := 0
+	for _, r := range recs {
+		if len(r.pkts) > 0 {
+			nonEmpty++
+			if len(r.pkts) != 50 {
+				t.Fatalf("flow split across paths: %d", len(r.pkts))
+			}
+		}
+	}
+	if nonEmpty != 1 {
+		t.Fatalf("flow used %d paths, want 1", nonEmpty)
+	}
+}
+
+func TestLoadBalancerSpreadsManyFlows(t *testing.T) {
+	eng := sim.NewEngine(1)
+	recs := []*recorder{{eng: eng}, {eng: eng}, {eng: eng}, {eng: eng}}
+	lb := NewLoadBalancer(eng, BalanceFlowHash, recs[0], recs[1], recs[2], recs[3])
+	for f := 0; f < 400; f++ {
+		p := newpkt(100)
+		p.Src = pkt.Addr{Host: 1, Port: uint16(f)}
+		lb.Receive(p)
+	}
+	for i, n := range lb.SentPerPath() {
+		if n < 50 || n > 150 {
+			t.Fatalf("path %d got %d of 400 flows, want ≈100", i, n)
+		}
+	}
+}
+
+func TestLoadBalancerRandomMode(t *testing.T) {
+	eng := sim.NewEngine(7)
+	recs := []*recorder{{eng: eng}, {eng: eng}}
+	lb := NewLoadBalancer(eng, BalancePacketRandom, recs[0], recs[1])
+	p := pkt.Addr{Host: 1, Port: 1}
+	for i := 0; i < 1000; i++ {
+		pp := newpkt(100)
+		pp.Src = p // same flow: random mode must still split it
+		lb.Receive(pp)
+	}
+	per := lb.SentPerPath()
+	if per[0] < 400 || per[0] > 600 {
+		t.Fatalf("random split %v, want ≈500/500", per)
+	}
+}
+
+// End-to-end conservation across a two-hop chain.
+func TestChainConservation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rec := &recorder{eng: eng}
+	l2 := NewLink(eng, "l2", 96e6, 10*sim.Millisecond, qdisc.NewFIFO(1<<20), rec)
+	l1 := NewLink(eng, "l1", 100e6, 5*sim.Millisecond, qdisc.NewFIFO(1<<20), l2)
+	const n = 500
+	for i := 0; i < n; i++ {
+		l1.Receive(newpkt(1500))
+	}
+	eng.Run()
+	if len(rec.pkts) != n {
+		t.Fatalf("delivered %d of %d through chain", len(rec.pkts), n)
+	}
+	// Delivery must be paced by the slower second hop: total time ≥ n
+	// packets at 96 Mbit/s.
+	minSpan := sim.Time(float64(n*1500*8) / 96e6 * float64(sim.Second))
+	span := rec.at[n-1] - rec.at[0]
+	if span < minSpan-sim.Millisecond {
+		t.Fatalf("span %v shorter than bottleneck pacing %v", span, minSpan)
+	}
+}
+
+func TestOnTransmittedFiresBeforePropagation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var txAt, deliverAt sim.Time
+	rec := ReceiverFunc(func(p *pkt.Packet) { deliverAt = eng.Now() })
+	l := NewLink(eng, "l", 12e6, 10*sim.Millisecond, qdisc.NewFIFO(1<<20), rec)
+	l.OnTransmitted(func(p *pkt.Packet) { txAt = eng.Now() })
+	l.Receive(newpkt(1500))
+	eng.Run()
+	if txAt != sim.Millisecond {
+		t.Fatalf("OnTransmitted at %v, want end of serialization (1ms)", txAt)
+	}
+	if deliverAt != 11*sim.Millisecond {
+		t.Fatalf("delivery at %v, want 11ms", deliverAt)
+	}
+}
+
+func TestLossyFilterOnlyDropsMatches(t *testing.T) {
+	eng := sim.NewEngine(3)
+	sink := &Sink{}
+	l := NewLossy(eng, 1.0, sink) // drop everything that matches
+	l.Filter = func(p *pkt.Packet) bool { return p.Proto == pkt.ProtoCtl }
+	l.Receive(&pkt.Packet{Proto: pkt.ProtoCtl, Size: 60})
+	l.Receive(&pkt.Packet{Proto: pkt.ProtoTCP, Size: 1500})
+	if l.Dropped != 1 || sink.Count != 1 {
+		t.Fatalf("dropped=%d forwarded=%d, want 1/1", l.Dropped, sink.Count)
+	}
+}

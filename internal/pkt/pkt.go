@@ -1,0 +1,160 @@
+// Package pkt defines the packet model shared by the emulated network,
+// the endhost transports, and the Bundler middleboxes.
+//
+// A Packet carries just enough header state to reproduce the paper's
+// mechanisms: the IPv4-style identification field plus destination
+// address/port feed the FNV-1a epoch-boundary hash (§4.5 of the paper),
+// and the TCP-ish sequence/ack fields drive the endhost transports.
+package pkt
+
+import "bundler/internal/sim"
+
+// Proto distinguishes transport protocols. Bundler itself is
+// protocol-agnostic; the emulator uses the protocol only to route packets
+// to the right endpoint logic.
+type Proto uint8
+
+// Supported protocols.
+const (
+	ProtoTCP Proto = iota
+	ProtoUDP
+	// ProtoCtl marks Bundler's out-of-band control messages (congestion
+	// ACKs and epoch-size updates). On a real deployment these are plain
+	// UDP datagrams between the boxes; a distinct value keeps the
+	// emulator's demultiplexing honest.
+	ProtoCtl
+)
+
+// Flags holds TCP-style control bits.
+type Flags uint8
+
+// Flag bits.
+const (
+	FlagSYN Flags = 1 << iota
+	FlagACK
+	FlagFIN
+)
+
+// Addr identifies an endpoint in the emulated network.
+type Addr struct {
+	Host uint32
+	Port uint16
+}
+
+// Packet is a single datagram in flight. Packets are passed by pointer and
+// owned by whichever component currently holds them; they are never shared
+// after being forwarded.
+type Packet struct {
+	// Header subset used by Bundler's epoch hash.
+	IPID uint16
+	Src  Addr
+	Dst  Addr
+
+	Proto Proto
+	Size  int // total wire size in bytes, headers included
+
+	// Transport state (TCP).
+	Seq   int64 // first payload byte offset
+	Ack   int64 // cumulative ack: next expected byte
+	Flags Flags
+
+	// FlowID identifies the end-to-end connection for scheduling and
+	// statistics. It is derived from the 5-tuple when flows are created.
+	FlowID uint64
+
+	// Retransmit marks a retransmitted segment. Real Bundler relies on the
+	// IP ID changing on retransmission to avoid spurious epoch samples;
+	// the emulator's TCP assigns a fresh IPID on every transmission, and
+	// this bit exists for tests to assert that property.
+	Retransmit bool
+
+	// Payload carries protocol-specific metadata (e.g. a control message).
+	Payload any
+
+	// Tunneled marks a packet carrying Bundler's encapsulation header
+	// (§4.5's alternative to hash-based epoch identification: explicit
+	// marker fields in an outer header, required where the IPv4 ID field
+	// is unavailable, e.g. IPv6). TunnelSeq is the epoch marker; zero
+	// means "not an epoch boundary".
+	Tunneled  bool
+	TunnelSeq uint64
+
+	// EnqueuedAt is stamped by queues to trace per-queue delays.
+	EnqueuedAt sim.Time
+	// SentAt is stamped when the packet first leaves its origin host, for
+	// end-to-end latency statistics.
+	SentAt sim.Time
+}
+
+// HeaderBytes is the emulator's fixed per-packet header overhead
+// (IP + transport), matching the 40-byte TCP/IPv4 header the paper's MTU
+// arithmetic assumes.
+const HeaderBytes = 40
+
+// MTU is the wire MTU used throughout the emulator.
+const MTU = 1500
+
+// TunnelOverhead is the encapsulation header size Bundler adds per packet
+// in tunnel mode (comparable to a minimal L3-in-L3 shim).
+const TunnelOverhead = 8
+
+// MSS is the maximum segment payload.
+const MSS = MTU - HeaderBytes
+
+// FNV-1a constants (64-bit), per the FNV draft the paper cites.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// EpochHash hashes the header subset the paper's prototype uses to
+// identify epoch boundary packets: the IP ID field plus destination IP and
+// port (§4.5). Both the sendbox and the receivebox compute this hash on
+// every packet; a packet is an epoch boundary when the hash is ≡ 0 modulo
+// the current epoch size.
+func EpochHash(p *Packet) uint64 {
+	h := uint64(fnvOffset)
+	step := func(b byte) {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	step(byte(p.IPID))
+	step(byte(p.IPID >> 8))
+	step(byte(p.Dst.Host))
+	step(byte(p.Dst.Host >> 8))
+	step(byte(p.Dst.Host >> 16))
+	step(byte(p.Dst.Host >> 24))
+	step(byte(p.Dst.Port))
+	step(byte(p.Dst.Port >> 8))
+	return h
+}
+
+// FlowHash hashes the 5-tuple; qdiscs use it to map packets to buckets.
+// The perturbation argument lets SFQ re-key periodically, as the Linux
+// implementation does. The hash is byte-wise FNV-1a: word-wise folding
+// would leave the low bits (the ones bucket selection uses) dependent on
+// only the low input bits.
+func FlowHash(p *Packet, perturb uint64) uint64 {
+	h := uint64(fnvOffset) ^ perturb
+	step := func(v uint64, n int) {
+		for i := 0; i < n; i++ {
+			h ^= v & 0xFF
+			h *= fnvPrime
+			v >>= 8
+		}
+	}
+	step(uint64(p.Src.Host), 4)
+	step(uint64(p.Src.Port), 2)
+	step(uint64(p.Dst.Host), 4)
+	step(uint64(p.Dst.Port), 2)
+	step(uint64(p.Proto), 1)
+	// FNV's low bits avalanche poorly (the multiply never carries high
+	// bits downward), and both SFQ buckets and ECMP path choice reduce the
+	// hash modulo small powers of two. Finish with a strong mixer.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -1,0 +1,122 @@
+package pkt
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEpochHashMatchesStdlibFNV(t *testing.T) {
+	p := &Packet{IPID: 0xBEEF, Dst: Addr{Host: 0x0A000001, Port: 443}}
+	h := fnv.New64a()
+	h.Write([]byte{
+		0xEF, 0xBE, // IPID little-endian
+		0x01, 0x00, 0x00, 0x0A, // Dst.Host little-endian
+		0xBB, 0x01, // Dst.Port little-endian
+	})
+	if got, want := EpochHash(p), h.Sum64(); got != want {
+		t.Fatalf("EpochHash = %#x, want stdlib FNV-1a %#x", got, want)
+	}
+}
+
+func TestEpochHashSameAtBothBoxes(t *testing.T) {
+	// The hash must depend only on fields that survive transit unmodified:
+	// copying a packet (as the receivebox effectively observes the same
+	// header) must yield the same hash.
+	p := &Packet{IPID: 7, Src: Addr{1, 2}, Dst: Addr{3, 4}, Seq: 100, Size: 1500}
+	q := *p
+	q.EnqueuedAt = 55 // mutated in the network
+	q.SentAt = 99
+	if EpochHash(p) != EpochHash(&q) {
+		t.Fatal("hash changed across fields that mutate in transit")
+	}
+}
+
+func TestEpochHashDifferentiatesPackets(t *testing.T) {
+	// Same flow, different IPID => different hash (property (iii): it must
+	// distinguish individual packets, not just flows).
+	a := &Packet{IPID: 1, Dst: Addr{9, 80}}
+	b := &Packet{IPID: 2, Dst: Addr{9, 80}}
+	if EpochHash(a) == EpochHash(b) {
+		t.Fatal("hash failed to differentiate packets of one flow")
+	}
+}
+
+func TestEpochHashIgnoresSrcAndSeq(t *testing.T) {
+	// The prototype's subset is {IPID, dst IP, dst port}; TCP sequence is
+	// deliberately excluded (property (iv): retransmissions get a fresh
+	// IPID instead).
+	a := &Packet{IPID: 5, Src: Addr{1, 1}, Dst: Addr{2, 2}, Seq: 0}
+	b := &Packet{IPID: 5, Src: Addr{3, 3}, Dst: Addr{2, 2}, Seq: 1448}
+	if EpochHash(a) != EpochHash(b) {
+		t.Fatal("hash depends on fields outside the header subset")
+	}
+}
+
+func TestFlowHashGroupsByFiveTuple(t *testing.T) {
+	a := &Packet{IPID: 1, Src: Addr{1, 10}, Dst: Addr{2, 20}, Proto: ProtoTCP}
+	b := &Packet{IPID: 99, Src: Addr{1, 10}, Dst: Addr{2, 20}, Proto: ProtoTCP}
+	if FlowHash(a, 0) != FlowHash(b, 0) {
+		t.Fatal("flow hash differs within one flow")
+	}
+	c := &Packet{Src: Addr{1, 11}, Dst: Addr{2, 20}, Proto: ProtoTCP}
+	if FlowHash(a, 0) == FlowHash(c, 0) {
+		t.Fatal("flow hash collides across flows (unlucky but deterministic: pick different test tuples)")
+	}
+}
+
+func TestFlowHashPerturbation(t *testing.T) {
+	p := &Packet{Src: Addr{1, 10}, Dst: Addr{2, 20}}
+	if FlowHash(p, 1) == FlowHash(p, 2) {
+		t.Fatal("perturbation did not change the hash")
+	}
+}
+
+// Property: epoch boundary sampling with a power-of-two epoch size N has
+// the subset property the paper relies on: every boundary under 2N is also
+// a boundary under N (receivebox sampling with a stale, larger epoch size
+// observes a strict subset).
+func TestPropertyPowerOfTwoSubset(t *testing.T) {
+	f := func(ipid uint16, host uint32, port uint16, shift uint8) bool {
+		n := uint64(1) << (shift % 16)
+		p := &Packet{IPID: ipid, Dst: Addr{Host: host, Port: port}}
+		h := EpochHash(p)
+		if h%(2*n) == 0 && h%n != 0 {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the sampling rate under hash % N == 0 is approximately 1/N for
+// uniform-ish header values.
+func TestSamplingRateApproximatesEpochSize(t *testing.T) {
+	const n = 64
+	count := 0
+	total := 200000
+	for i := 0; i < total; i++ {
+		p := &Packet{IPID: uint16(i), Dst: Addr{Host: uint32(i >> 16), Port: 443}}
+		if EpochHash(p)%n == 0 {
+			count++
+		}
+	}
+	got := float64(count) / float64(total)
+	want := 1.0 / n
+	if got < want*0.7 || got > want*1.3 {
+		t.Fatalf("sampling rate %.5f, want ≈ %.5f", got, want)
+	}
+}
+
+func TestMSSArithmetic(t *testing.T) {
+	if MSS != 1460 {
+		t.Fatalf("MSS = %d, want 1460", MSS)
+	}
+	if HeaderBytes+MSS != MTU {
+		t.Fatal("header + MSS != MTU")
+	}
+}

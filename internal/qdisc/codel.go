@@ -1,0 +1,148 @@
+package qdisc
+
+import (
+	"bundler/internal/pkt"
+	"bundler/internal/sim"
+)
+
+// CoDel is the standalone Controlled-Delay AQM (Nichols & Jacobson, [38]
+// in the paper): a single FIFO whose head packets are dropped when their
+// sojourn time persistently exceeds the target. FQCoDel composes this
+// logic per flow; the standalone variant is useful as a bottleneck AQM and
+// as a sendbox policy that bounds delay without per-flow state.
+type CoDel struct {
+	eng      *sim.Engine
+	q        []*pkt.Packet
+	head     int
+	bytes    int
+	limit    int // packets
+	drops    int
+	target   sim.Time
+	interval sim.Time
+	st       codelState
+}
+
+// NewCoDel returns a CoDel queue with RFC 8289 defaults (5 ms target,
+// 100 ms interval) and a droptail packet limit as a backstop.
+func NewCoDel(eng *sim.Engine, limitPackets int) *CoDel {
+	if limitPackets <= 0 {
+		panic("qdisc: CoDel limit must be positive")
+	}
+	return &CoDel{
+		eng:      eng,
+		limit:    limitPackets,
+		target:   5 * sim.Millisecond,
+		interval: 100 * sim.Millisecond,
+	}
+}
+
+// Enqueue implements Qdisc.
+func (c *CoDel) Enqueue(p *pkt.Packet) bool {
+	if c.Len() >= c.limit {
+		c.drops++
+		return false
+	}
+	p.EnqueuedAt = c.eng.Now()
+	c.q = append(c.q, p)
+	c.bytes += p.Size
+	return true
+}
+
+func (c *CoDel) pop() *pkt.Packet {
+	if c.head == len(c.q) {
+		return nil
+	}
+	p := c.q[c.head]
+	c.q[c.head] = nil
+	c.head++
+	c.bytes -= p.Size
+	if c.head == len(c.q) {
+		c.q = c.q[:0]
+		c.head = 0
+	} else if c.head > 64 && c.head*2 >= len(c.q) {
+		c.q = append(c.q[:0], c.q[c.head:]...)
+		c.head = 0
+	}
+	return p
+}
+
+func (c *CoDel) peek() *pkt.Packet {
+	if c.head == len(c.q) {
+		return nil
+	}
+	return c.q[c.head]
+}
+
+// shouldDrop evaluates the head's sojourn time against the CoDel state
+// machine. It returns (candidate, queueNonEmpty).
+func (c *CoDel) shouldDrop(now sim.Time) (bool, bool) {
+	head := c.peek()
+	if head == nil {
+		c.st.firstAboveTime = 0
+		return false, false
+	}
+	sojourn := now - head.EnqueuedAt
+	if sojourn < c.target || c.bytes <= pkt.MTU {
+		c.st.firstAboveTime = 0
+		return false, true
+	}
+	if c.st.firstAboveTime == 0 {
+		c.st.firstAboveTime = now + c.interval
+		return false, true
+	}
+	return now >= c.st.firstAboveTime, true
+}
+
+// Dequeue implements Qdisc, running the CoDel control law.
+func (c *CoDel) Dequeue() *pkt.Packet {
+	now := c.eng.Now()
+	drop, nonEmpty := c.shouldDrop(now)
+	if !nonEmpty {
+		c.st.dropping = false
+		return nil
+	}
+	if c.st.dropping {
+		if !drop {
+			c.st.dropping = false
+			return c.pop()
+		}
+		for now >= c.st.dropNext && c.st.dropping {
+			c.pop()
+			c.drops++
+			c.st.dropCount++
+			drop, nonEmpty = c.shouldDrop(now)
+			if !nonEmpty {
+				c.st.dropping = false
+				return nil
+			}
+			if !drop {
+				c.st.dropping = false
+				return c.pop()
+			}
+			c.st.dropNext = controlLaw(c.st.dropNext, c.interval, c.st.dropCount)
+		}
+		return c.pop()
+	}
+	if drop && (now-c.st.dropNext < c.interval || now-c.st.firstAboveTime >= c.interval) {
+		c.pop()
+		c.drops++
+		c.st.dropping = true
+		if now-c.st.dropNext < c.interval {
+			c.st.dropCount = max(c.st.dropCount-c.st.lastDropCount, 1)
+		} else {
+			c.st.dropCount = 1
+		}
+		c.st.dropNext = controlLaw(now, c.interval, c.st.dropCount)
+		c.st.lastDropCount = c.st.dropCount
+	}
+	return c.pop()
+}
+
+// Len implements Qdisc.
+func (c *CoDel) Len() int { return len(c.q) - c.head }
+
+// Bytes implements Qdisc.
+func (c *CoDel) Bytes() int { return c.bytes }
+
+// Drops implements Qdisc.
+func (c *CoDel) Drops() int { return c.drops }

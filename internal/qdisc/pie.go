@@ -1,0 +1,137 @@
+package qdisc
+
+import (
+	"math/rand"
+
+	"bundler/internal/pkt"
+	"bundler/internal/sim"
+)
+
+// PIE implements the Proportional-Integral-controller-Enhanced AQM (Pan et
+// al., [39] in the paper): a drop probability updated periodically from
+// the estimated queueing delay and its trend, targeting a configured
+// latency without per-packet timestamps.
+type PIE struct {
+	eng *sim.Engine
+	rng *rand.Rand
+
+	q     []*pkt.Packet
+	head  int
+	bytes int
+	limit int
+	drops int
+
+	target     sim.Time
+	alpha      float64 // per (delay error in s)
+	beta       float64 // per (delay delta in s)
+	dropProb   float64
+	lastQDelay sim.Time
+	drainRate  float64 // bytes/s EWMA, estimated from dequeues
+	lastDeq    sim.Time
+	deqBytes   int
+	ticker     *sim.Ticker
+}
+
+// NewPIE builds a PIE queue with the RFC 8033 defaults: 15 ms target,
+// 15 ms update interval, α = 0.125, β = 1.25.
+func NewPIE(eng *sim.Engine, rng *rand.Rand, limitPackets int) *PIE {
+	if limitPackets <= 0 {
+		panic("qdisc: PIE limit must be positive")
+	}
+	p := &PIE{
+		eng: eng, rng: rng, limit: limitPackets,
+		target: 15 * sim.Millisecond, alpha: 0.125, beta: 1.25,
+	}
+	p.ticker = sim.Tick(eng, 15*sim.Millisecond, p.update)
+	return p
+}
+
+// Stop cancels the periodic probability update.
+func (p *PIE) Stop() { p.ticker.Stop() }
+
+// qdelay estimates current queueing delay via Little's law from the
+// departure-rate estimate.
+func (p *PIE) qdelay() sim.Time {
+	if p.drainRate <= 0 {
+		if p.Len() == 0 {
+			return 0
+		}
+		return p.target // no estimate yet: assume at target
+	}
+	return sim.FromSeconds(float64(p.bytes) / p.drainRate)
+}
+
+func (p *PIE) update() {
+	qd := p.qdelay()
+	p.dropProb += p.alpha*(qd-p.target).Seconds() + p.beta*(qd-p.lastQDelay).Seconds()
+	if p.dropProb < 0 {
+		p.dropProb = 0
+	}
+	if p.dropProb > 1 {
+		p.dropProb = 1
+	}
+	// Decay when idle.
+	if qd == 0 && p.lastQDelay == 0 {
+		p.dropProb *= 0.98
+	}
+	p.lastQDelay = qd
+}
+
+// Enqueue implements Qdisc with PIE's probabilistic early drop.
+func (p *PIE) Enqueue(pk *pkt.Packet) bool {
+	if p.Len() >= p.limit {
+		p.drops++
+		return false
+	}
+	// Don't early-drop when nearly empty (burst allowance).
+	if p.bytes > 2*pkt.MTU && p.rng.Float64() < p.dropProb {
+		p.drops++
+		return false
+	}
+	p.q = append(p.q, pk)
+	p.bytes += pk.Size
+	return true
+}
+
+// Dequeue implements Qdisc and feeds the departure-rate estimator.
+func (p *PIE) Dequeue() *pkt.Packet {
+	if p.head == len(p.q) {
+		return nil
+	}
+	out := p.q[p.head]
+	p.q[p.head] = nil
+	p.head++
+	p.bytes -= out.Size
+	if p.head == len(p.q) {
+		p.q = p.q[:0]
+		p.head = 0
+	} else if p.head > 64 && p.head*2 >= len(p.q) {
+		p.q = append(p.q[:0], p.q[p.head:]...)
+		p.head = 0
+	}
+	// Departure-rate EWMA over 100 ms measurement windows.
+	p.deqBytes += out.Size
+	now := p.eng.Now()
+	if p.lastDeq == 0 {
+		p.lastDeq = now
+	} else if dt := now - p.lastDeq; dt >= 100*sim.Millisecond {
+		rate := float64(p.deqBytes) / dt.Seconds()
+		if p.drainRate == 0 {
+			p.drainRate = rate
+		} else {
+			p.drainRate = 0.9*p.drainRate + 0.1*rate
+		}
+		p.deqBytes = 0
+		p.lastDeq = now
+	}
+	return out
+}
+
+// Len implements Qdisc.
+func (p *PIE) Len() int { return len(p.q) - p.head }
+
+// Bytes implements Qdisc.
+func (p *PIE) Bytes() int { return p.bytes }
+
+// Drops implements Qdisc.
+func (p *PIE) Drops() int { return p.drops }

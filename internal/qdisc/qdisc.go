@@ -1,0 +1,83 @@
+// Package qdisc implements the packet schedulers Bundler enforces at the
+// sendbox and that the emulated bottleneck uses: droptail FIFO, Stochastic
+// Fairness Queueing (SFQ), FQ-CoDel, and strict priority.
+//
+// The interface mirrors the Linux qdisc contract the paper's prototype
+// patches into tc: enqueue (possibly dropping), dequeue, and occupancy
+// introspection. Queues that make time-based decisions (CoDel) receive the
+// simulation engine at construction.
+package qdisc
+
+import "bundler/internal/pkt"
+
+// Qdisc is a packet queue with a scheduling discipline.
+type Qdisc interface {
+	// Enqueue accepts p or drops it, reporting whether it was accepted.
+	Enqueue(p *pkt.Packet) bool
+	// Dequeue removes and returns the next packet to send, or nil when the
+	// queue is empty.
+	Dequeue() *pkt.Packet
+	// Len reports queued packets.
+	Len() int
+	// Bytes reports queued bytes.
+	Bytes() int
+	// Drops reports the cumulative count of dropped packets.
+	Drops() int
+}
+
+// FIFO is a droptail queue bounded in bytes.
+type FIFO struct {
+	limit int // bytes
+	q     []*pkt.Packet
+	head  int
+	bytes int
+	drops int
+}
+
+// NewFIFO returns a droptail FIFO that holds at most limitBytes.
+func NewFIFO(limitBytes int) *FIFO {
+	if limitBytes <= 0 {
+		panic("qdisc: FIFO limit must be positive")
+	}
+	return &FIFO{limit: limitBytes}
+}
+
+// Enqueue implements Qdisc.
+func (f *FIFO) Enqueue(p *pkt.Packet) bool {
+	if f.bytes+p.Size > f.limit {
+		f.drops++
+		return false
+	}
+	f.q = append(f.q, p)
+	f.bytes += p.Size
+	return true
+}
+
+// Dequeue implements Qdisc.
+func (f *FIFO) Dequeue() *pkt.Packet {
+	if f.head == len(f.q) {
+		return nil
+	}
+	p := f.q[f.head]
+	f.q[f.head] = nil
+	f.head++
+	f.bytes -= p.Size
+	// Compact once the dead prefix dominates, to bound memory.
+	if f.head > 64 && f.head*2 >= len(f.q) {
+		f.q = append(f.q[:0], f.q[f.head:]...)
+		f.head = 0
+	}
+	return p
+}
+
+// Len implements Qdisc.
+func (f *FIFO) Len() int { return len(f.q) - f.head }
+
+// Bytes implements Qdisc.
+func (f *FIFO) Bytes() int { return f.bytes }
+
+// Drops implements Qdisc.
+func (f *FIFO) Drops() int { return f.drops }
+
+// Limit reports the byte limit.
+func (f *FIFO) Limit() int { return f.limit }

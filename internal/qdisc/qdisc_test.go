@@ -1,0 +1,304 @@
+package qdisc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bundler/internal/pkt"
+	"bundler/internal/sim"
+)
+
+func mkpkt(flow int, size int) *pkt.Packet {
+	return &pkt.Packet{
+		Src:   pkt.Addr{Host: 1, Port: uint16(1000 + flow)},
+		Dst:   pkt.Addr{Host: 2, Port: 80},
+		Proto: pkt.ProtoTCP,
+		Size:  size,
+	}
+}
+
+func TestFIFOOrderAndAccounting(t *testing.T) {
+	f := NewFIFO(10000)
+	for i := 0; i < 5; i++ {
+		p := mkpkt(i, 1000)
+		p.IPID = uint16(i)
+		if !f.Enqueue(p) {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+	}
+	if f.Len() != 5 || f.Bytes() != 5000 {
+		t.Fatalf("len=%d bytes=%d, want 5/5000", f.Len(), f.Bytes())
+	}
+	for i := 0; i < 5; i++ {
+		p := f.Dequeue()
+		if p == nil || p.IPID != uint16(i) {
+			t.Fatalf("dequeue %d: got %+v", i, p)
+		}
+	}
+	if f.Dequeue() != nil {
+		t.Fatal("dequeue from empty FIFO returned packet")
+	}
+	if f.Len() != 0 || f.Bytes() != 0 {
+		t.Fatal("non-zero occupancy after drain")
+	}
+}
+
+func TestFIFODropTail(t *testing.T) {
+	f := NewFIFO(2500)
+	if !f.Enqueue(mkpkt(0, 1500)) || !f.Enqueue(mkpkt(0, 1000)) {
+		t.Fatal("in-limit enqueues rejected")
+	}
+	if f.Enqueue(mkpkt(0, 1)) {
+		t.Fatal("over-limit enqueue accepted")
+	}
+	if f.Drops() != 1 {
+		t.Fatalf("drops = %d, want 1", f.Drops())
+	}
+}
+
+func TestFIFOCompaction(t *testing.T) {
+	f := NewFIFO(1 << 20)
+	// Interleave enough enqueue/dequeue to trigger compaction.
+	for i := 0; i < 1000; i++ {
+		f.Enqueue(mkpkt(0, 100))
+		f.Enqueue(mkpkt(0, 100))
+		if f.Dequeue() == nil {
+			t.Fatal("unexpected empty")
+		}
+	}
+	if f.Len() != 1000 {
+		t.Fatalf("len = %d, want 1000", f.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		if f.Dequeue() == nil {
+			t.Fatalf("drain stalled at %d", i)
+		}
+	}
+}
+
+func TestSFQFairnessTwoFlows(t *testing.T) {
+	s := NewSFQ(1024, 10000)
+	// Flow A has 100 packets queued, flow B has 10; with round robin both
+	// should be served in alternation, so the first 20 dequeues contain
+	// ~10 of each.
+	for i := 0; i < 100; i++ {
+		s.Enqueue(mkpkt(1, pkt.MTU))
+	}
+	for i := 0; i < 10; i++ {
+		s.Enqueue(mkpkt(2, pkt.MTU))
+	}
+	counts := map[uint16]int{}
+	for i := 0; i < 20; i++ {
+		p := s.Dequeue()
+		if p == nil {
+			t.Fatal("unexpected empty")
+		}
+		counts[p.Src.Port]++
+	}
+	if counts[1002] < 9 {
+		t.Fatalf("flow B got %d of first 20 slots, want ≈10 (counts=%v)", counts[1002], counts)
+	}
+}
+
+func TestSFQDropsFromFattestFlow(t *testing.T) {
+	s := NewSFQ(1024, 10)
+	for i := 0; i < 9; i++ {
+		s.Enqueue(mkpkt(1, pkt.MTU)) // fat flow
+	}
+	s.Enqueue(mkpkt(2, pkt.MTU)) // thin flow; queue now full
+	if !s.Enqueue(mkpkt(2, pkt.MTU)) {
+		t.Fatal("thin flow's packet rejected; should displace fat flow")
+	}
+	if s.Drops() != 1 {
+		t.Fatalf("drops = %d, want 1", s.Drops())
+	}
+	// Count survivors per flow.
+	counts := map[uint16]int{}
+	for p := s.Dequeue(); p != nil; p = s.Dequeue() {
+		counts[p.Src.Port]++
+	}
+	if counts[1001] != 8 || counts[1002] != 2 {
+		t.Fatalf("survivors = %v, want fat=8 thin=2", counts)
+	}
+}
+
+func TestSFQManyFlowsEqualShare(t *testing.T) {
+	s := NewSFQ(1024, 100000)
+	const flows, per = 20, 50
+	for f := 0; f < flows; f++ {
+		for i := 0; i < per; i++ {
+			s.Enqueue(mkpkt(f, pkt.MTU))
+		}
+	}
+	// After flows*k dequeues, each flow should have lost ≈k packets.
+	counts := map[uint16]int{}
+	for i := 0; i < flows*10; i++ {
+		p := s.Dequeue()
+		counts[p.Src.Port]++
+	}
+	for port, c := range counts {
+		if c < 8 || c > 12 {
+			t.Fatalf("flow %d served %d of %d rounds, want ≈10", port, c, 10)
+		}
+	}
+}
+
+func TestSFQDrainsCompletely(t *testing.T) {
+	s := NewSFQ(16, 1000)
+	total := 0
+	for f := 0; f < 40; f++ { // more flows than buckets: collisions happen
+		for i := 0; i < 5; i++ {
+			if s.Enqueue(mkpkt(f, 500)) {
+				total++
+			}
+		}
+	}
+	got := 0
+	for p := s.Dequeue(); p != nil; p = s.Dequeue() {
+		got++
+	}
+	if got != total {
+		t.Fatalf("drained %d, enqueued %d", got, total)
+	}
+	if s.Len() != 0 || s.Bytes() != 0 {
+		t.Fatal("non-zero occupancy after drain")
+	}
+}
+
+func TestPrioStrictOrdering(t *testing.T) {
+	classify := func(p *pkt.Packet) int {
+		if p.Dst.Port == 443 {
+			return 0
+		}
+		return 1
+	}
+	pr := NewPrio(2, 1<<20, classify)
+	low := mkpkt(1, 1000)
+	pr.Enqueue(low)
+	hi := mkpkt(2, 1000)
+	hi.Dst.Port = 443
+	pr.Enqueue(hi)
+	if p := pr.Dequeue(); p != hi {
+		t.Fatal("high-priority packet not served first")
+	}
+	if p := pr.Dequeue(); p != low {
+		t.Fatal("low-priority packet lost")
+	}
+}
+
+func TestPrioClampsOutOfRangeBand(t *testing.T) {
+	pr := NewPrio(2, 1<<20, func(*pkt.Packet) int { return 99 })
+	if !pr.Enqueue(mkpkt(0, 100)) {
+		t.Fatal("clamped enqueue rejected")
+	}
+	if pr.Dequeue() == nil {
+		t.Fatal("packet vanished")
+	}
+}
+
+func TestFQCoDelBasicFairness(t *testing.T) {
+	eng := sim.NewEngine(1)
+	q := NewFQCoDel(eng, 1024, 10000)
+	for i := 0; i < 50; i++ {
+		q.Enqueue(mkpkt(1, pkt.MTU))
+	}
+	for i := 0; i < 5; i++ {
+		q.Enqueue(mkpkt(2, pkt.MTU))
+	}
+	counts := map[uint16]int{}
+	for i := 0; i < 10; i++ {
+		p := q.Dequeue()
+		if p == nil {
+			t.Fatal("unexpected empty")
+		}
+		counts[p.Src.Port]++
+	}
+	if counts[1002] < 4 {
+		t.Fatalf("flow B got %d of first 10 slots, want ≈5 (%v)", counts[1002], counts)
+	}
+}
+
+func TestFQCoDelDropsPersistentlyLatePackets(t *testing.T) {
+	eng := sim.NewEngine(1)
+	q := NewFQCoDel(eng, 64, 100000)
+	// Fill one flow, then advance time far beyond target+interval so the
+	// sojourn times violate CoDel, and drain slowly.
+	for i := 0; i < 200; i++ {
+		q.Enqueue(mkpkt(1, pkt.MTU))
+	}
+	drained := 0
+	for step := 0; step < 200; step++ {
+		eng.RunUntil(eng.Now() + 20*sim.Millisecond)
+		if p := q.Dequeue(); p != nil {
+			drained++
+		}
+	}
+	if q.Drops() == 0 {
+		t.Fatal("CoDel never dropped despite persistent >5ms sojourn times")
+	}
+	if drained == 0 {
+		t.Fatal("CoDel starved the flow entirely")
+	}
+}
+
+func TestFQCoDelNoDropsWhenFast(t *testing.T) {
+	eng := sim.NewEngine(1)
+	q := NewFQCoDel(eng, 64, 100000)
+	// Immediate drain: sojourn ≈ 0, CoDel must not drop.
+	for i := 0; i < 1000; i++ {
+		q.Enqueue(mkpkt(i%4, pkt.MTU))
+		if q.Dequeue() == nil {
+			t.Fatal("unexpected empty")
+		}
+	}
+	if q.Drops() != 0 {
+		t.Fatalf("drops = %d, want 0 for an unloaded queue", q.Drops())
+	}
+}
+
+// Property: for every qdisc, conservation holds: enqueued-accepted =
+// dequeued + still-queued + AQM drops (CoDel drops after acceptance).
+func TestPropertyConservation(t *testing.T) {
+	builders := map[string]func() Qdisc{
+		"fifo": func() Qdisc { return NewFIFO(50 * pkt.MTU) },
+		"sfq":  func() Qdisc { return NewSFQ(64, 50) },
+		"prio": func() Qdisc {
+			return NewPrio(3, 50*pkt.MTU, func(p *pkt.Packet) int { return int(p.Src.Port) % 3 })
+		},
+		"fqcodel": func() Qdisc { return NewFQCoDel(sim.NewEngine(1), 64, 50) },
+	}
+	for name, build := range builders {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			f := func(ops []uint8) bool {
+				q := build()
+				accepted, dequeued := 0, 0
+				for i, op := range ops {
+					if op%3 != 0 { // 2/3 enqueue
+						if q.Enqueue(mkpkt(i%7, 100+int(op))) {
+							accepted++
+						}
+					} else {
+						if q.Dequeue() != nil {
+							dequeued++
+						}
+					}
+				}
+				drainedAfterAccept := q.Drops()
+				// FIFO/Prio/SFQ count pre-acceptance drops too; recompute:
+				// conservation must hold as accepted = dequeued + len + aqmDrops
+				// where aqmDrops ≤ Drops().
+				rest := 0
+				for q.Dequeue() != nil {
+					rest++
+				}
+				return accepted >= dequeued+rest && accepted <= dequeued+rest+drainedAfterAccept
+			}
+			cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(5))}
+			if err := quick.Check(f, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,107 @@
+package qdisc
+
+import (
+	"math/rand"
+
+	"bundler/internal/pkt"
+)
+
+// RED implements Random Early Detection (Floyd & Jacobson, [18] in the
+// paper): arriving packets are dropped with a probability that grows
+// linearly as the EWMA of the queue size moves between two thresholds,
+// signalling endhost loops before the buffer overflows.
+type RED struct {
+	rng *rand.Rand
+
+	q     []*pkt.Packet
+	head  int
+	bytes int
+	limit int // bytes, hard cap
+	drops int
+
+	// Parameters, in bytes (classic RED operates on average queue size).
+	minTh, maxTh int
+	maxP         float64
+	weight       float64
+
+	avg   float64
+	count int // packets since last drop, for the uniform-drop correction
+}
+
+// NewRED builds a RED queue over a hard byte limit, with the classic
+// thresholds min=limit/4, max=3·limit/4, maxP=0.1 and EWMA weight 0.002.
+// The rng must be the simulation's deterministic source.
+func NewRED(rng *rand.Rand, limitBytes int) *RED {
+	if limitBytes <= 0 {
+		panic("qdisc: RED limit must be positive")
+	}
+	return &RED{
+		rng:    rng,
+		limit:  limitBytes,
+		minTh:  limitBytes / 4,
+		maxTh:  limitBytes * 3 / 4,
+		maxP:   0.1,
+		weight: 0.002,
+		count:  -1,
+	}
+}
+
+// Enqueue implements Qdisc with the RED early-drop decision.
+func (r *RED) Enqueue(p *pkt.Packet) bool {
+	r.avg = (1-r.weight)*r.avg + r.weight*float64(r.bytes)
+	switch {
+	case r.bytes+p.Size > r.limit:
+		r.drops++
+		r.count = 0
+		return false
+	case r.avg >= float64(r.maxTh):
+		r.drops++
+		r.count = 0
+		return false
+	case r.avg > float64(r.minTh):
+		r.count++
+		pb := r.maxP * (r.avg - float64(r.minTh)) / float64(r.maxTh-r.minTh)
+		pa := pb / (1 - float64(r.count)*pb)
+		if pa < 0 || pa > 1 {
+			pa = 1
+		}
+		if r.rng.Float64() < pa {
+			r.drops++
+			r.count = 0
+			return false
+		}
+	default:
+		r.count = -1
+	}
+	r.q = append(r.q, p)
+	r.bytes += p.Size
+	return true
+}
+
+// Dequeue implements Qdisc.
+func (r *RED) Dequeue() *pkt.Packet {
+	if r.head == len(r.q) {
+		return nil
+	}
+	p := r.q[r.head]
+	r.q[r.head] = nil
+	r.head++
+	r.bytes -= p.Size
+	if r.head == len(r.q) {
+		r.q = r.q[:0]
+		r.head = 0
+	} else if r.head > 64 && r.head*2 >= len(r.q) {
+		r.q = append(r.q[:0], r.q[r.head:]...)
+		r.head = 0
+	}
+	return p
+}
+
+// Len implements Qdisc.
+func (r *RED) Len() int { return len(r.q) - r.head }
+
+// Bytes implements Qdisc.
+func (r *RED) Bytes() int { return r.bytes }
+
+// Drops implements Qdisc.
+func (r *RED) Drops() int { return r.drops }

@@ -1,0 +1,151 @@
+package qdisc
+
+import "bundler/internal/pkt"
+
+// SFQ implements Stochastic Fairness Queueing (McKenney, INFOCOM 1990),
+// the sendbox's default scheduling policy in the paper's evaluation. Flows
+// are hashed into a fixed number of buckets; active buckets are served
+// round-robin, one quantum of bytes per turn (deficit round robin, as the
+// Linux implementation effectively provides with its allotments).
+type SFQ struct {
+	buckets []sfqBucket
+	active  []int // round-robin list of non-empty bucket indices
+	cursor  int
+	quantum int
+	perturb uint64
+	limit   int // total packet cap
+	count   int
+	bytes   int
+	drops   int
+}
+
+type sfqBucket struct {
+	q       []*pkt.Packet
+	head    int
+	bytes   int
+	deficit int
+	active  bool
+}
+
+// NewSFQ returns an SFQ with the given bucket count (power of two
+// recommended), total packet limit, and per-turn quantum of one MTU.
+func NewSFQ(nbuckets, limitPackets int) *SFQ {
+	if nbuckets <= 0 || limitPackets <= 0 {
+		panic("qdisc: SFQ sizes must be positive")
+	}
+	return &SFQ{
+		buckets: make([]sfqBucket, nbuckets),
+		quantum: pkt.MTU,
+		limit:   limitPackets,
+	}
+}
+
+// SetPerturbation re-keys the flow hash, as Linux SFQ does periodically to
+// break unlucky collisions.
+func (s *SFQ) SetPerturbation(p uint64) { s.perturb = p }
+
+func (s *SFQ) bucketOf(p *pkt.Packet) int {
+	return int(pkt.FlowHash(p, s.perturb) % uint64(len(s.buckets)))
+}
+
+// Enqueue implements Qdisc. When the total limit is exceeded it drops a
+// packet from the longest bucket (SFQ's drop-from-fattest policy); the
+// arriving packet is only rejected if it belongs to that same bucket.
+func (s *SFQ) Enqueue(p *pkt.Packet) bool {
+	bi := s.bucketOf(p)
+	if s.count >= s.limit {
+		fattest := s.fattestBucket()
+		s.drops++
+		if fattest == bi || fattest < 0 {
+			return false
+		}
+		s.dropHead(fattest)
+	}
+	b := &s.buckets[bi]
+	b.q = append(b.q, p)
+	b.bytes += p.Size
+	s.count++
+	s.bytes += p.Size
+	if !b.active {
+		b.active = true
+		b.deficit = s.quantum
+		s.active = append(s.active, bi)
+	}
+	return true
+}
+
+func (s *SFQ) fattestBucket() int {
+	best, bestLen := -1, 0
+	for _, bi := range s.active {
+		if l := s.buckets[bi].len(); l > bestLen {
+			best, bestLen = bi, l
+		}
+	}
+	return best
+}
+
+func (b *sfqBucket) len() int { return len(b.q) - b.head }
+
+func (b *sfqBucket) pop() *pkt.Packet {
+	p := b.q[b.head]
+	b.q[b.head] = nil
+	b.head++
+	b.bytes -= p.Size
+	if b.head == len(b.q) {
+		b.q = b.q[:0]
+		b.head = 0
+	} else if b.head > 64 && b.head*2 >= len(b.q) {
+		b.q = append(b.q[:0], b.q[b.head:]...)
+		b.head = 0
+	}
+	return p
+}
+
+func (s *SFQ) dropHead(bi int) {
+	b := &s.buckets[bi]
+	p := b.pop()
+	s.count--
+	s.bytes -= p.Size
+	// The bucket stays in the active list; Dequeue removes it when empty.
+}
+
+// Dequeue implements Qdisc using deficit round robin over active buckets.
+func (s *SFQ) Dequeue() *pkt.Packet {
+	for len(s.active) > 0 {
+		if s.cursor >= len(s.active) {
+			s.cursor = 0
+		}
+		bi := s.active[s.cursor]
+		b := &s.buckets[bi]
+		if b.len() == 0 {
+			b.active = false
+			s.active = append(s.active[:s.cursor], s.active[s.cursor+1:]...)
+			continue
+		}
+		head := b.q[b.head]
+		if head.Size > b.deficit {
+			b.deficit += s.quantum
+			s.cursor++
+			continue
+		}
+		p := b.pop()
+		b.deficit -= p.Size
+		s.count--
+		s.bytes -= p.Size
+		if b.len() == 0 {
+			b.active = false
+			s.active = append(s.active[:s.cursor], s.active[s.cursor+1:]...)
+		}
+		return p
+	}
+	return nil
+}
+
+// Len implements Qdisc.
+func (s *SFQ) Len() int { return s.count }
+
+// Bytes implements Qdisc.
+func (s *SFQ) Bytes() int { return s.bytes }
+
+// Drops implements Qdisc.
+func (s *SFQ) Drops() int { return s.drops }

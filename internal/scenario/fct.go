@@ -1,0 +1,375 @@
+package scenario
+
+import (
+	"fmt"
+
+	"bundler/internal/bundle"
+	"bundler/internal/pkt"
+	"bundler/internal/qdisc"
+	"bundler/internal/sim"
+	"bundler/internal/tcp"
+	"bundler/internal/workload"
+)
+
+// FCTOptions parameterizes one flow-completion-time run (the §7.1 setup).
+type FCTOptions struct {
+	Seed       int64
+	LinkRate   float64  // default 96 Mbit/s
+	RTT        sim.Time // default 50 ms
+	Requests   int      // default 5000
+	OfferedBps float64  // default 84 Mbit/s
+	// Mode is "statusquo", "bundler", or "innetwork" (fair queueing at the
+	// emulated bottleneck, the undeployable upper bound).
+	Mode string
+	// InnerAlg names the sendbox algorithm ("copa" default).
+	InnerAlg string
+	// Scheduler names the sendbox qdisc (see SchedulerByName).
+	Scheduler string
+	// EndhostCC names the endhost algorithm ("cubic" default).
+	EndhostCC string
+	// FixedCwnd pins endhost windows (the §7.5 proxy emulation).
+	FixedCwnd int
+	// SendboxQueuePackets overrides the sendbox scheduler depth.
+	SendboxQueuePackets int
+	// TunnelMode switches epoch identification to the §4.5 encapsulation
+	// variant.
+	TunnelMode bool
+	// Horizon bounds the run.
+	Horizon sim.Time
+}
+
+func (o *FCTOptions) fill() {
+	if o.LinkRate == 0 {
+		o.LinkRate = 96e6
+	}
+	if o.RTT == 0 {
+		o.RTT = 50 * sim.Millisecond
+	}
+	if o.Requests == 0 {
+		o.Requests = 5000
+	}
+	if o.OfferedBps == 0 {
+		o.OfferedBps = 84e6
+	}
+	if o.Mode == "" {
+		o.Mode = "bundler"
+	}
+	if o.Horizon == 0 {
+		o.Horizon = 10 * sim.Time(o.Requests) * sim.Millisecond // ≈ load-scaled
+		if o.Horizon < 120*sim.Second {
+			o.Horizon = 120 * sim.Second
+		}
+	}
+}
+
+// RunFCT executes one FCT scenario and returns the workload recorder.
+func RunFCT(o FCTOptions) *workload.Recorder {
+	o.fill()
+	cfg := NetConfig{Seed: o.Seed, LinkRate: o.LinkRate, RTT: o.RTT}
+	switch o.Mode {
+	case "statusquo", "bundler":
+	case "innetwork":
+		// Fair queueing at the bottleneck itself: the paper's emulated
+		// upper bound (a 171-line mahimahi patch in the original).
+		cfg.fill()
+		cfg.Bottleneck = qdisc.NewSFQ(1024, cfg.BufBytes/pkt.MTU)
+	default:
+		panic("scenario: unknown mode " + o.Mode)
+	}
+	n := NewNet(cfg)
+
+	var site *Site
+	if o.Mode == "bundler" {
+		bcfg := &bundle.Config{Algorithm: o.InnerAlg, TunnelMode: o.TunnelMode}
+		depth := o.SendboxQueuePackets
+		if depth == 0 {
+			depth = 1000
+		}
+		bcfg.Scheduler = SchedulerByName(n.Eng, o.Scheduler, depth)
+		site = n.AddSite(bcfg)
+	} else {
+		site = n.AddSite(nil)
+	}
+
+	rec := site.RunOpenLoop(Traffic{
+		OfferedBps:    o.OfferedBps,
+		Requests:      o.Requests,
+		CC:            o.EndhostCC,
+		FixedCwndSegs: o.FixedCwnd,
+	})
+	n.RunUntilDone(o.Horizon, func() bool { return rec.Completed >= o.Requests })
+	if site.SB != nil {
+		site.SB.Stop()
+	}
+	return rec
+}
+
+// Fig9Result is one row of the Figure 9 comparison.
+type Fig9Result struct {
+	Label   string
+	Rec     *workload.Recorder
+	Median  float64
+	P99     float64
+	ByClass [3]float64 // median slowdown per size class
+}
+
+// RunFig9 reproduces Figure 9: status quo vs Bundler+SFQ vs In-Network FQ
+// vs Bundler+FIFO on the §7.1 web workload.
+func RunFig9(seed int64, requests int) []Fig9Result {
+	configs := []struct{ label, mode, sched string }{
+		{"Status Quo", "statusquo", ""},
+		{"Bundler (SFQ)", "bundler", "sfq"},
+		{"In-Network FQ", "innetwork", ""},
+		{"Bundler (FIFO)", "bundler", "fifo"},
+	}
+	var out []Fig9Result
+	for _, c := range configs {
+		rec := RunFCT(FCTOptions{Seed: seed, Requests: requests, Mode: c.mode, Scheduler: c.sched})
+		out = append(out, summarizeFig9(c.label, rec))
+	}
+	return out
+}
+
+func summarizeFig9(label string, rec *workload.Recorder) Fig9Result {
+	r := Fig9Result{Label: label, Rec: rec, Median: rec.Slowdowns.Median(), P99: rec.Slowdowns.Quantile(0.99)}
+	for i := range rec.ByClass {
+		r.ByClass[i] = rec.ByClass[i].Median()
+	}
+	return r
+}
+
+// RunFig14 reproduces Figure 14: the inner-loop algorithm comparison
+// (Copa vs BasicDelay vs BBR) plus the status-quo baseline.
+func RunFig14(seed int64, requests int) []Fig9Result {
+	var out []Fig9Result
+	out = append(out, summarizeFig9("Status Quo",
+		RunFCT(FCTOptions{Seed: seed, Requests: requests, Mode: "statusquo"})))
+	for _, alg := range []string{"copa", "basicdelay", "bbr"} {
+		rec := RunFCT(FCTOptions{Seed: seed, Requests: requests, Mode: "bundler", InnerAlg: alg})
+		out = append(out, summarizeFig9("Bundler ("+alg+")", rec))
+	}
+	return out
+}
+
+// RunSec74 reproduces the §7.4 endhost-CC result: Bundler's benefit
+// persists when endhosts run Reno or BBR instead of Cubic.
+func RunSec74(seed int64, requests int) map[string][2]Fig9Result {
+	out := make(map[string][2]Fig9Result)
+	for _, cc := range []string{"cubic", "reno", "bbr"} {
+		sq := RunFCT(FCTOptions{Seed: seed, Requests: requests, Mode: "statusquo", EndhostCC: cc})
+		bd := RunFCT(FCTOptions{Seed: seed, Requests: requests, Mode: "bundler", EndhostCC: cc})
+		out[cc] = [2]Fig9Result{summarizeFig9("Status Quo", sq), summarizeFig9("Bundler", bd)}
+	}
+	return out
+}
+
+// RunFig15 reproduces Figure 15: the idealized TCP proxy (fixed 450-packet
+// endhost windows, deeper sendbox buffer) against normal Bundler.
+func RunFig15(seed int64, requests int) []Fig9Result {
+	normal := RunFCT(FCTOptions{Seed: seed, Requests: requests, Mode: "bundler"})
+	proxy := RunFCT(FCTOptions{
+		Seed: seed, Requests: requests, Mode: "bundler",
+		FixedCwnd: 450, SendboxQueuePackets: 8192,
+	})
+	return []Fig9Result{
+		summarizeFig9("Bundler", normal),
+		summarizeFig9("Bundler + Proxy", proxy),
+	}
+}
+
+// Fig13Result reports one bundle's outcome in the competing-bundles
+// experiment.
+type Fig13Result struct {
+	Label   string
+	Medians []float64 // median slowdown per bundle
+}
+
+// RunFig13 reproduces Figure 13: two bundles sharing the bottleneck at 1:1
+// and 2:1 offered-load splits, against the status-quo baseline at the same
+// aggregate 84 Mbit/s.
+func RunFig13(seed int64, requests int) []Fig13Result {
+	splits := []struct {
+		label  string
+		shares []float64
+	}{
+		{"Status Quo (aggregate)", nil},
+		{"1:1", []float64{0.5, 0.5}},
+		{"2:1", []float64{2.0 / 3, 1.0 / 3}},
+	}
+	var out []Fig13Result
+	for _, sp := range splits {
+		if sp.shares == nil {
+			rec := RunFCT(FCTOptions{Seed: seed, Requests: requests, Mode: "statusquo"})
+			out = append(out, Fig13Result{Label: sp.label, Medians: []float64{rec.Slowdowns.Median()}})
+			continue
+		}
+		n := NewNet(NetConfig{Seed: seed})
+		var recs []*workload.Recorder
+		for _, share := range sp.shares {
+			site := n.AddSite(DefaultBundleConfig())
+			recs = append(recs, site.RunOpenLoop(Traffic{
+				OfferedBps: 84e6 * share,
+				Requests:   int(float64(requests) * share),
+			}))
+		}
+		n.RunUntilDone(600*sim.Second, func() bool {
+			for i, r := range recs {
+				if r.Completed < int(float64(requests)*sp.shares[i]) {
+					return false
+				}
+			}
+			return true
+		})
+		res := Fig13Result{Label: sp.label}
+		for _, r := range recs {
+			res.Medians = append(res.Medians, r.Slowdowns.Median())
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// Fig11Point is one x-position of the short-flow cross-traffic sweep.
+type Fig11Point struct {
+	CrossBps float64
+	Median   map[string]float64 // config label -> median slowdown of bundle flows
+}
+
+// RunFig11 reproduces Figure 11: the bundle offers a fixed 48 Mbit/s while
+// un-bundled short-flow cross traffic sweeps from 6 to 42 Mbit/s.
+func RunFig11(seed int64, requestsPerPoint int) []Fig11Point {
+	var out []Fig11Point
+	for cross := 6e6; cross <= 42e6; cross += 12e6 {
+		point := Fig11Point{CrossBps: cross, Median: map[string]float64{}}
+		for _, mode := range []struct{ label, m, alg string }{
+			{"statusquo", "statusquo", ""},
+			{"bundler-copa", "bundler", "copa"},
+			{"bundler-nimbus", "bundler", "basicdelay"},
+		} {
+			n := NewNet(NetConfig{Seed: seed})
+			var site *Site
+			if mode.m == "bundler" {
+				site = n.AddSite(&bundle.Config{Algorithm: mode.alg})
+			} else {
+				site = n.AddSite(nil)
+			}
+			crossSite := n.AddSite(nil)
+			rec := site.RunOpenLoop(Traffic{OfferedBps: 48e6, Requests: requestsPerPoint,
+				Warmup: 5 * sim.Second})
+			// Scale the cross generator's request count to its offered
+			// load so both workloads span the same virtual time (the
+			// point measures competition, not a tail of unopposed cross
+			// traffic).
+			crossReqs := int(float64(requestsPerPoint) * cross / 48e6)
+			if crossReqs < 100 {
+				crossReqs = 100
+			}
+			crossRec := crossSite.RunOpenLoop(Traffic{OfferedBps: cross, Requests: crossReqs})
+			n.RunUntilDone(600*sim.Second, func() bool {
+				return rec.Completed >= requestsPerPoint && crossRec.Completed >= crossReqs
+			})
+			if site.SB != nil {
+				site.SB.Stop()
+			}
+			point.Median[mode.label] = rec.Slowdowns.Median()
+		}
+		out = append(out, point)
+	}
+	return out
+}
+
+// Fig12Point reports bundle throughput against N persistent elastic cross
+// flows.
+type Fig12Point struct {
+	CrossFlows int
+	Throughput map[string]float64 // config label -> bundle Mbit/s
+}
+
+// RunFig12 reproduces Figure 12: 20 backlogged bundled flows compete with
+// a varying number of persistent elastic (Cubic) cross flows. Throughput
+// is measured after a warmup (detection and mode convergence take several
+// seconds).
+func RunFig12(seed int64) []Fig12Point {
+	const warmup = 20 * sim.Second
+	const dur = 80 * sim.Second
+	var out []Fig12Point
+	for _, crossN := range []int{10, 30, 50} {
+		point := Fig12Point{CrossFlows: crossN, Throughput: map[string]float64{}}
+		for _, mode := range []struct {
+			label string
+			alg   string // "" = status quo
+		}{
+			{"statusquo", ""},
+			{"bundler-copa", "copa"},
+			{"bundler-nimbus", "basicdelay"},
+		} {
+			n := NewNet(NetConfig{Seed: seed})
+			var site *Site
+			if mode.alg != "" {
+				site = n.AddSite(&bundle.Config{Algorithm: mode.alg})
+			} else {
+				site = n.AddSite(nil)
+			}
+			crossSite := n.AddSite(nil)
+			var bundleSenders []*tcp.Sender
+			for i := 0; i < 20; i++ {
+				bundleSenders = append(bundleSenders, site.AddFlow(1<<40, tcp.NewCubic(), nil))
+			}
+			for i := 0; i < crossN; i++ {
+				crossSite.AddFlow(1<<40, tcp.NewCubic(), nil)
+			}
+			n.Eng.RunUntil(warmup)
+			var at20 int64
+			for _, s := range bundleSenders {
+				at20 += s.Acked()
+			}
+			n.Eng.RunUntil(dur)
+			var acked int64
+			for _, s := range bundleSenders {
+				acked += s.Acked()
+			}
+			if site.SB != nil {
+				site.SB.Stop()
+			}
+			point.Throughput[mode.label] = float64(acked-at20) * 8 / (dur - warmup).Seconds() / 1e6
+		}
+		out = append(out, point)
+	}
+	return out
+}
+
+// SchedulerByName builds a sendbox scheduler with an explicit depth in
+// packets: "sfq" (default), "fifo", "fqcodel", "codel", "red", "drr",
+// "pie", or "prio:<port>" giving strict priority to destination port
+// <port>.
+func SchedulerByName(eng *sim.Engine, name string, packets int) qdisc.Qdisc {
+	switch {
+	case name == "" || name == "sfq":
+		return qdisc.NewSFQ(1024, packets)
+	case name == "fifo":
+		return qdisc.NewFIFO(packets * pkt.MTU)
+	case name == "fqcodel":
+		return qdisc.NewFQCoDel(eng, 1024, packets)
+	case name == "codel":
+		return qdisc.NewCoDel(eng, packets)
+	case name == "red":
+		return qdisc.NewRED(eng.Rand(), packets*pkt.MTU)
+	case name == "drr":
+		return qdisc.NewDRR(packets)
+	case name == "pie":
+		return qdisc.NewPIE(eng, eng.Rand(), packets)
+	case len(name) > 5 && name[:5] == "prio:":
+		var port int
+		if _, err := fmt.Sscanf(name[5:], "%d", &port); err != nil {
+			panic("scenario: bad prio port in " + name)
+		}
+		return qdisc.NewPrio(2, packets/2*pkt.MTU, func(p *pkt.Packet) int {
+			if int(p.Dst.Port) == port {
+				return 0
+			}
+			return 1
+		})
+	default:
+		panic("scenario: unknown scheduler " + name)
+	}
+}

@@ -1,0 +1,164 @@
+package scenario
+
+import (
+	"bundler/internal/bundle"
+	"bundler/internal/netem"
+	"bundler/internal/pkt"
+	"bundler/internal/qdisc"
+	"bundler/internal/sim"
+	"bundler/internal/stats"
+	"bundler/internal/tcp"
+)
+
+// MultipathNet is a dumbbell whose bottleneck is a set of load-balanced
+// parallel paths with (optionally) imbalanced delays — the §5.2 / §7.6
+// topology.
+type MultipathNet struct {
+	Eng     *sim.Engine
+	MuxA    *tcp.Mux
+	MuxB    *tcp.Mux
+	Demux   *netem.Demux
+	Reverse *netem.Link
+	LB      *netem.LoadBalancer
+	Paths   []*netem.Link
+	SB      *bundle.Sendbox
+	RB      *bundle.Receivebox
+
+	linkRate float64
+	rtt      sim.Time
+	nextHost uint32
+	flowID   uint64
+}
+
+// NewMultipathNet builds the topology: totalRate is split evenly across
+// nPaths; path i adds i×skew of one-way delay on top of the base RTT/2.
+// With skew 0 the paths are balanced.
+func NewMultipathNet(seed int64, totalRate float64, rtt sim.Time, nPaths int, skew sim.Time, bcfg *bundle.Config) *MultipathNet {
+	eng := sim.NewEngine(seed)
+	m := &MultipathNet{
+		Eng: eng, MuxA: tcp.NewMux(), MuxB: tcp.NewMux(), Demux: netem.NewDemux(),
+		linkRate: totalRate, rtt: rtt, nextHost: 1 << 16,
+	}
+	m.Reverse = netem.NewLink(eng, "reverse", 10e9, rtt/2, qdisc.NewFIFO(1<<26), m.MuxA)
+	if bcfg == nil {
+		bcfg = DefaultBundleConfig()
+	}
+	sbCtl := pkt.Addr{Host: 1 << 30, Port: 1}
+	rbCtl := pkt.Addr{Host: 1 << 30, Port: 2}
+	m.RB = bundle.NewReceivebox(eng, m.Reverse, rbCtl, sbCtl, bcfg.InitialEpochN)
+	m.Demux.Default = netem.NewTap(m.RB.Observe, m.MuxB)
+	perPath := totalRate / float64(nPaths)
+	buf := 2 * int(perPath/8*rtt.Seconds())
+	if buf < 40*pkt.MTU {
+		buf = 40 * pkt.MTU
+	}
+	var heads []netem.Receiver
+	for i := 0; i < nPaths; i++ {
+		delay := rtt/2 + sim.Time(i)*skew
+		l := netem.NewLink(eng, "path", perPath, delay, qdisc.NewFIFO(buf), m.Demux)
+		m.Paths = append(m.Paths, l)
+		heads = append(heads, l)
+	}
+	m.LB = netem.NewLoadBalancer(eng, netem.BalanceFlowHash, heads...)
+	m.SB = bundle.NewSendbox(eng, *bcfg, m.LB, sbCtl, rbCtl)
+	m.MuxA.Register(sbCtl, m.SB)
+	m.MuxB.Register(rbCtl, m.RB)
+	return m
+}
+
+// AddFlow starts a bundled transfer across the multipath bottleneck.
+func (m *MultipathNet) AddFlow(size int64, cc tcp.Congestion) *tcp.Sender {
+	src := pkt.Addr{Host: m.nextHost, Port: 5000}
+	m.nextHost++
+	dst := pkt.Addr{Host: m.nextHost, Port: 80}
+	m.nextHost++
+	m.flowID++
+	snd := tcp.NewSender(m.Eng, m.SB, src, dst, m.flowID, size, cc, nil)
+	rcv := tcp.NewReceiver(m.Eng, m.Reverse, dst, src, m.flowID, size, nil)
+	m.MuxA.Register(src, snd)
+	m.MuxB.Register(dst, rcv)
+	snd.Start()
+	return snd
+}
+
+// Fig7Result holds the multipath-visibility timeline: per-path true RTTs
+// and the sendbox's epoch RTT estimates, whose spread (and out-of-order
+// fraction) exposes the imbalance.
+type Fig7Result struct {
+	// PathRTTms is the true per-path RTT (propagation + queue) sampled
+	// over time.
+	PathRTTms []stats.TimeSeries
+	// EstimateRTTms is the sendbox's observed epoch RTT series.
+	EstimateRTTms stats.TimeSeries
+	// OOOFraction at the end of the run.
+	OOOFraction float64
+	// Mode the sendbox ended in.
+	Mode bundle.Mode
+}
+
+// RunFig7 reproduces Figure 7: many flows through 4 load-balanced paths
+// with imbalanced delays. Bundler's measurements mix the paths; the
+// out-of-order congestion-ACK fraction cleanly exposes the imbalance.
+func RunFig7(seed int64, dur sim.Time) Fig7Result {
+	m := NewMultipathNet(seed, 96e6, 10*sim.Millisecond, 4, 60*sim.Millisecond, nil)
+	for i := 0; i < 40; i++ {
+		m.AddFlow(1<<40, tcp.NewCubic())
+	}
+	res := Fig7Result{PathRTTms: make([]stats.TimeSeries, len(m.Paths))}
+	sim.Tick(m.Eng, 100*sim.Millisecond, func() {
+		now := m.Eng.Now()
+		for i, p := range m.Paths {
+			rtt := 2*p.Delay() + p.QueueDelay() // forward prop + queue, plus symmetric reverse
+			res.PathRTTms[i].Add(now, rtt.Millis())
+		}
+	})
+	m.Eng.RunUntil(dur)
+	m.SB.Stop()
+	res.EstimateRTTms = m.SB.RTTEstimates
+	res.OOOFraction = m.SB.OOOFraction()
+	res.Mode = m.SB.Mode()
+	return res
+}
+
+// Sec76Point is one configuration of the §7.6 sweep.
+type Sec76Point struct {
+	RateMbps float64
+	RTTms    float64
+	Paths    int
+	OOOFrac  float64
+	Disabled bool
+}
+
+// RunSec76 reproduces the §7.6 robustness sweep: bandwidths 12–96 Mbit/s,
+// RTTs 10–300 ms, and 1–32 load-balanced paths. Single-path runs must
+// show near-zero out-of-order fractions; imbalanced multi-path runs must
+// sit far above the 5 % threshold.
+func RunSec76(seed int64, dur sim.Time) []Sec76Point {
+	var out []Sec76Point
+	for _, rate := range []float64{12e6, 48e6, 96e6} {
+		for _, rtt := range []sim.Time{10 * sim.Millisecond, 100 * sim.Millisecond, 300 * sim.Millisecond} {
+			for _, paths := range []int{1, 2, 8, 32} {
+				skew := sim.Time(0)
+				if paths > 1 {
+					// Imbalance: spread one-way delays across ±50 % of
+					// the base RTT.
+					skew = rtt / sim.Time(paths)
+				}
+				m := NewMultipathNet(seed, rate, rtt, paths, skew, nil)
+				for i := 0; i < 40; i++ {
+					m.AddFlow(1<<40, tcp.NewCubic())
+				}
+				m.Eng.RunUntil(dur)
+				m.SB.Stop()
+				out = append(out, Sec76Point{
+					RateMbps: rate / 1e6,
+					RTTms:    rtt.Millis(),
+					Paths:    paths,
+					OOOFrac:  m.SB.OOOFraction(),
+					Disabled: m.SB.Mode() == bundle.ModeDisabled,
+				})
+			}
+		}
+	}
+	return out
+}

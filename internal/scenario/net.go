@@ -1,0 +1,238 @@
+// Package scenario wires complete experiments: the emulated dumbbell (and
+// multipath / WAN variants), the Bundler boxes, endhost traffic, and the
+// measurement probes each figure of the paper needs. Every evaluation
+// figure has a Run* entry point here, invoked by cmd/bundler-bench and by
+// the root-level benchmarks.
+package scenario
+
+import (
+	"bundler/internal/bundle"
+	"bundler/internal/netem"
+	"bundler/internal/pkt"
+	"bundler/internal/qdisc"
+	"bundler/internal/sim"
+	"bundler/internal/tcp"
+	"bundler/internal/udpapp"
+	"bundler/internal/workload"
+)
+
+// NetConfig describes the shared dumbbell.
+type NetConfig struct {
+	Seed       int64
+	LinkRate   float64  // bottleneck rate, bits/s
+	RTT        sim.Time // end-to-end propagation RTT
+	BufBytes   int      // bottleneck buffer; 0 → 2 BDP
+	Bottleneck qdisc.Qdisc
+}
+
+func (c *NetConfig) fill() {
+	if c.LinkRate == 0 {
+		c.LinkRate = 96e6
+	}
+	if c.RTT == 0 {
+		c.RTT = 50 * sim.Millisecond
+	}
+	if c.BufBytes == 0 {
+		c.BufBytes = 2 * int(c.LinkRate/8*c.RTT.Seconds())
+	}
+	if c.Bottleneck == nil {
+		c.Bottleneck = qdisc.NewFIFO(c.BufBytes)
+	}
+}
+
+// Net is one emulated dumbbell: source sites on the left, a single
+// bottleneck link, destination demux on the right, and an uncongested
+// reverse path for ACKs and Bundler control messages.
+type Net struct {
+	Eng        *sim.Engine
+	Cfg        NetConfig
+	MuxA       *tcp.Mux
+	Demux      *netem.Demux
+	Bottleneck *netem.Link
+	Reverse    *netem.Link
+
+	nextHost uint32
+	nextCtl  uint32
+	flowID   uint64
+}
+
+// NewNet builds the dumbbell.
+func NewNet(cfg NetConfig) *Net {
+	cfg.fill()
+	eng := sim.NewEngine(cfg.Seed)
+	n := &Net{Eng: eng, Cfg: cfg, MuxA: tcp.NewMux(), Demux: netem.NewDemux(),
+		nextHost: 1 << 16, nextCtl: 1 << 30}
+	n.Bottleneck = netem.NewLink(eng, "bottleneck", cfg.LinkRate, cfg.RTT/2, cfg.Bottleneck, n.Demux)
+	n.Reverse = netem.NewLink(eng, "reverse", 10e9, cfg.RTT/2, qdisc.NewFIFO(1<<26), n.MuxA)
+	return n
+}
+
+// Site is one source-site/destination-site pairing. With a Bundler pair
+// attached, its egress is the sendbox and its ingress is tapped by the
+// receivebox; otherwise traffic goes straight to the bottleneck.
+type Site struct {
+	net     *Net
+	SB      *bundle.Sendbox
+	RB      *bundle.Receivebox
+	MuxB    *tcp.Mux
+	ingress netem.Receiver
+	egress  netem.Receiver
+}
+
+// AddSite creates a site pairing. bcfg nil means no Bundler (status quo).
+func (n *Net) AddSite(bcfg *bundle.Config) *Site {
+	s := &Site{net: n, MuxB: tcp.NewMux()}
+	if bcfg == nil {
+		s.ingress = s.MuxB
+		s.egress = n.Bottleneck
+		return s
+	}
+	sbCtl := pkt.Addr{Host: n.nextCtl, Port: 1}
+	rbCtl := pkt.Addr{Host: n.nextCtl, Port: 2}
+	n.nextCtl++
+	s.SB = bundle.NewSendbox(n.Eng, *bcfg, n.Bottleneck, sbCtl, rbCtl)
+	s.RB = bundle.NewReceivebox(n.Eng, n.Reverse, rbCtl, sbCtl, bcfg.InitialEpochN)
+	n.MuxA.Register(sbCtl, s.SB)
+	s.MuxB.Register(rbCtl, s.RB)
+	n.Demux.Route(rbCtl.Host, s.MuxB) // epoch updates reach the receivebox
+	s.ingress = netem.NewTap(s.RB.Observe, s.MuxB)
+	s.egress = s.SB
+	return s
+}
+
+// addrs allocates a fresh (source, destination) address pair and routes
+// the destination host into the site's ingress.
+func (s *Site) addrs(dstPort uint16) (src, dst pkt.Addr) {
+	n := s.net
+	src = pkt.Addr{Host: n.nextHost, Port: 5000}
+	n.nextHost++
+	dst = pkt.Addr{Host: n.nextHost, Port: dstPort}
+	n.nextHost++
+	n.Demux.Route(dst.Host, s.ingress)
+	return src, dst
+}
+
+// AddFlow starts a size-byte transfer through the site at the current
+// virtual time. done (optional) receives the flow's completion time, as
+// observed at the receiver (last byte arrival). Endpoint addresses are
+// recycled on completion so long experiments keep the muxes small.
+func (s *Site) AddFlow(size int64, cc tcp.Congestion, done func(size int64, fct sim.Time)) *tcp.Sender {
+	return s.AddFlowPort(size, cc, 80, done)
+}
+
+// AddFlowPort is AddFlow with an explicit destination port, which the
+// §7.2 priority experiment uses as its traffic-class marker.
+func (s *Site) AddFlowPort(size int64, cc tcp.Congestion, dstPort uint16, done func(size int64, fct sim.Time)) *tcp.Sender {
+	n := s.net
+	src, dst := s.addrs(dstPort)
+	n.flowID++
+	id := n.flowID
+	start := n.Eng.Now()
+	var snd *tcp.Sender
+	rcv := tcp.NewReceiver(n.Eng, n.Reverse, dst, src, id, size, func(now sim.Time) {
+		if done != nil {
+			done(size, now-start)
+		}
+	})
+	snd = tcp.NewSender(n.Eng, s.egress, src, dst, id, size, cc, func(now sim.Time) {
+		// Sender-side completion: both directions are finished; recycle.
+		n.MuxA.Unregister(src)
+		s.MuxB.Unregister(dst)
+	})
+	n.MuxA.Register(src, snd)
+	s.MuxB.Register(dst, rcv)
+	snd.Start()
+	return snd
+}
+
+// AddPing starts a closed-loop UDP request/response pair through the site
+// (the §8 latency probe) and returns the client for RTT inspection.
+func (s *Site) AddPing() *udpapp.PingClient {
+	n := s.net
+	src, dst := s.addrs(7)
+	n.flowID++
+	client := udpapp.NewPingClient(n.Eng, s.egress, src, dst, n.flowID)
+	server := udpapp.NewPingServer(n.Eng, n.Reverse, dst)
+	n.MuxA.Register(src, client)
+	s.MuxB.Register(dst, server)
+	client.Start()
+	return client
+}
+
+// Traffic configures an open-loop request workload through a site.
+type Traffic struct {
+	Dist       *workload.SizeDist
+	OfferedBps float64
+	Requests   int
+	// CC names the endhost congestion control ("cubic" default).
+	CC string
+	// FixedCwndSegs, when positive, pins every endhost window (the §7.5
+	// idealized proxy).
+	FixedCwndSegs int
+	// DstPortBase overrides the flows' destination port (the §7.2
+	// priority experiment classifies on it).
+	DstPort uint16
+	// Warmup excludes flows arriving before this virtual time from the
+	// statistics (they still load the network). Short runs are otherwise
+	// dominated by the control loops' convergence transient.
+	Warmup sim.Time
+}
+
+func (t *Traffic) cc() tcp.Congestion {
+	if t.FixedCwndSegs > 0 {
+		return tcp.NewFixedCwnd(t.FixedCwndSegs)
+	}
+	name := t.CC
+	if name == "" {
+		name = "cubic"
+	}
+	return tcp.NewEndhostCC(name)
+}
+
+// RunOpenLoop schedules tr.Requests Poisson arrivals through the site and
+// returns the recorder that accumulates their completions. The engine is
+// not run; drive it with Net.RunUntilDone.
+func (s *Site) RunOpenLoop(tr Traffic) *workload.Recorder {
+	if tr.Dist == nil {
+		tr.Dist = workload.PaperWebCDF()
+	}
+	rec := workload.NewRecorder(s.net.Cfg.LinkRate, s.net.Cfg.RTT)
+	port := tr.DstPort
+	if port == 0 {
+		port = 80
+	}
+	workload.Arrivals(s.net.Eng, tr.Dist, tr.OfferedBps, tr.Requests, func(size int64) {
+		if s.net.Eng.Now() < tr.Warmup {
+			s.AddFlowPort(size, tr.cc(), port, func(int64, sim.Time) {
+				rec.RecordUncounted()
+			})
+			return
+		}
+		s.AddFlowPort(size, tr.cc(), port, func(sz int64, fct sim.Time) {
+			rec.Record(sz, fct)
+		})
+	})
+	return rec
+}
+
+// RunUntilDone advances the engine in one-second steps until check reports
+// true or the horizon passes. It returns the stop time.
+func (n *Net) RunUntilDone(horizon sim.Time, check func() bool) sim.Time {
+	for n.Eng.Now() < horizon {
+		if check != nil && check() {
+			break
+		}
+		next := n.Eng.Now() + sim.Second
+		if next > horizon {
+			next = horizon
+		}
+		n.Eng.RunUntil(next)
+	}
+	return n.Eng.Now()
+}
+
+// DefaultBundleConfig returns the evaluation's default sendbox setup:
+// Copa inner loop with Nimbus detection and SFQ scheduling (§7.1).
+func DefaultBundleConfig() *bundle.Config {
+	return &bundle.Config{Algorithm: "copa"}
+}

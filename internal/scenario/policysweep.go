@@ -1,0 +1,64 @@
+package scenario
+
+import (
+	"bundler/internal/bundle"
+	"bundler/internal/sim"
+	"bundler/internal/stats"
+	"bundler/internal/udpapp"
+)
+
+// PolicyRow is one sendbox scheduling policy's outcome in the extended
+// §7.2 sweep.
+type PolicyRow struct {
+	Policy string
+	// Median FCT slowdown of the web workload.
+	MedianSlowdown float64
+	// P99 slowdown (tail isolation).
+	P99Slowdown float64
+	// Latency-probe RTTs sharing the bundle (median / p99, ms).
+	ProbeP50Ms, ProbeP99Ms float64
+}
+
+// RunPolicySweep extends §7.2 across every scheduler this repository
+// implements: the paper evaluates SFQ (Fig 9), FQ-CoDel and strict
+// priority (§7.2); the sweep adds the cited-but-unevaluated disciplines
+// (CoDel, RED, DRR, PIE) under the same workload so their trade-offs are
+// directly comparable — scheduling (SFQ/DRR/FQ-CoDel) is what protects
+// short flows; pure AQM (CoDel/RED/PIE) bounds delay but cannot reorder.
+func RunPolicySweep(seed int64, requests int) []PolicyRow {
+	policies := []string{"fifo", "sfq", "drr", "fqcodel", "codel", "red", "pie"}
+	var out []PolicyRow
+	for _, pol := range policies {
+		n := NewNet(NetConfig{Seed: seed})
+		cfg := &bundle.Config{Algorithm: "copa"}
+		cfg.Scheduler = SchedulerByName(n.Eng, pol, 1000)
+		site := n.AddSite(cfg)
+		var probes []*udpapp.PingClient
+		for i := 0; i < 5; i++ {
+			probes = append(probes, site.AddPing())
+		}
+		rec := site.RunOpenLoop(Traffic{OfferedBps: 84e6, Requests: requests,
+			Warmup: 2 * sim.Second})
+		horizon := n.RunUntilDone(600*sim.Second, func() bool {
+			return rec.Completed >= requests
+		})
+		site.SB.Stop()
+		var rtts stats.Sample
+		for _, pc := range probes {
+			for i, at := range pc.Series.T {
+				if at > 2*sim.Second {
+					rtts.Add(pc.Series.V[i])
+				}
+			}
+		}
+		_ = horizon
+		out = append(out, PolicyRow{
+			Policy:         pol,
+			MedianSlowdown: rec.Slowdowns.Median(),
+			P99Slowdown:    rec.Slowdowns.Quantile(0.99),
+			ProbeP50Ms:     rtts.Median(),
+			ProbeP99Ms:     rtts.Quantile(0.99),
+		})
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package scenario
+
+import (
+	"bundler/internal/sim"
+	"bundler/internal/stats"
+	"bundler/internal/tcp"
+	"bundler/internal/workload"
+)
+
+// QueueShiftResult holds the Figure 2 traces: where queueing delay lives
+// over time, with and without Bundler.
+type QueueShiftResult struct {
+	// StatusQuoBottleneck is the bottleneck queueing delay (ms) without
+	// Bundler.
+	StatusQuoBottleneck stats.TimeSeries
+	// StatusQuoEdge is the (empty) edge queue without Bundler.
+	StatusQuoEdge stats.TimeSeries
+	// BundlerBottleneck is the bottleneck queueing delay with Bundler.
+	BundlerBottleneck stats.TimeSeries
+	// BundlerSendbox is the sendbox queueing delay with Bundler.
+	BundlerSendbox stats.TimeSeries
+	// Throughputs in Mbit/s over the run.
+	StatusQuoThroughput, BundlerThroughput float64
+}
+
+// RunQueueShift reproduces Figure 2: a single long-running flow, measured
+// with and without Bundler. The queue moves from the bottleneck to the
+// sendbox; throughput is preserved.
+func RunQueueShift(seed int64, dur sim.Time) QueueShiftResult {
+	var res QueueShiftResult
+	run := func(withBundler bool, bn, edge *stats.TimeSeries) float64 {
+		n := NewNet(NetConfig{Seed: seed})
+		var site *Site
+		if withBundler {
+			site = n.AddSite(DefaultBundleConfig())
+		} else {
+			site = n.AddSite(nil)
+		}
+		snd := site.AddFlow(1<<40, tcp.NewCubic(), nil)
+		sim.Tick(n.Eng, 100*sim.Millisecond, func() {
+			bn.Add(n.Eng.Now(), n.Bottleneck.QueueDelay().Millis())
+			if site.SB != nil {
+				edge.Add(n.Eng.Now(), site.SB.QueueDelay().Millis())
+			} else {
+				edge.Add(n.Eng.Now(), 0)
+			}
+		})
+		n.Eng.RunUntil(dur)
+		if site.SB != nil {
+			site.SB.Stop()
+		}
+		return float64(snd.Acked()) * 8 / dur.Seconds() / 1e6
+	}
+	res.StatusQuoThroughput = run(false, &res.StatusQuoBottleneck, &res.StatusQuoEdge)
+	res.BundlerThroughput = run(true, &res.BundlerBottleneck, &res.BundlerSendbox)
+	return res
+}
+
+// Fig10Phase summarizes one third of the Figure 10 timeline.
+type Fig10Phase struct {
+	Label string
+	// ShortFlowSlowdowns of bundle flows completing in this phase.
+	ShortFlowSlowdowns stats.Summary
+	// BundleMbps and CrossMbps are mean throughputs over the phase.
+	BundleMbps, CrossMbps float64
+	// MeanQueueMs is the mean in-network queueing delay.
+	MeanQueueMs float64
+	// PassThroughFrac is the fraction of the phase the sendbox spent in
+	// pass-through (buffer-filling cross traffic) mode.
+	PassThroughFrac float64
+}
+
+// Fig10Result is the full timeline plus phase summaries.
+type Fig10Result struct {
+	BundleTput stats.TimeSeries // Mbit/s, 100 ms bins
+	CrossTput  stats.TimeSeries
+	QueueMs    stats.TimeSeries
+	Mode       stats.TimeSeries
+	Phases     [3]Fig10Phase
+}
+
+// RunFig10 reproduces Figure 10: 0–60 s no cross traffic, 60–120 s a
+// buffer-filling (backlogged Cubic) cross flow, 120–180 s non-buffer-
+// filling (web-like) cross traffic. Bundler must detect the buffer-filler,
+// revert to pass-through, and re-engage afterward.
+func RunFig10(seed int64) Fig10Result {
+	const phaseDur = 60 * sim.Second
+	n := NewNet(NetConfig{Seed: seed})
+	site := n.AddSite(DefaultBundleConfig())
+	crossSite := n.AddSite(nil)
+
+	// Continuous bundle web traffic for the whole 180 s at the §7.1 load.
+	recs := [3]*workload.Recorder{}
+	for i := range recs {
+		recs[i] = workload.NewRecorder(n.Cfg.LinkRate, n.Cfg.RTT)
+	}
+	phaseOf := func(t sim.Time) int {
+		p := int(t / phaseDur)
+		if p > 2 {
+			p = 2
+		}
+		return p
+	}
+	workload.Arrivals(n.Eng, workload.PaperWebCDF(), 84e6, 1<<30, func(size int64) {
+		if n.Eng.Now() >= 3*phaseDur {
+			return
+		}
+		site.AddFlow(size, tcp.NewCubic(), func(sz int64, fct sim.Time) {
+			if workload.ClassOf(sz) == workload.ClassSmall {
+				recs[phaseOf(n.Eng.Now())].Record(sz, fct)
+			}
+		})
+	})
+
+	// Phase 2: a buffer-filling cross flow from 60 s to 120 s.
+	var crossSender *tcp.Sender
+	n.Eng.At(phaseDur, func() {
+		crossSender = crossSite.AddFlow(1<<40, tcp.NewCubic(), nil)
+	})
+	n.Eng.At(2*phaseDur, func() { crossSender.Abort() })
+	// Phase 3: non-buffer-filling web cross traffic at a quarter of the
+	// link (the paper does not state the phase-3 offered load; a modest
+	// one keeps the total near capacity rather than deep overload).
+	n.Eng.At(2*phaseDur, func() {
+		workload.Arrivals(n.Eng, workload.PaperWebCDF(), 24e6, 1<<30, func(size int64) {
+			if n.Eng.Now() >= 3*phaseDur {
+				return
+			}
+			crossSite.AddFlow(size, tcp.NewCubic(), nil)
+		})
+	})
+
+	var res Fig10Result
+	var lastBundleBytes, lastCrossBytes int64
+	var passTicks, totalTicks [3]int
+	sim.Tick(n.Eng, 100*sim.Millisecond, func() {
+		now := n.Eng.Now()
+		p := phaseOf(now)
+		bb := site.RB.BytesReceived()
+		res.BundleTput.Add(now, float64(bb-lastBundleBytes)*8/0.1/1e6)
+		lastBundleBytes = bb
+		cb := n.Bottleneck.BytesSent() - bb
+		res.CrossTput.Add(now, float64(cb-lastCrossBytes)*8/0.1/1e6)
+		lastCrossBytes = cb
+		res.QueueMs.Add(now, n.Bottleneck.QueueDelay().Millis())
+		res.Mode.Add(now, float64(site.SB.Mode()))
+		totalTicks[p]++
+		if site.SB.Mode() != 0 {
+			passTicks[p]++
+		}
+	})
+	n.Eng.RunUntil(3 * phaseDur)
+	site.SB.Stop()
+
+	labels := [3]string{"no cross traffic", "buffer-filling cross", "non-buffer-filling cross"}
+	for i := 0; i < 3; i++ {
+		from, to := sim.Time(i)*phaseDur, sim.Time(i+1)*phaseDur
+		res.Phases[i] = Fig10Phase{
+			Label:              labels[i],
+			ShortFlowSlowdowns: recs[i].Slowdowns.Summarize(),
+			BundleMbps:         res.BundleTput.MeanOver(from, to),
+			CrossMbps:          res.CrossTput.MeanOver(from, to),
+			MeanQueueMs:        res.QueueMs.MeanOver(from, to),
+			PassThroughFrac:    float64(passTicks[i]) / float64(max(totalTicks[i], 1)),
+		}
+	}
+	return res
+}

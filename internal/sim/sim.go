@@ -1,0 +1,221 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All of the network emulation in this repository runs on virtual time: an
+// Engine owns a monotonically increasing clock and a priority queue of
+// events. Components schedule callbacks at absolute or relative virtual
+// times; the engine runs them in timestamp order (FIFO among equal
+// timestamps). Because nothing ever consults the wall clock, every run is
+// exactly reproducible given the same seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a virtual timestamp or duration in nanoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis converts t to floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// FromSeconds converts floating-point seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+func (t Time) String() string {
+	return fmt.Sprintf("%.6fs", t.Seconds())
+}
+
+// Event is a scheduled callback. It is returned by the scheduling methods
+// so callers can cancel it before it fires.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-break: FIFO among events with equal timestamps
+	fn     func()
+	index  int // heap index; -1 once removed
+	cancel bool
+}
+
+// Time reports when the event will fire.
+func (e *Event) Time() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancel = true
+	}
+}
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e == nil || e.cancel }
+
+// Pending reports whether the event is still scheduled: not yet fired and
+// not cancelled. A nil event is not pending.
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 && !e.cancel }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event executor with a deterministic
+// pseudo-random source. The zero value is not usable; call NewEngine.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+}
+
+// NewEngine returns an engine whose clock starts at zero and whose random
+// source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. All stochastic
+// components (workload generators, SFQ perturbation, ...) must draw from
+// this source so runs are reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past (t < Now) panics: it always indicates a logic error in a component.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now. Negative d is clamped
+// to zero.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run / RunUntil return after the currently executing event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of scheduled (possibly cancelled) events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// step executes the earliest event. It reports false if none remain.
+func (e *Engine) step(limit Time, useLimit bool) bool {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if useLimit && next.at > limit {
+			return false
+		}
+		heap.Pop(&e.events)
+		if next.cancel {
+			continue
+		}
+		e.now = next.at
+		next.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.step(0, false) {
+	}
+}
+
+// RunUntil executes events with timestamps ≤ t, then advances the clock to
+// t. Events scheduled beyond t remain pending.
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for !e.stopped && e.step(t, true) {
+	}
+	if !e.stopped && t > e.now {
+		e.now = t
+	}
+}
+
+// Ticker invokes fn every period until Stop is called on it. The first
+// invocation happens one period from the time Tick is called.
+type Ticker struct {
+	eng     *Engine
+	period  Time
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+// Tick starts a new periodic callback. period must be positive.
+func Tick(eng *Engine, period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: Tick period must be positive")
+	}
+	t := &Ticker{eng: eng, period: period, fn: fn}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.ev = t.eng.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.schedule()
+		}
+	})
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.ev.Cancel()
+}

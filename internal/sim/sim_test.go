@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	for _, d := range []Time{5 * Millisecond, Millisecond, 3 * Millisecond} {
+		d := d
+		e.At(d, func() { got = append(got, e.Now()) })
+	}
+	e.Run()
+	want := []Time{Millisecond, 3 * Millisecond, 5 * Millisecond}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineFIFOAmongEqualTimestamps(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (FIFO tie-break violated)", i, v, i)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.At(2*Second, func() {
+		e.After(Second, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 3*Second {
+		t.Fatalf("After fired at %v, want 3s", at)
+	}
+}
+
+func TestCancelPreventsExecution(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.At(Second, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestRunUntilLeavesLaterEventsPending(t *testing.T) {
+	e := NewEngine(1)
+	var ran []Time
+	e.At(Second, func() { ran = append(ran, e.Now()) })
+	e.At(3*Second, func() { ran = append(ran, e.Now()) })
+	e.RunUntil(2 * Second)
+	if len(ran) != 1 || ran[0] != Second {
+		t.Fatalf("ran = %v, want [1s]", ran)
+	}
+	if e.Now() != 2*Second {
+		t.Fatalf("clock = %v, want 2s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if len(ran) != 2 || ran[1] != 3*Second {
+		t.Fatalf("after Run, ran = %v", ran)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.At(Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(0, func() {})
+	})
+	e.Run()
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i)*Second, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+}
+
+func TestTickerPeriodicAndStops(t *testing.T) {
+	e := NewEngine(1)
+	var times []Time
+	var tk *Ticker
+	tk = Tick(e, 10*Millisecond, func() {
+		times = append(times, e.Now())
+		if len(times) == 5 {
+			tk.Stop()
+		}
+	})
+	e.RunUntil(Second)
+	if len(times) != 5 {
+		t.Fatalf("ticker fired %d times, want 5", len(times))
+	}
+	for i, at := range times {
+		want := Time(i+1) * 10 * Millisecond
+		if at != want {
+			t.Errorf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestNegativeAfterClampsToNow(t *testing.T) {
+	e := NewEngine(1)
+	e.At(Second, func() {
+		e.After(-Second, func() {
+			if e.Now() != Second {
+				t.Errorf("clamped event at %v, want 1s", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Errorf("Seconds() = %v, want 1.5", got)
+	}
+	if got := (2500 * Microsecond).Millis(); got != 2.5 {
+		t.Errorf("Millis() = %v, want 2.5", got)
+	}
+	if got := FromSeconds(0.25); got != 250*Millisecond {
+		t.Errorf("FromSeconds(0.25) = %v, want 250ms", got)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a := NewEngine(42)
+	b := NewEngine(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+// Property: events always execute in non-decreasing timestamp order no
+// matter the insertion order.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(delays []uint32) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine(7)
+		var fired []Time
+		for _, d := range delays {
+			e.At(Time(d), func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RunUntil never executes an event past the horizon.
+func TestPropertyRunUntilHorizon(t *testing.T) {
+	f := func(delays []uint16, horizon uint16) bool {
+		e := NewEngine(9)
+		ok := true
+		for _, d := range delays {
+			e.At(Time(d), func() {
+				if e.Now() > Time(horizon) {
+					ok = false
+				}
+			})
+		}
+		e.RunUntil(Time(horizon))
+		return ok
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventPendingStates(t *testing.T) {
+	e := NewEngine(1)
+	var nilEv *Event
+	if nilEv.Pending() {
+		t.Fatal("nil event reports pending")
+	}
+	ev := e.At(Second, func() {})
+	if !ev.Pending() {
+		t.Fatal("scheduled event not pending")
+	}
+	ev.Cancel()
+	if ev.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
+	ev2 := e.At(2*Second, func() {})
+	e.Run()
+	if ev2.Pending() {
+		t.Fatal("fired event still pending")
+	}
+}

@@ -1,0 +1,251 @@
+// Package stats provides the measurement plumbing the evaluation harness
+// uses: exact quantiles, summaries, histograms/PDFs of estimate errors
+// (Figs 5–6), and virtual-time series (Figs 2, 7, 10).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bundler/internal/sim"
+)
+
+// Sample accumulates float64 observations for exact quantile queries.
+type Sample struct {
+	vals   []float64
+	sorted bool
+}
+
+// Add appends an observation.
+func (s *Sample) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sorted = false
+}
+
+// N reports the number of observations.
+func (s *Sample) N() int { return len(s.vals) }
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using linear interpolation.
+// It returns NaN for an empty sample.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.vals) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	if q <= 0 {
+		return s.vals[0]
+	}
+	if q >= 1 {
+		return s.vals[len(s.vals)-1]
+	}
+	pos := q * float64(len(s.vals)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s.vals) {
+		return s.vals[lo]
+	}
+	return s.vals[lo]*(1-frac) + s.vals[lo+1]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// Mean returns the arithmetic mean, or NaN when empty.
+func (s *Sample) Mean() float64 {
+	if len(s.vals) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Min returns the smallest observation.
+func (s *Sample) Min() float64 { return s.Quantile(0) }
+
+// Max returns the largest observation.
+func (s *Sample) Max() float64 { return s.Quantile(1) }
+
+// Stddev returns the population standard deviation.
+func (s *Sample) Stddev() float64 {
+	if len(s.vals) == 0 {
+		return math.NaN()
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, v := range s.vals {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(s.vals)))
+}
+
+// FractionWithin reports the fraction of observations v with |v| ≤ bound
+// (used for the paper's "80 % of estimates within X" claims).
+func (s *Sample) FractionWithin(bound float64) float64 {
+	if len(s.vals) == 0 {
+		return math.NaN()
+	}
+	n := 0
+	for _, v := range s.vals {
+		if math.Abs(v) <= bound {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.vals))
+}
+
+// Summary is a fixed set of quantiles for reporting.
+type Summary struct {
+	N                       int
+	Mean                    float64
+	P10, P25, P50, P75, P90 float64
+	P99                     float64
+	Min, Max                float64
+}
+
+// Summarize computes a Summary of the sample.
+func (s *Sample) Summarize() Summary {
+	return Summary{
+		N:    s.N(),
+		Mean: s.Mean(),
+		P10:  s.Quantile(0.10),
+		P25:  s.Quantile(0.25),
+		P50:  s.Quantile(0.50),
+		P75:  s.Quantile(0.75),
+		P90:  s.Quantile(0.90),
+		P99:  s.Quantile(0.99),
+		Min:  s.Min(),
+		Max:  s.Max(),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f p10=%.3f p50=%.3f p90=%.3f p99=%.3f",
+		s.N, s.Mean, s.P10, s.P50, s.P90, s.P99)
+}
+
+// Histogram buckets observations into fixed-width bins over [lo, hi);
+// out-of-range values land in the edge bins.
+type Histogram struct {
+	lo, hi float64
+	bins   []int
+	n      int
+}
+
+// NewHistogram builds a histogram with nbins bins spanning [lo, hi).
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if hi <= lo || nbins <= 0 {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]int, nbins)}
+}
+
+// Add records v.
+func (h *Histogram) Add(v float64) {
+	i := int((v - h.lo) / (h.hi - h.lo) * float64(len(h.bins)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.bins) {
+		i = len(h.bins) - 1
+	}
+	h.bins[i]++
+	h.n++
+}
+
+// PDF returns the normalized density per bin (sums to 1 over all bins).
+func (h *Histogram) PDF() []float64 {
+	out := make([]float64, len(h.bins))
+	if h.n == 0 {
+		return out
+	}
+	for i, c := range h.bins {
+		out[i] = float64(c) / float64(h.n)
+	}
+	return out
+}
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.hi - h.lo) / float64(len(h.bins))
+	return h.lo + w*(float64(i)+0.5)
+}
+
+// N reports total observations.
+func (h *Histogram) N() int { return h.n }
+
+// TimeSeries records (virtual time, value) pairs.
+type TimeSeries struct {
+	T []sim.Time
+	V []float64
+}
+
+// Add appends a point.
+func (ts *TimeSeries) Add(t sim.Time, v float64) {
+	ts.T = append(ts.T, t)
+	ts.V = append(ts.V, v)
+}
+
+// N reports the number of points.
+func (ts *TimeSeries) N() int { return len(ts.T) }
+
+// MeanOver averages points with from ≤ t < to, returning NaN if none.
+func (ts *TimeSeries) MeanOver(from, to sim.Time) float64 {
+	sum, n := 0.0, 0
+	for i, t := range ts.T {
+		if t >= from && t < to {
+			sum += ts.V[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// MaxOver returns the maximum over [from, to), or NaN if none.
+func (ts *TimeSeries) MaxOver(from, to sim.Time) float64 {
+	best, any := 0.0, false
+	for i, t := range ts.T {
+		if t >= from && t < to {
+			if !any || ts.V[i] > best {
+				best, any = ts.V[i], true
+			}
+		}
+	}
+	if !any {
+		return math.NaN()
+	}
+	return best
+}
+
+// RateCounter converts cumulative byte counts into a windowed throughput
+// estimate (bits/second).
+type RateCounter struct {
+	lastBytes int64
+	lastTime  sim.Time
+}
+
+// Rate returns throughput since the previous call given the current
+// cumulative byte count, then resets the window. Returns 0 for an empty
+// interval.
+func (rc *RateCounter) Rate(now sim.Time, cumBytes int64) float64 {
+	defer func() { rc.lastBytes, rc.lastTime = cumBytes, now }()
+	dt := now - rc.lastTime
+	if dt <= 0 {
+		return 0
+	}
+	return float64(cumBytes-rc.lastBytes) * 8 / dt.Seconds()
+}

@@ -1,0 +1,570 @@
+// Package tcp implements a packet-level TCP endhost: a sender with
+// cumulative ACKs plus SACK, RFC 6675-style loss recovery, RTO with
+// exponential backoff, and pluggable congestion control (Reno, Cubic, BBR,
+// and a fixed-window variant used to emulate the paper's idealized TCP
+// proxy in §7.5).
+//
+// Bundler deliberately leaves endhost loops untouched, so reproducing the
+// paper requires faithful endhost dynamics: slow start overshoot, Cubic's
+// probing to loss, and BBR's pacing are all load-bearing in the
+// evaluation. The model sends a configurable number of payload bytes from
+// sender to receiver; the receiver ACKs every data packet (no delayed
+// ACKs) and reports up to four SACK blocks, matching a modern Linux stack.
+package tcp
+
+import (
+	"fmt"
+	"sort"
+
+	"bundler/internal/netem"
+	"bundler/internal/pkt"
+	"bundler/internal/sim"
+)
+
+// Timer constants (RFC 6298, with the common Linux-style 200 ms floor).
+const (
+	minRTO     = 200 * sim.Millisecond
+	initialRTO = 1 * sim.Second
+	maxRTO     = 60 * sim.Second
+)
+
+// InitialCwnd is the initial congestion window in segments (RFC 6928).
+const InitialCwnd = 10
+
+// sackDupThresh mirrors the 3-dupack reordering allowance: a segment is
+// declared lost once SACKed bytes reach this many segments past its end.
+const sackDupThresh = 3
+
+// SACKBlock reports one contiguous received range in an ACK.
+type SACKBlock struct{ Start, End int64 }
+
+// segment is the sender's scoreboard entry for one in-flight segment.
+type segment struct {
+	seq      int64
+	length   int
+	sentAt   sim.Time
+	retx     bool // ever retransmitted (Karn: no RTT samples)
+	sacked   bool
+	lost     bool
+	inFlight bool
+}
+
+// Sender transmits Size payload bytes to Dst and consumes the ACK stream.
+// It implements netem.Receiver for incoming ACKs.
+type Sender struct {
+	eng    *sim.Engine
+	out    netem.Receiver
+	src    pkt.Addr
+	dst    pkt.Addr
+	flowID uint64
+	size   int64
+	cc     Congestion
+
+	sndUna    int64
+	sndNxt    int64
+	segs      []*segment // ordered scoreboard covering [sndUna, sndNxt)
+	dupacks   int
+	recovery  bool
+	recoverPt int64
+
+	srtt, rttvar, rto sim.Time
+	lastRTT           sim.Time
+	rtoTimer          *sim.Event
+
+	ipid       uint16
+	nextSendAt sim.Time
+	paceTimer  *sim.Event
+
+	started    bool
+	done       bool
+	StartedAt  sim.Time
+	DoneAt     sim.Time
+	onComplete func(now sim.Time)
+
+	// Counters for tests and stats.
+	DataSent    int
+	Retransmits int
+	Timeouts    int
+}
+
+// NewSender constructs a sender for a size-byte transfer. out is the first
+// hop of the egress path; onComplete (optional) fires when the final byte
+// is cumulatively acknowledged.
+func NewSender(eng *sim.Engine, out netem.Receiver, src, dst pkt.Addr, flowID uint64, size int64, cc Congestion, onComplete func(now sim.Time)) *Sender {
+	if size <= 0 {
+		panic("tcp: transfer size must be positive")
+	}
+	return &Sender{
+		eng: eng, out: out, src: src, dst: dst, flowID: flowID, size: size,
+		cc: cc, rto: initialRTO, onComplete: onComplete,
+	}
+}
+
+// Start begins the transfer.
+func (s *Sender) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.StartedAt = s.eng.Now()
+	s.trySend()
+}
+
+// Done reports whether every byte has been acknowledged.
+func (s *Sender) Done() bool { return s.done }
+
+// FlowID returns the flow identifier packets carry.
+func (s *Sender) FlowID() uint64 { return s.flowID }
+
+// Acked reports cumulatively acknowledged bytes.
+func (s *Sender) Acked() int64 { return s.sndUna }
+
+// Size reports the transfer size in bytes.
+func (s *Sender) Size() int64 { return s.size }
+
+// pipe estimates bytes currently in the network: transmitted, neither
+// SACKed nor declared lost (RFC 6675 pipe).
+func (s *Sender) pipe() int64 {
+	var p int64
+	for _, sg := range s.segs {
+		if sg.inFlight && !sg.sacked {
+			p += int64(sg.length)
+		}
+	}
+	return p
+}
+
+// trySend transmits retransmissions first, then new data, as the window
+// (and pacing rate) allows.
+func (s *Sender) trySend() {
+	if s.done || !s.started {
+		return
+	}
+	for {
+		if float64(s.pipe())+1 > s.cc.CwndBytes() {
+			return
+		}
+		if pr := s.cc.PacingRate(); pr > 0 {
+			now := s.eng.Now()
+			if now < s.nextSendAt {
+				if !s.paceTimer.Pending() {
+					s.paceTimer = s.eng.At(s.nextSendAt, s.trySend)
+				}
+				return
+			}
+		}
+		if sg := s.nextLost(); sg != nil {
+			s.retransmit(sg)
+			continue
+		}
+		if s.sndNxt < s.size {
+			s.sendNew()
+			continue
+		}
+		return
+	}
+}
+
+func (s *Sender) nextLost() *segment {
+	for _, sg := range s.segs {
+		if sg.lost && !sg.inFlight && !sg.sacked {
+			return sg
+		}
+	}
+	return nil
+}
+
+func (s *Sender) sendNew() {
+	length := int(min64(int64(pkt.MSS), s.size-s.sndNxt))
+	sg := &segment{seq: s.sndNxt, length: length}
+	s.segs = append(s.segs, sg)
+	s.sndNxt += int64(length)
+	s.emit(sg, false)
+}
+
+func (s *Sender) retransmit(sg *segment) {
+	sg.lost = false
+	sg.retx = true
+	s.Retransmits++
+	s.emit(sg, true)
+}
+
+// emit sends a segment. Every transmission — including retransmissions —
+// gets a fresh IP ID, the property Bundler's epoch hash relies on to avoid
+// spurious samples (§4.5).
+func (s *Sender) emit(sg *segment, retx bool) {
+	now := s.eng.Now()
+	sg.sentAt = now
+	sg.inFlight = true
+	s.ipid++
+	s.DataSent++
+	p := &pkt.Packet{
+		IPID:       s.ipid,
+		Src:        s.src,
+		Dst:        s.dst,
+		Proto:      pkt.ProtoTCP,
+		Size:       sg.length + pkt.HeaderBytes,
+		Seq:        sg.seq,
+		FlowID:     s.flowID,
+		Retransmit: retx,
+		SentAt:     now,
+	}
+	if pr := s.cc.PacingRate(); pr > 0 {
+		if s.nextSendAt < now {
+			s.nextSendAt = now
+		}
+		s.nextSendAt += sim.Time(float64(p.Size*8) / pr * float64(sim.Second))
+	}
+	if !s.rtoTimer.Pending() {
+		s.rtoTimer = s.eng.After(s.rto, s.onRTO)
+	}
+	s.out.Receive(p)
+}
+
+func (s *Sender) rearmRTO() {
+	s.rtoTimer.Cancel()
+	if s.sndUna < s.sndNxt {
+		s.rtoTimer = s.eng.After(s.rto, s.onRTO)
+	}
+}
+
+func (s *Sender) onRTO() {
+	if s.done {
+		return
+	}
+	s.Timeouts++
+	s.cc.OnTimeout(s.eng.Now())
+	// Everything unacknowledged is presumed lost and eligible for
+	// retransmission.
+	for _, sg := range s.segs {
+		if !sg.sacked {
+			sg.lost = true
+			sg.inFlight = false
+		}
+	}
+	s.dupacks = 0
+	s.recovery = true
+	s.recoverPt = s.sndNxt
+	s.rto *= 2
+	if s.rto > maxRTO {
+		s.rto = maxRTO
+	}
+	s.rtoTimer = s.eng.After(s.rto, s.onRTO)
+	s.trySend()
+}
+
+// Receive implements netem.Receiver; the sender consumes ACKs.
+func (s *Sender) Receive(p *pkt.Packet) {
+	if s.done || p.Flags&pkt.FlagACK == 0 {
+		return
+	}
+	now := s.eng.Now()
+	ack := p.Ack
+
+	cumAdvance := ack > s.sndUna
+	if cumAdvance {
+		s.popAcked(ack, now)
+		newly := ack - s.sndUna
+		s.sndUna = ack
+		s.dupacks = 0
+		s.cc.OnAck(int(newly), s.lastRTT, now)
+		if s.recovery && ack >= s.recoverPt {
+			s.recovery = false
+		}
+		if s.sndUna >= s.size {
+			s.complete(now)
+			return
+		}
+		s.rearmRTO()
+	}
+
+	if blocks, ok := p.Payload.([]SACKBlock); ok && len(blocks) > 0 {
+		s.applySACK(blocks)
+	}
+	newLoss := s.markLost()
+	if !cumAdvance {
+		s.dupacks++
+		// Fallback for SACK-less peers: third dupack implies the first
+		// outstanding segment was lost.
+		if s.dupacks >= sackDupThresh && len(s.segs) > 0 && !s.segs[0].sacked &&
+			!s.segs[0].lost && s.segs[0].inFlight && p.Payload == nil {
+			s.segs[0].lost = true
+			s.segs[0].inFlight = false
+			newLoss = true
+		}
+	}
+	if newLoss && !s.recovery {
+		s.recovery = true
+		s.recoverPt = s.sndNxt
+		s.cc.OnLoss(now)
+	}
+	s.trySend()
+}
+
+var _ netem.Receiver = (*Sender)(nil)
+
+func (s *Sender) applySACK(blocks []SACKBlock) {
+	for _, sg := range s.segs {
+		if sg.sacked {
+			continue
+		}
+		end := sg.seq + int64(sg.length)
+		for _, b := range blocks {
+			if sg.seq >= b.Start && end <= b.End {
+				sg.sacked = true
+				sg.lost = false
+				break
+			}
+		}
+	}
+}
+
+// markLost applies the RFC 6675 rule: a segment is lost once SACKed data
+// extends sackDupThresh segments beyond it. Retransmitted segments are
+// exempt (the RTO catches re-lost retransmissions). It reports whether any
+// segment was newly marked.
+func (s *Sender) markLost() bool {
+	var highestSacked int64 = -1
+	for _, sg := range s.segs {
+		if sg.sacked {
+			if e := sg.seq + int64(sg.length); e > highestSacked {
+				highestSacked = e
+			}
+		}
+	}
+	if highestSacked < 0 {
+		return false
+	}
+	newLoss := false
+	threshold := int64(sackDupThresh * pkt.MSS)
+	for _, sg := range s.segs {
+		if sg.sacked || sg.lost || sg.retx {
+			continue
+		}
+		if sg.seq+int64(sg.length)+threshold <= highestSacked {
+			sg.lost = true
+			sg.inFlight = false
+			newLoss = true
+		}
+	}
+	return newLoss
+}
+
+// popAcked removes cumulatively acknowledged segments from the front of
+// the scoreboard and feeds the RTT estimator from the newest popped
+// segment that was never retransmitted (Karn's algorithm). The scoreboard
+// is ordered by sequence, so this is O(newly acked).
+func (s *Sender) popAcked(ack int64, now sim.Time) {
+	var best *segment
+	i := 0
+	for ; i < len(s.segs); i++ {
+		sg := s.segs[i]
+		if sg.seq+int64(sg.length) > ack {
+			break
+		}
+		if !sg.retx {
+			best = sg
+		}
+	}
+	if i > 0 {
+		s.segs = append(s.segs[:0], s.segs[i:]...)
+	}
+	if best == nil {
+		return
+	}
+	rtt := now - best.sentAt
+	s.lastRTT = rtt
+	if s.srtt == 0 {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+	} else {
+		diff := s.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		s.rttvar = (3*s.rttvar + diff) / 4
+		s.srtt = (7*s.srtt + rtt) / 8
+	}
+	s.rto = s.srtt + 4*s.rttvar
+	if s.rto < minRTO {
+		s.rto = minRTO
+	}
+	if s.rto > maxRTO {
+		s.rto = maxRTO
+	}
+}
+
+func (s *Sender) complete(now sim.Time) {
+	s.done = true
+	s.DoneAt = now
+	s.rtoTimer.Cancel()
+	s.paceTimer.Cancel()
+	s.segs = nil
+	if s.onComplete != nil {
+		s.onComplete(now)
+	}
+}
+
+// SRTT exposes the smoothed RTT estimate (for tests and the §7.5 proxy
+// discussion).
+func (s *Sender) SRTT() sim.Time { return s.srtt }
+
+// Abort stops the transfer immediately without marking it complete:
+// timers are cancelled and no further packets are sent. Experiments use it
+// to model cross traffic that departs (Figure 10's phase changes).
+func (s *Sender) Abort() {
+	s.done = true
+	s.rtoTimer.Cancel()
+	s.paceTimer.Cancel()
+	s.segs = nil
+}
+
+// Receiver consumes data packets, reassembles the byte stream, and emits
+// an ACK (with up to four SACK blocks) per packet on its egress. It
+// implements netem.Receiver.
+type Receiver struct {
+	eng    *sim.Engine
+	out    netem.Receiver
+	addr   pkt.Addr
+	peer   pkt.Addr
+	flowID uint64
+	size   int64
+
+	rcvNxt int64
+	ooo    []interval
+	ipid   uint16
+
+	done       bool
+	DoneAt     sim.Time
+	onComplete func(now sim.Time)
+
+	// DataReceived counts data packets (including spurious retransmits).
+	DataReceived int
+}
+
+type interval struct{ start, end int64 }
+
+// NewReceiver constructs the receiving endpoint of a size-byte transfer.
+// out is the first hop of the reverse (ACK) path; onComplete fires when
+// the last payload byte arrives in order.
+func NewReceiver(eng *sim.Engine, out netem.Receiver, addr, peer pkt.Addr, flowID uint64, size int64, onComplete func(now sim.Time)) *Receiver {
+	return &Receiver{eng: eng, out: out, addr: addr, peer: peer, flowID: flowID, size: size, onComplete: onComplete}
+}
+
+// Receive implements netem.Receiver.
+func (r *Receiver) Receive(p *pkt.Packet) {
+	if p.Proto != pkt.ProtoTCP || p.Flags&pkt.FlagACK != 0 {
+		return
+	}
+	r.DataReceived++
+	payload := int64(p.Size - pkt.HeaderBytes)
+	r.insert(p.Seq, p.Seq+payload)
+	if !r.done && r.rcvNxt >= r.size {
+		r.done = true
+		r.DoneAt = r.eng.Now()
+		if r.onComplete != nil {
+			r.onComplete(r.eng.Now())
+		}
+	}
+	r.sendAck()
+}
+
+// Done reports whether the whole stream arrived.
+func (r *Receiver) Done() bool { return r.done }
+
+// insert merges [start, end) into the reassembly state and advances
+// rcvNxt across any now-contiguous prefix.
+func (r *Receiver) insert(start, end int64) {
+	if end <= r.rcvNxt {
+		return // stale retransmit
+	}
+	if start < r.rcvNxt {
+		start = r.rcvNxt
+	}
+	r.ooo = append(r.ooo, interval{start, end})
+	sort.Slice(r.ooo, func(i, j int) bool { return r.ooo[i].start < r.ooo[j].start })
+	merged := r.ooo[:0]
+	for _, iv := range r.ooo {
+		if n := len(merged); n > 0 && iv.start <= merged[n-1].end {
+			if iv.end > merged[n-1].end {
+				merged[n-1].end = iv.end
+			}
+		} else {
+			merged = append(merged, iv)
+		}
+	}
+	r.ooo = merged
+	for len(r.ooo) > 0 && r.ooo[0].start <= r.rcvNxt {
+		if r.ooo[0].end > r.rcvNxt {
+			r.rcvNxt = r.ooo[0].end
+		}
+		r.ooo = r.ooo[1:]
+	}
+}
+
+func (r *Receiver) sendAck() {
+	r.ipid++
+	var blocks []SACKBlock
+	for i := 0; i < len(r.ooo) && i < 4; i++ {
+		blocks = append(blocks, SACKBlock{Start: r.ooo[i].start, End: r.ooo[i].end})
+	}
+	var payload any
+	if blocks != nil {
+		payload = blocks
+	}
+	r.out.Receive(&pkt.Packet{
+		IPID:    r.ipid,
+		Src:     r.addr,
+		Dst:     r.peer,
+		Proto:   pkt.ProtoTCP,
+		Size:    pkt.HeaderBytes,
+		Ack:     r.rcvNxt,
+		Flags:   pkt.FlagACK,
+		FlowID:  r.flowID,
+		SentAt:  r.eng.Now(),
+		Payload: payload,
+	})
+}
+
+// Mux routes packets to registered endpoints by destination address. It is
+// the site-internal dispatch both endpoints and Bundler control messages
+// share.
+type Mux struct {
+	routes  map[pkt.Addr]netem.Receiver
+	dropped int
+}
+
+// NewMux returns an empty address mux.
+func NewMux() *Mux { return &Mux{routes: make(map[pkt.Addr]netem.Receiver)} }
+
+// Register installs r as the receiver for packets addressed to a.
+// Registering the same address twice panics: it always indicates an
+// address-allocation bug in scenario wiring.
+func (m *Mux) Register(a pkt.Addr, r netem.Receiver) {
+	if _, dup := m.routes[a]; dup {
+		panic(fmt.Sprintf("tcp: duplicate mux registration for %+v", a))
+	}
+	m.routes[a] = r
+}
+
+// Unregister removes the route for a (flows that finished).
+func (m *Mux) Unregister(a pkt.Addr) { delete(m.routes, a) }
+
+// Receive implements netem.Receiver.
+func (m *Mux) Receive(p *pkt.Packet) {
+	if r, ok := m.routes[p.Dst]; ok {
+		r.Receive(p)
+		return
+	}
+	m.dropped++
+}
+
+// Dropped reports packets with no registered endpoint.
+func (m *Mux) Dropped() int { return m.dropped }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,154 @@
+package tcp
+
+import (
+	"testing"
+
+	"bundler/internal/netem"
+	"bundler/internal/pkt"
+	"bundler/internal/qdisc"
+	"bundler/internal/sim"
+)
+
+func TestAbortStopsTransmission(t *testing.T) {
+	tp := newTestPath(48e6, 40*sim.Millisecond, 1<<22)
+	s, _ := tp.addFlow(1, 1<<40, NewCubic())
+	s.Start()
+	tp.eng.RunUntil(2 * sim.Second)
+	sentBefore := s.DataSent
+	s.Abort()
+	tp.eng.RunUntil(10 * sim.Second)
+	if s.DataSent != sentBefore {
+		t.Fatalf("sender transmitted %d packets after Abort", s.DataSent-sentBefore)
+	}
+	if !s.Done() {
+		t.Fatal("aborted sender should report done")
+	}
+}
+
+func TestAbortCancelsTimers(t *testing.T) {
+	// Abort with outstanding data: the RTO must not fire afterward (the
+	// engine should go quiet once in-flight packets drain).
+	eng := sim.NewEngine(1)
+	blackhole := netem.ReceiverFunc(func(*pkt.Packet) {})
+	s := NewSender(eng, blackhole, pkt.Addr{Host: 1}, pkt.Addr{Host: 2}, 1, 1<<20, NewCubic(), nil)
+	s.Start()
+	eng.RunUntil(100 * sim.Millisecond)
+	s.Abort()
+	timeouts := s.Timeouts
+	eng.RunUntil(10 * sim.Second)
+	if s.Timeouts != timeouts {
+		t.Fatalf("RTO fired %d times after Abort", s.Timeouts-timeouts)
+	}
+}
+
+func TestRTOBackoffIsExponentialAndCapped(t *testing.T) {
+	// A sender into a black hole retransmits on exponentially backed-off
+	// timeouts, capped at maxRTO.
+	eng := sim.NewEngine(1)
+	var sendTimes []sim.Time
+	blackhole := netem.ReceiverFunc(func(p *pkt.Packet) {
+		if p.Flags&pkt.FlagACK == 0 {
+			sendTimes = append(sendTimes, eng.Now())
+		}
+	})
+	s := NewSender(eng, blackhole, pkt.Addr{Host: 1}, pkt.Addr{Host: 2}, 1, 1000, NewReno(), nil)
+	s.Start()
+	eng.RunUntil(200 * sim.Second)
+	if s.Timeouts < 4 {
+		t.Fatalf("only %d timeouts in 200s of black hole", s.Timeouts)
+	}
+	// Gaps between successive retransmissions grow (at least double until
+	// the cap).
+	var prevGap sim.Time
+	for i := 1; i < len(sendTimes) && i < 5; i++ {
+		gap := sendTimes[i] - sendTimes[i-1]
+		if prevGap > 0 && gap < prevGap {
+			t.Fatalf("retransmit gap shrank: %v after %v", gap, prevGap)
+		}
+		prevGap = gap
+	}
+	for i := 1; i < len(sendTimes); i++ {
+		if gap := sendTimes[i] - sendTimes[i-1]; gap > maxRTO+sim.Second {
+			t.Fatalf("gap %v exceeds RTO cap", gap)
+		}
+	}
+}
+
+func TestSACKRecoveryRetransmitsOnlyHoles(t *testing.T) {
+	// Drop exactly one data packet; SACK recovery should retransmit one
+	// segment, not go-back-N.
+	eng := sim.NewEngine(2)
+	mux := NewMux()
+	dropOne := true
+	var dropped int64 = -1
+	filter := netem.ReceiverFunc(func(p *pkt.Packet) {
+		if dropOne && p.Flags&pkt.FlagACK == 0 && p.Seq > 20000 {
+			dropOne = false
+			dropped = p.Seq
+			return
+		}
+		mux.Receive(p)
+	})
+	fwd := netem.NewLink(eng, "fwd", 48e6, 20*sim.Millisecond, qdiscFIFO(), filter)
+	rev := netem.NewLink(eng, "rev", 1e9, 20*sim.Millisecond, qdiscFIFO(), mux)
+	sa, ra := pkt.Addr{Host: 1, Port: 1}, pkt.Addr{Host: 2, Port: 2}
+	s := NewSender(eng, fwd, sa, ra, 1, 1_000_000, NewCubic(), nil)
+	r := NewReceiver(eng, rev, ra, sa, 1, 1_000_000, nil)
+	mux.Register(sa, s)
+	mux.Register(ra, r)
+	s.Start()
+	eng.RunUntil(10 * sim.Second)
+	if !s.Done() {
+		t.Fatalf("flow incomplete (dropped seq %d)", dropped)
+	}
+	if s.Retransmits != 1 {
+		t.Fatalf("%d retransmits for a single loss, want exactly 1 (SACK)", s.Retransmits)
+	}
+	if s.Timeouts != 0 {
+		t.Fatalf("%d timeouts for a fast-retransmittable loss", s.Timeouts)
+	}
+}
+
+func TestSenderAccessors(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewSender(eng, &netem.Sink{}, pkt.Addr{Host: 1}, pkt.Addr{Host: 2}, 42, 5000, NewReno(), nil)
+	if s.FlowID() != 42 || s.Size() != 5000 || s.Acked() != 0 {
+		t.Fatal("accessor values wrong")
+	}
+	if s.Done() {
+		t.Fatal("done before start")
+	}
+}
+
+func TestZeroSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero-size transfer")
+		}
+	}()
+	NewSender(sim.NewEngine(1), &netem.Sink{}, pkt.Addr{}, pkt.Addr{}, 1, 0, NewReno(), nil)
+}
+
+func TestCompletionCallbacksFire(t *testing.T) {
+	tp := newTestPath(96e6, 20*sim.Millisecond, 1<<22)
+	eng := tp.eng
+	var sDone, rDone sim.Time
+	sa := pkt.Addr{Host: 9001, Port: 1}
+	ra := pkt.Addr{Host: 9002, Port: 2}
+	s := NewSender(eng, tp.fwd, sa, ra, 7, 100_000, NewCubic(), func(now sim.Time) { sDone = now })
+	r := NewReceiver(eng, tp.rev, ra, sa, 7, 100_000, func(now sim.Time) { rDone = now })
+	tp.mux.Register(sa, s)
+	tp.mux.Register(ra, r)
+	s.Start()
+	eng.RunUntil(5 * sim.Second)
+	if sDone == 0 || rDone == 0 {
+		t.Fatal("completion callbacks did not fire")
+	}
+	// The receiver finishes half an RTT before the sender learns of it.
+	if sDone <= rDone {
+		t.Fatal("sender completed before receiver")
+	}
+}
+
+// qdiscFIFO builds a large FIFO for test links.
+func qdiscFIFO() qdisc.Qdisc { return qdisc.NewFIFO(1 << 24) }

@@ -1,0 +1,91 @@
+// Package trace exports experiment measurements as CSV for external
+// plotting — the emulator-side equivalent of the paper's measurement dump
+// scripts. Writers accept the stats types the scenarios already produce.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"bundler/internal/stats"
+)
+
+// WriteTimeSeries writes one or more aligned-by-row time series as CSV:
+// a time column (seconds) per series followed by its values. Series may
+// have different lengths; short columns are left empty.
+func WriteTimeSeries(w io.Writer, names []string, series []*stats.TimeSeries) error {
+	if len(names) != len(series) {
+		return fmt.Errorf("trace: %d names for %d series", len(names), len(series))
+	}
+	header := make([]string, 0, 2*len(names))
+	rows := 0
+	for i, n := range names {
+		header = append(header, n+"_t", n+"_v")
+		if series[i].N() > rows {
+			rows = series[i].N()
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for r := 0; r < rows; r++ {
+		cells := make([]string, 0, 2*len(series))
+		for _, s := range series {
+			if r < s.N() {
+				cells = append(cells,
+					fmt.Sprintf("%.6f", s.T[r].Seconds()),
+					fmt.Sprintf("%.6f", s.V[r]))
+			} else {
+				cells = append(cells, "", "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCDF writes a sample's empirical CDF as (value, cumulative
+// probability) CSV rows, one per distinct quantile step.
+func WriteCDF(w io.Writer, name string, s *stats.Sample) error {
+	if _, err := fmt.Fprintf(w, "%s,cdf\n", name); err != nil {
+		return err
+	}
+	n := s.N()
+	if n == 0 {
+		return nil
+	}
+	// Sample exposes quantiles; reconstruct the sorted values through
+	// them at 1/n resolution.
+	for i := 1; i <= n; i++ {
+		q := float64(i) / float64(n)
+		if _, err := fmt.Fprintf(w, "%.6f,%.6f\n", s.Quantile(q), q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSummaryTable writes labeled stats.Summary rows as CSV, sorted by
+// label for deterministic output.
+func WriteSummaryTable(w io.Writer, rows map[string]stats.Summary) error {
+	if _, err := fmt.Fprintln(w, "label,n,mean,p10,p25,p50,p75,p90,p99,min,max"); err != nil {
+		return err
+	}
+	labels := make([]string, 0, len(rows))
+	for l := range rows {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		s := rows[l]
+		if _, err := fmt.Fprintf(w, "%s,%d,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+			l, s.N, s.Mean, s.P10, s.P25, s.P50, s.P75, s.P90, s.P99, s.Min, s.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"bundler/internal/sim"
+	"bundler/internal/stats"
+)
+
+func TestWriteTimeSeries(t *testing.T) {
+	var a, b stats.TimeSeries
+	a.Add(sim.Second, 1)
+	a.Add(2*sim.Second, 2)
+	b.Add(500*sim.Millisecond, 9)
+	var out strings.Builder
+	if err := WriteTimeSeries(&out, []string{"queue", "rate"}, []*stats.TimeSeries{&a, &b}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 rows:\n%s", len(lines), out.String())
+	}
+	if lines[0] != "queue_t,queue_v,rate_t,rate_v" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1.000000,1.000000,0.500000,9.000000") {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if !strings.HasSuffix(lines[2], ",,") {
+		t.Fatalf("short series not padded: %q", lines[2])
+	}
+}
+
+func TestWriteTimeSeriesLengthMismatch(t *testing.T) {
+	var out strings.Builder
+	if err := WriteTimeSeries(&out, []string{"a"}, nil); err == nil {
+		t.Fatal("no error for mismatched names/series")
+	}
+}
+
+func TestWriteCDF(t *testing.T) {
+	var s stats.Sample
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Add(v)
+	}
+	var out strings.Builder
+	if err := WriteCDF(&out, "fct", &s); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want header + 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[4], "4.000000,1.000000") {
+		t.Fatalf("last row = %q, want max at p=1", lines[4])
+	}
+}
+
+func TestWriteCDFEmpty(t *testing.T) {
+	var s stats.Sample
+	var out strings.Builder
+	if err := WriteCDF(&out, "x", &s); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out.String(), "\n") != 1 {
+		t.Fatal("empty sample should produce header only")
+	}
+}
+
+func TestWriteSummaryTableDeterministic(t *testing.T) {
+	var s stats.Sample
+	s.Add(1)
+	s.Add(2)
+	rows := map[string]stats.Summary{"b": s.Summarize(), "a": s.Summarize()}
+	var out1, out2 strings.Builder
+	if err := WriteSummaryTable(&out1, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSummaryTable(&out2, rows); err != nil {
+		t.Fatal(err)
+	}
+	if out1.String() != out2.String() {
+		t.Fatal("non-deterministic output")
+	}
+	lines := strings.Split(strings.TrimSpace(out1.String()), "\n")
+	if !strings.HasPrefix(lines[1], "a,") || !strings.HasPrefix(lines[2], "b,") {
+		t.Fatalf("labels not sorted: %v", lines)
+	}
+}

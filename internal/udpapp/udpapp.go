@@ -1,0 +1,163 @@
+// Package udpapp provides the UDP workloads the paper's real-path
+// evaluation (§8) uses: closed-loop request/response pairs whose RTTs
+// measure scheduling latency, and a paced constant-bit-rate stream that
+// models application-limited (non-buffer-filling) traffic such as video.
+package udpapp
+
+import (
+	"bundler/internal/netem"
+	"bundler/internal/pkt"
+	"bundler/internal/sim"
+	"bundler/internal/stats"
+)
+
+// RequestSize is the paper's §8 probe size: 40-byte UDP request/response.
+const RequestSize = 40
+
+// PingClient issues closed-loop request/response probes: a new request is
+// sent as soon as the previous response arrives. It implements
+// netem.Receiver for responses.
+type PingClient struct {
+	eng    *sim.Engine
+	out    netem.Receiver
+	addr   pkt.Addr
+	server pkt.Addr
+	flowID uint64
+
+	ipid    uint16
+	lastReq sim.Time
+	waiting bool
+
+	// RTTs collects request-response round-trip times in milliseconds.
+	RTTs stats.Sample
+	// Series records each sample against virtual time for timeline plots.
+	Series stats.TimeSeries
+}
+
+// NewPingClient builds a closed-loop probe client targeting server.
+func NewPingClient(eng *sim.Engine, out netem.Receiver, addr, server pkt.Addr, flowID uint64) *PingClient {
+	return &PingClient{eng: eng, out: out, addr: addr, server: server, flowID: flowID}
+}
+
+// Start sends the first request.
+func (c *PingClient) Start() { c.sendRequest() }
+
+func (c *PingClient) sendRequest() {
+	c.ipid++
+	c.lastReq = c.eng.Now()
+	c.waiting = true
+	c.out.Receive(&pkt.Packet{
+		IPID:   c.ipid,
+		Src:    c.addr,
+		Dst:    c.server,
+		Proto:  pkt.ProtoUDP,
+		Size:   RequestSize + pkt.HeaderBytes,
+		FlowID: c.flowID,
+		SentAt: c.lastReq,
+	})
+}
+
+// Receive implements netem.Receiver: a response completes the loop.
+func (c *PingClient) Receive(p *pkt.Packet) {
+	if !c.waiting || p.Proto != pkt.ProtoUDP {
+		return
+	}
+	c.waiting = false
+	rtt := (c.eng.Now() - c.lastReq).Millis()
+	c.RTTs.Add(rtt)
+	c.Series.Add(c.eng.Now(), rtt)
+	c.sendRequest()
+}
+
+// PingServer echoes each request back to its source. It implements
+// netem.Receiver.
+type PingServer struct {
+	eng  *sim.Engine
+	out  netem.Receiver
+	addr pkt.Addr
+	ipid uint16
+
+	// Served counts completed responses.
+	Served int
+}
+
+// NewPingServer builds an echo server at addr whose responses leave via
+// out.
+func NewPingServer(eng *sim.Engine, out netem.Receiver, addr pkt.Addr) *PingServer {
+	return &PingServer{eng: eng, out: out, addr: addr}
+}
+
+// Receive implements netem.Receiver.
+func (s *PingServer) Receive(p *pkt.Packet) {
+	if p.Proto != pkt.ProtoUDP {
+		return
+	}
+	s.ipid++
+	s.Served++
+	s.out.Receive(&pkt.Packet{
+		IPID:   s.ipid,
+		Src:    s.addr,
+		Dst:    p.Src,
+		Proto:  pkt.ProtoUDP,
+		Size:   RequestSize + pkt.HeaderBytes,
+		FlowID: p.FlowID,
+		SentAt: s.eng.Now(),
+	})
+}
+
+// CBRStream emits fixed-size UDP packets at a constant bit rate: an
+// application-limited source that never fills buffers, the "paced video
+// stream" class of cross traffic from §3.
+type CBRStream struct {
+	eng     *sim.Engine
+	out     netem.Receiver
+	src     pkt.Addr
+	dst     pkt.Addr
+	flowID  uint64
+	rate    float64 // bits per second
+	pktSize int
+	ipid    uint16
+	ticker  *sim.Ticker
+
+	// Sent counts emitted packets.
+	Sent int
+}
+
+// NewCBRStream builds a constant-bit-rate source. pktSize is the wire size
+// per packet.
+func NewCBRStream(eng *sim.Engine, out netem.Receiver, src, dst pkt.Addr, flowID uint64, rateBps float64, pktSize int) *CBRStream {
+	if rateBps <= 0 || pktSize <= 0 {
+		panic("udpapp: CBR rate and packet size must be positive")
+	}
+	return &CBRStream{eng: eng, out: out, src: src, dst: dst, flowID: flowID, rate: rateBps, pktSize: pktSize}
+}
+
+// Start begins emission; Stop ends it.
+func (c *CBRStream) Start() {
+	interval := sim.Time(float64(c.pktSize*8) / c.rate * float64(sim.Second))
+	if interval < 1 {
+		interval = 1
+	}
+	c.ticker = sim.Tick(c.eng, interval, c.emit)
+}
+
+// Stop halts the stream.
+func (c *CBRStream) Stop() {
+	if c.ticker != nil {
+		c.ticker.Stop()
+	}
+}
+
+func (c *CBRStream) emit() {
+	c.ipid++
+	c.Sent++
+	c.out.Receive(&pkt.Packet{
+		IPID:   c.ipid,
+		Src:    c.src,
+		Dst:    c.dst,
+		Proto:  pkt.ProtoUDP,
+		Size:   c.pktSize,
+		FlowID: c.flowID,
+		SentAt: c.eng.Now(),
+	})
+}

@@ -1,0 +1,197 @@
+// Package workload generates the paper's evaluation traffic: request sizes
+// drawn from a heavy-tailed empirical CDF measured at an Internet core
+// router (§7.1 — 97.6 % of requests ≤ 10 KB, the largest 0.002 % between
+// 5 MB and 100 MB), open-loop Poisson arrivals at a configured offered
+// load, and flow-completion-time bookkeeping with the paper's "slowdown"
+// metric (FCT divided by the unloaded completion time).
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"bundler/internal/pkt"
+	"bundler/internal/sim"
+	"bundler/internal/stats"
+)
+
+// SizeDist is a piecewise log-linear empirical CDF over flow sizes in
+// bytes.
+type SizeDist struct {
+	sizes []float64 // strictly increasing
+	probs []float64 // strictly increasing, ends at 1
+}
+
+// NewSizeDist builds a distribution from (size, cumulative probability)
+// points. The first point's probability bounds the smallest sizes; the
+// last probability must be 1.
+func NewSizeDist(sizes, probs []float64) *SizeDist {
+	if len(sizes) != len(probs) || len(sizes) < 2 {
+		panic("workload: need matching size/prob points")
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] || probs[i] <= probs[i-1] {
+			panic("workload: CDF points must be strictly increasing")
+		}
+	}
+	if probs[len(probs)-1] != 1 {
+		panic("workload: CDF must end at probability 1")
+	}
+	return &SizeDist{sizes: sizes, probs: probs}
+}
+
+// PaperWebCDF reproduces the shape of the request-size CDF the paper draws
+// from a CAIDA core-router trace: mostly-tiny requests with a tail to
+// 100 MB. Quoted anchors: 97.6 % ≤ 10 KB; largest 0.002 % in 5–100 MB.
+func PaperWebCDF() *SizeDist {
+	return NewSizeDist(
+		[]float64{100, 1 << 10, 10 << 10, 100 << 10, 1 << 20, 5 << 20, 100 << 20},
+		[]float64{0.30, 0.65, 0.976, 0.990, 0.9985, 0.99998, 1.0},
+	)
+}
+
+// Sample draws one flow size.
+func (d *SizeDist) Sample(r *rand.Rand) int64 {
+	u := r.Float64()
+	if u <= d.probs[0] {
+		return int64(d.sizes[0])
+	}
+	for i := 1; i < len(d.probs); i++ {
+		if u <= d.probs[i] {
+			// Log-linear interpolation within the segment.
+			frac := (u - d.probs[i-1]) / (d.probs[i] - d.probs[i-1])
+			lo, hi := d.sizes[i-1], d.sizes[i]
+			return int64(lo * math.Pow(hi/lo, frac))
+		}
+	}
+	return int64(d.sizes[len(d.sizes)-1])
+}
+
+// Mean returns the exact distribution mean in bytes (log-mean per
+// segment).
+func (d *SizeDist) Mean() float64 {
+	mean := d.probs[0] * d.sizes[0]
+	for i := 1; i < len(d.probs); i++ {
+		p := d.probs[i] - d.probs[i-1]
+		lo, hi := d.sizes[i-1], d.sizes[i]
+		mean += p * (hi - lo) / math.Log(hi/lo)
+	}
+	return mean
+}
+
+// Arrivals schedules fn for n Poisson arrivals whose mean rate sustains
+// offeredBps of load given the distribution's mean flow size. fn receives
+// the drawn flow size. Arrival times use the engine's deterministic RNG.
+func Arrivals(eng *sim.Engine, d *SizeDist, offeredBps float64, n int, fn func(size int64)) {
+	if offeredBps <= 0 || n <= 0 {
+		panic("workload: offered load and request count must be positive")
+	}
+	lambda := offeredBps / 8 / d.Mean() // requests per second
+	var schedule func(i int, at sim.Time)
+	schedule = func(i int, at sim.Time) {
+		if i >= n {
+			return
+		}
+		eng.At(at, func() {
+			fn(d.Sample(eng.Rand()))
+			gap := sim.FromSeconds(eng.Rand().ExpFloat64() / lambda)
+			schedule(i+1, eng.Now()+gap)
+		})
+	}
+	first := eng.Now() + sim.FromSeconds(eng.Rand().ExpFloat64()/lambda)
+	schedule(0, first)
+}
+
+// OracleFCT estimates a request's completion time on an unloaded path:
+// slow-start round trips from a 10-segment initial window plus
+// transmission time. This is the denominator of the paper's slowdown
+// metric.
+func OracleFCT(size int64, linkRate float64, rtt sim.Time) sim.Time {
+	iw := int64(10 * pkt.MSS)
+	rtts := 1
+	for sent := iw; sent < size; sent = sent*2 + iw {
+		rtts++
+	}
+	tx := sim.FromSeconds(float64(size) * 8 / linkRate)
+	return sim.Time(rtts)*rtt + tx
+}
+
+// SizeClass buckets flows the way Figure 9 groups them.
+type SizeClass int
+
+// Figure 9's request-size groups.
+const (
+	ClassSmall  SizeClass = iota // ≤ 10 KB
+	ClassMedium                  // 10 KB – 1 MB
+	ClassLarge                   // > 1 MB
+)
+
+func (c SizeClass) String() string {
+	switch c {
+	case ClassSmall:
+		return "(0, 10KB]"
+	case ClassMedium:
+		return "(10KB, 1MB]"
+	case ClassLarge:
+		return "(1MB, inf)"
+	}
+	return "?"
+}
+
+// ClassOf buckets a size.
+func ClassOf(size int64) SizeClass {
+	switch {
+	case size <= 10<<10:
+		return ClassSmall
+	case size <= 1<<20:
+		return ClassMedium
+	default:
+		return ClassLarge
+	}
+}
+
+// Recorder accumulates per-flow completion results.
+type Recorder struct {
+	linkRate float64
+	rtt      sim.Time
+
+	// Slowdowns holds FCT/oracle per completed flow.
+	Slowdowns stats.Sample
+	// FCTms holds raw completion times in milliseconds.
+	FCTms stats.Sample
+	// ByClass splits slowdowns by Figure 9's size groups.
+	ByClass [3]stats.Sample
+	// FCTByClass holds raw completion times (ms) per size group; the
+	// §7.5 proxy comparison uses these because its ramp-up savings push
+	// slowdowns below the metric's floor of 1.
+	FCTByClass [3]stats.Sample
+	// Completed counts finished flows; Bytes sums their sizes.
+	Completed int
+	Bytes     int64
+}
+
+// NewRecorder builds a recorder that normalizes against the given unloaded
+// path parameters.
+func NewRecorder(linkRate float64, rtt sim.Time) *Recorder {
+	return &Recorder{linkRate: linkRate, rtt: rtt}
+}
+
+// RecordUncounted marks a flow complete without contributing to the
+// statistics — used for warmup traffic that loads the network while the
+// control loops converge.
+func (r *Recorder) RecordUncounted() { r.Completed++ }
+
+// Record registers one completed flow.
+func (r *Recorder) Record(size int64, fct sim.Time) {
+	oracle := OracleFCT(size, r.linkRate, r.rtt)
+	slow := float64(fct) / float64(oracle)
+	if slow < 1 {
+		slow = 1
+	}
+	r.Slowdowns.Add(slow)
+	r.FCTms.Add(fct.Millis())
+	r.ByClass[ClassOf(size)].Add(slow)
+	r.FCTByClass[ClassOf(size)].Add(fct.Millis())
+	r.Completed++
+	r.Bytes += size
+}

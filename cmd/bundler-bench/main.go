@@ -1,12 +1,17 @@
 // Command bundler-bench regenerates the paper's evaluation: every figure
 // in §7–§8 plus the §4.5 microbenchmarks, printed as the same rows and
-// series the paper reports. Use -experiment to run a single one.
+// series the paper reports. The experiment list, help text, and "all"
+// ordering all come from the internal/exp registry — registering a new
+// experiment in internal/scenario is enough to make it runnable here.
 //
 // Example:
 //
-//	bundler-bench                       # everything (several minutes)
-//	bundler-bench -experiment fig9      # just the headline FCT comparison
-//	bundler-bench -requests 50000       # closer to paper scale
+//	bundler-bench                             # everything (several minutes)
+//	bundler-bench -experiment fig9            # just the headline FCT comparison
+//	bundler-bench -requests 50000             # closer to paper scale
+//	bundler-bench -experiment fct -set mode=statusquo,rate=48e6
+//	bundler-bench -sweep -parallel 8 -out results.json
+//	bundler-bench -sweep -grid "rate=24e6,96e6;sched=sfq,fifo;requests=2000;seed=1,2"
 package main
 
 import (
@@ -14,252 +19,263 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 
-	"bundler/internal/scenario"
-	"bundler/internal/sim"
-	"bundler/internal/stats"
-	"bundler/internal/trace"
+	"bundler/internal/exp"
+	_ "bundler/internal/scenario" // registers every experiment
 )
+
+// defaultGrid is the out-of-the-box -sweep space: 3 rates × 3 RTTs ×
+// 2 schedulers × 2 loads = 36 points of the single-point FCT experiment.
+const defaultGrid = "rate=24e6,48e6,96e6;rtt=20ms,50ms,100ms;sched=sfq,fifo;loadfrac=0.5,0.875;requests=1200"
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig2|fig5|fig6|fig7|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|sec72|sec74|sec76|all")
-		requests   = flag.Int("requests", 15000, "requests per FCT experiment (paper: 1,000,000)")
-		seed       = flag.Int64("seed", 1, "simulation seed")
-		dump       = flag.String("dump", "", "directory to write CSV traces of the timeline figures (fig2, fig10)")
+		experiment = flag.String("experiment", "all",
+			strings.Join(exp.Names(), "|")+"|all (aliases: "+aliasHelp()+")")
+		requests = flag.Int("requests", 15000, "requests per FCT experiment (paper: 1,000,000)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		dump     = flag.String("dump", "", "directory to write CSV traces of the timeline figures (fig2, fig10)")
+		set      = flag.String("set", "", "extra experiment params, comma-separated k=v pairs (see -experiment <name> -params)")
+		params   = flag.Bool("params", false, "print the selected experiment's parameters and exit")
+		sweep    = flag.Bool("sweep", false, "run a parameter sweep of -sweepexp over -grid instead of single experiments")
+		sweepExp = flag.String("sweepexp", "fct", "experiment the sweep grid parameterizes")
+		grid     = flag.String("grid", defaultGrid, `sweep grid "axis=v1,v2;..."; a seed axis overrides -seed`)
+		parallel = flag.Int("parallel", runtime.NumCPU(), "sweep worker goroutines")
+		out      = flag.String("out", "", "sweep results file (.json or .csv); default: CSV to stdout")
 	)
 	flag.Parse()
-	dumpDir = *dump
-	if dumpDir != "" {
-		if err := os.MkdirAll(dumpDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "dump:", err)
-			os.Exit(1)
+	if *dump != "" {
+		if err := os.MkdirAll(*dump, 0o755); err != nil {
+			fatal("dump:", err)
 		}
 	}
 
-	runs := map[string]func(){
-		"fig2":     func() { fig2(*seed) },
-		"fig5":     func() { fig56(*seed) },
-		"fig6":     func() { fig56(*seed) },
-		"fig7":     func() { fig7(*seed) },
-		"fig9":     func() { fig9(*seed, *requests) },
-		"fig10":    func() { fig10(*seed) },
-		"fig11":    func() { fig11(*seed, *requests/2) },
-		"fig12":    func() { fig12(*seed) },
-		"fig13":    func() { fig13(*seed, *requests) },
-		"fig14":    func() { fig14(*seed, *requests) },
-		"fig15":    func() { fig15(*seed, *requests) },
-		"fig16":    func() { fig16(*seed) },
-		"sec72":    func() { sec72(*seed, *requests) },
-		"sec74":    func() { sec74(*seed, *requests) },
-		"sec76":    func() { sec76(*seed) },
-		"policies": func() { policies(*seed, *requests) },
-	}
-	if *experiment == "all" {
-		var names []string
-		for n := range runs {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			if n == "fig5" { // fig5/fig6 share one run
-				continue
-			}
-			runs[n]()
-		}
+	if *sweep {
+		runSweep(*sweepExp, *grid, *set, *seed, *parallel, *out)
 		return
 	}
-	run, ok := runs[*experiment]
-	if !ok {
-		fmt.Println("unknown experiment; see -help")
-		return
-	}
-	run()
-}
 
-func header(s string) {
-	fmt.Printf("\n=== %s ===\n", s)
-}
-
-// dumpDir, when non-empty, receives CSV traces for the timeline figures.
-var dumpDir string
-
-func dumpCSV(name string, write func(f *os.File) error) {
-	if dumpDir == "" {
-		return
-	}
-	path := filepath.Join(dumpDir, name)
-	f, err := os.Create(path)
+	pairs, err := parseSet(*set)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dump:", err)
+		fatal(err)
+	}
+
+	if *experiment == "all" {
+		if *params {
+			for _, e := range exp.All() {
+				printParams(e)
+			}
+			return
+		}
+		// -set keys must be declared by at least one experiment; each
+		// experiment then receives only the keys it declares.
+		for k := range pairs {
+			if !anyDeclares(k) {
+				fatal(fmt.Sprintf("-set %s: no experiment declares that param (see -params)", k))
+			}
+		}
+		for _, e := range exp.All() {
+			runOne(e, *seed, paramsFor(e, *requests, *dump, pairs, false), *dump)
+		}
 		return
 	}
-	defer f.Close()
-	if err := write(f); err != nil {
+	e, ok := exp.Lookup(*experiment)
+	if !ok {
+		fatal("unknown experiment " + *experiment + "; see -help")
+	}
+	if *params {
+		printParams(e)
+		return
+	}
+	runOne(e, *seed, paramsFor(e, *requests, *dump, pairs, true), *dump)
+}
+
+// paramsFor assembles an experiment's params: the -requests and -dump
+// flags map onto the declared "requests"/"artifacts" params, and -set
+// pairs are checked against the declaration (strict mode rejects
+// unknown keys; "all" mode skips keys other experiments own).
+func paramsFor(e exp.Experiment, requests int, dumpDir string, pairs map[string]string, strict bool) exp.Params {
+	declared := map[string]bool{}
+	for _, pd := range e.Params() {
+		declared[pd.Name] = true
+	}
+	p := exp.Params{}
+	if declared["requests"] {
+		p["requests"] = strconv.Itoa(requests)
+	}
+	if dumpDir != "" && declared["artifacts"] {
+		p["artifacts"] = "true"
+	}
+	for k, v := range pairs {
+		if !declared[k] {
+			if strict {
+				fatal(fmt.Sprintf("-set %s: %s has no such param (see -experiment %s -params)",
+					k, e.Name(), e.Name()))
+			}
+			continue
+		}
+		p[k] = v
+	}
+	return p
+}
+
+func anyDeclares(param string) bool {
+	for _, e := range exp.All() {
+		for _, pd := range e.Params() {
+			if pd.Name == param {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func runOne(e exp.Experiment, seed int64, params exp.Params, dumpDir string) {
+	res, err := e.Run(seed, params)
+	if err != nil {
+		fatal(e.Name()+":", err)
+	}
+	fmt.Print(res.Report)
+	for _, a := range res.Artifacts {
+		dumpArtifact(dumpDir, a)
+	}
+}
+
+func runSweep(name, gridSpec, setSpec string, seed int64, parallel int, outPath string) {
+	e, ok := exp.Lookup(name)
+	if !ok {
+		fatal("sweep: unknown experiment " + name)
+	}
+	g, err := exp.ParseGrid(gridSpec)
+	if err != nil {
+		fatal(err)
+	}
+	// -set pairs become single-value axes (fixed across the sweep); a
+	// -set seed pins the sweep seed the same way the -seed flag does.
+	pairs, err := parseSet(setSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if sv, ok := pairs["seed"]; ok {
+		if len(g.Seeds) > 0 {
+			fatal("seed given both in -grid and -set; pick one")
+		}
+		s, perr := strconv.ParseInt(sv, 10, 64)
+		if perr != nil {
+			fatal(fmt.Sprintf("-set seed=%q: %v", sv, perr))
+		}
+		g.Seeds = []int64{s}
+		delete(pairs, "seed")
+	}
+	if len(g.Seeds) == 0 {
+		g.Seeds = []int64{seed}
+	}
+	swept := map[string]bool{}
+	for _, a := range g.Axes {
+		swept[a.Name] = true
+	}
+	for _, k := range sortedKeys(pairs) {
+		if swept[k] {
+			fatal(fmt.Sprintf("param %s given both in -grid and -set; pick one", k))
+		}
+		g.Axes = append(g.Axes, exp.Axis{Name: k, Values: []string{pairs[k]}})
+	}
+	total := g.Size()
+	fmt.Fprintf(os.Stderr, "sweep: %s over %d points, %d workers\n", e.Name(), total, parallel)
+	results, err := exp.Sweep(e, g, parallel, func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\r%d/%d points", done, total)
+	})
+	if results == nil && err != nil {
+		fatal(err) // the grid itself was rejected; nothing ran
+	}
+	fmt.Fprintln(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep: some points failed:", err)
+	}
+
+	switch {
+	case outPath == "":
+		if err := exp.WriteCSV(os.Stdout, results); err != nil {
+			fatal(err)
+		}
+	default:
+		f, ferr := os.Create(outPath)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		defer f.Close()
+		emit := exp.WriteJSON
+		if strings.HasSuffix(outPath, ".csv") {
+			emit = exp.WriteCSV
+		}
+		if werr := emit(f, results); werr != nil {
+			fatal(werr)
+		}
+		fmt.Printf("wrote %d results to %s\n", len(results), outPath)
+	}
+	if err != nil {
+		os.Exit(1)
+	}
+}
+
+// parseSet parses "k=v,k2=v2".
+func parseSet(s string) (map[string]string, error) {
+	pairs := map[string]string{}
+	if s == "" {
+		return pairs, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("-set %q: want k=v pairs", pair)
+		}
+		pairs[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	}
+	return pairs, nil
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func printParams(e exp.Experiment) {
+	fmt.Printf("%s — %s\n", e.Name(), e.Desc())
+	for _, p := range e.Params() {
+		fmt.Printf("  %-10s default %-8q %s\n", p.Name, p.Default, p.Help)
+	}
+}
+
+func aliasHelp() string {
+	var parts []string
+	aliases := exp.Aliases()
+	for _, a := range exp.AliasNames() {
+		parts = append(parts, a+"→"+aliases[a])
+	}
+	return strings.Join(parts, ",")
+}
+
+func dumpArtifact(dir string, a exp.Artifact) {
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, a.Name)
+	if err := os.WriteFile(path, []byte(a.Data), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "dump:", err)
 		return
 	}
 	fmt.Printf("wrote %s\n", path)
 }
 
-func fig2(seed int64) {
-	header("Figure 2: queue shifting (single flow, 96 Mbit/s, 50 ms RTT)")
-	res := scenario.RunQueueShift(seed, 30*sim.Second)
-	fmt.Printf("%-28s %-22s %-20s\n", "", "bottleneck queue (ms)", "edge/sendbox queue (ms)")
-	fmt.Printf("%-28s %-22.1f %-20.1f\n", "Status Quo",
-		res.StatusQuoBottleneck.MeanOver(5*sim.Second, 30*sim.Second),
-		res.StatusQuoEdge.MeanOver(5*sim.Second, 30*sim.Second))
-	fmt.Printf("%-28s %-22.1f %-20.1f\n", "With Bundler",
-		res.BundlerBottleneck.MeanOver(5*sim.Second, 30*sim.Second),
-		res.BundlerSendbox.MeanOver(5*sim.Second, 30*sim.Second))
-	fmt.Printf("throughput: status quo %.1f Mbit/s, bundler %.1f Mbit/s\n",
-		res.StatusQuoThroughput, res.BundlerThroughput)
-	dumpCSV("fig2_queues.csv", func(f *os.File) error {
-		return trace.WriteTimeSeries(f,
-			[]string{"statusquo_bottleneck_ms", "bundler_bottleneck_ms", "bundler_sendbox_ms"},
-			[]*stats.TimeSeries{&res.StatusQuoBottleneck, &res.BundlerBottleneck, &res.BundlerSendbox})
-	})
-}
-
-func fig56(seed int64) {
-	header("Figures 5+6: measurement accuracy (9 configs: {20,50,100 ms} × {24,48,96 Mbit/s})")
-	res := scenario.RunMeasurementAccuracy(seed, 20*sim.Second)
-	fmt.Printf("RTT estimate error:  p10=%+.2fms p50=%+.2fms p90=%+.2fms  within ±1.2ms: %.0f%% (paper: 80%%)\n",
-		res.RTTErrMs.Quantile(0.1), res.RTTErrMs.Quantile(0.5), res.RTTErrMs.Quantile(0.9), res.WithinRTT*100)
-	fmt.Printf("rate estimate error: p10=%+.2fMbps p50=%+.2fMbps p90=%+.2fMbps  within ±4Mbps: %.0f%% (paper: 80%%)\n",
-		res.RateErrMbps.Quantile(0.1), res.RateErrMbps.Quantile(0.5), res.RateErrMbps.Quantile(0.9), res.WithinRate*100)
-}
-
-func fig7(seed int64) {
-	header("Figure 7: imbalanced multipath visibility (4 paths)")
-	res := scenario.RunFig7(seed, 20*sim.Second)
-	for i, ts := range res.PathRTTms {
-		fmt.Printf("path %d true RTT: %.1f ms (mean)\n", i+1, ts.MeanOver(0, 20*sim.Second))
-	}
-	fmt.Printf("out-of-order congestion-ACK fraction: %.1f%% (threshold 5%%)\n", res.OOOFraction*100)
-	fmt.Printf("sendbox mode: %v\n", res.Mode)
-}
-
-func printFCTRows(rows []scenario.Fig9Result) {
-	fmt.Printf("%-22s %8s %8s | median slowdown by size: %-10s %-12s %-10s\n",
-		"", "p50", "p99", "≤10KB", "10KB-1MB", ">1MB")
-	for _, r := range rows {
-		fmt.Printf("%-22s %8.2f %8.2f | %26.2f %-12.2f %-10.2f\n",
-			r.Label, r.Median, r.P99, r.ByClass[0], r.ByClass[1], r.ByClass[2])
-	}
-}
-
-func fig9(seed int64, requests int) {
-	header(fmt.Sprintf("Figure 9: FCT slowdowns (%d requests; paper: 1M, medians 1.76 → 1.26)", requests))
-	printFCTRows(scenario.RunFig9(seed, requests))
-}
-
-func fig10(seed int64) {
-	header("Figure 10: time-varying cross traffic (3 × 60 s phases)")
-	res := scenario.RunFig10(seed)
-	fmt.Printf("%-28s %12s %12s %10s %12s %14s\n",
-		"phase", "bundle Mb/s", "cross Mb/s", "queue ms", "pass-through", "short-flow p50")
-	for _, p := range res.Phases {
-		fmt.Printf("%-28s %12.1f %12.1f %10.1f %11.0f%% %14.2f\n",
-			p.Label, p.BundleMbps, p.CrossMbps, p.MeanQueueMs, p.PassThroughFrac*100, p.ShortFlowSlowdowns.P50)
-	}
-	dumpCSV("fig10_timeline.csv", func(f *os.File) error {
-		return trace.WriteTimeSeries(f,
-			[]string{"bundle_mbps", "cross_mbps", "queue_ms", "mode"},
-			[]*stats.TimeSeries{&res.BundleTput, &res.CrossTput, &res.QueueMs, &res.Mode})
-	})
-}
-
-func fig11(seed int64, requests int) {
-	header("Figure 11: short-flow cross traffic sweep (bundle fixed at 48 Mbit/s)")
-	fmt.Printf("%-12s %12s %14s %16s\n", "cross Mb/s", "status quo", "bundler-copa", "bundler-nimbus")
-	for _, p := range scenario.RunFig11(seed, requests) {
-		fmt.Printf("%-12.0f %12.2f %14.2f %16.2f\n",
-			p.CrossBps/1e6, p.Median["statusquo"], p.Median["bundler-copa"], p.Median["bundler-nimbus"])
-	}
-}
-
-func fig12(seed int64) {
-	header("Figure 12: persistent elastic cross flows (paper: 12-22% bundle throughput loss)")
-	fmt.Printf("%-12s %12s %14s %16s\n", "cross flows", "status quo", "bundler-copa", "bundler-nimbus")
-	for _, p := range scenario.RunFig12(seed) {
-		fmt.Printf("%-12d %9.1f Mb/s %11.1f Mb/s %13.1f Mb/s\n",
-			p.CrossFlows, p.Throughput["statusquo"], p.Throughput["bundler-copa"], p.Throughput["bundler-nimbus"])
-	}
-}
-
-func fig13(seed int64, requests int) {
-	header("Figure 13: competing bundles (aggregate 84 Mbit/s)")
-	for _, r := range scenario.RunFig13(seed, requests) {
-		var parts []string
-		for i, m := range r.Medians {
-			parts = append(parts, fmt.Sprintf("bundle%d p50=%.2f", i+1, m))
-		}
-		fmt.Printf("%-24s %s\n", r.Label, strings.Join(parts, "  "))
-	}
-}
-
-func fig14(seed int64, requests int) {
-	header("Figure 14: inner-loop congestion control comparison")
-	printFCTRows(scenario.RunFig14(seed, requests))
-}
-
-func fig15(seed int64, requests int) {
-	header("Figure 15: idealized TCP proxy (fixed 450-packet endhost windows)")
-	printFCTRows(scenario.RunFig15(seed, requests))
-}
-
-func fig16(seed int64) {
-	header("Figure 16: emulated wide-area paths (paper: 57% lower latencies, throughput within 1%)")
-	fmt.Printf("%-12s %10s %12s %10s | %14s %12s\n",
-		"path", "base ms", "statusquo ms", "bundler ms", "statusquo Mb/s", "bundler Mb/s")
-	for _, r := range scenario.RunFig16(seed, 15*sim.Second) {
-		fmt.Printf("%-12s %10.1f %12.1f %10.1f | %14.0f %12.0f\n",
-			r.Name, r.BaseRTT, r.StatusQuoRTT, r.BundlerRTT, r.StatusQuoMbps, r.BundlerMbps)
-	}
-}
-
-func sec72(seed int64, requests int) {
-	header("§7.2: other sendbox policies")
-	c := scenario.RunSec72CoDel(seed, 20*sim.Second)
-	fmt.Printf("FQ-CoDel probe RTTs: status quo p50=%.1fms p99=%.1fms | bundler p50=%.1fms p99=%.1fms\n",
-		c.StatusQuoMedianMs, c.StatusQuoP99Ms, c.BundlerMedianMs, c.BundlerP99Ms)
-	p := scenario.RunSec72Prio(seed, requests)
-	fmt.Printf("strict priority: favored class p50 %.2f (status quo %.2f); other class p50 %.2f (status quo %.2f)\n",
-		p.BundlerHigh, p.StatusQuoHigh, p.BundlerLow, p.StatusQuoLow)
-}
-
-func policies(seed int64, requests int) {
-	header("Extension: full sendbox policy sweep (schedulers vs AQMs)")
-	fmt.Printf("%-10s %14s %12s %12s %12s\n", "policy", "median slow", "p99 slow", "probe p50", "probe p99")
-	for _, r := range scenario.RunPolicySweep(seed, requests/2) {
-		fmt.Printf("%-10s %14.2f %12.2f %10.1fms %10.1fms\n",
-			r.Policy, r.MedianSlowdown, r.P99Slowdown, r.ProbeP50Ms, r.ProbeP99Ms)
-	}
-}
-
-func sec74(seed int64, requests int) {
-	header("§7.4: endhost congestion control")
-	res := scenario.RunSec74(seed, requests)
-	var ccs []string
-	for cc := range res {
-		ccs = append(ccs, cc)
-	}
-	sort.Strings(ccs)
-	for _, cc := range ccs {
-		pair := res[cc]
-		fmt.Printf("endhost %-6s status quo p50=%.2f | bundler p50=%.2f (%.0f%% lower)\n",
-			cc, pair[0].Median, pair[1].Median, (1-pair[1].Median/pair[0].Median)*100)
-	}
-}
-
-func sec76(seed int64) {
-	header("§7.6: multipath detection sweep (paper: ≤0.4% single path, ≥20% multipath)")
-	points := scenario.RunSec76(seed, 10*sim.Second)
-	fmt.Printf("%-10s %-8s %-8s %-10s %-8s\n", "rate Mb/s", "RTT ms", "paths", "OOO frac", "disabled")
-	for _, p := range points {
-		fmt.Printf("%-10.0f %-8.0f %-8d %-10.4f %-8v\n", p.RateMbps, p.RTTms, p.Paths, p.OOOFrac, p.Disabled)
-	}
+func fatal(args ...any) {
+	fmt.Fprintln(os.Stderr, args...)
+	os.Exit(1)
 }

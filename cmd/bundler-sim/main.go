@@ -1,22 +1,25 @@
 // Command bundler-sim runs a single Bundler emulation scenario and prints
 // its flow-completion statistics — a quick way to explore how the paper's
-// §7.1 setup responds to different knobs.
+// §7.1 setup responds to different knobs. It is a thin front-end over the
+// registry's "fct" experiment (the same one bundler-bench -sweep fans
+// out), so the two tools cannot drift apart.
 //
 // Example:
 //
 //	bundler-sim -mode bundler -alg copa -sched sfq -requests 20000
 //	bundler-sim -mode statusquo -rate 48e6 -rtt 100ms
+//	bundler-sim -json            # structured result for scripting
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 
-	"bundler/internal/scenario"
-	"bundler/internal/sim"
-	"bundler/internal/workload"
+	"bundler/internal/exp"
+	_ "bundler/internal/scenario" // registers the fct experiment
 )
 
 func main() {
@@ -31,35 +34,40 @@ func main() {
 		requests = flag.Int("requests", 10000, "number of requests to complete")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		tunnel   = flag.Bool("tunnel", false, "use encapsulation-based epoch marking (§4.5 tunnel mode)")
+		asJSON   = flag.Bool("json", false, "emit the structured result as JSON instead of text")
 	)
 	flag.Parse()
 
-	rec := scenario.RunFCT(scenario.FCTOptions{
-		Seed:       *seed,
-		LinkRate:   *rate,
-		RTT:        sim.FromSeconds(rtt.Seconds()),
-		Requests:   *requests,
-		OfferedBps: *load,
-		Mode:       *mode,
-		InnerAlg:   *alg,
-		Scheduler:  *sched,
-		EndhostCC:  *endhost,
-		TunnelMode: *tunnel,
+	e, ok := exp.Lookup("fct")
+	if !ok {
+		fmt.Fprintln(os.Stderr, "fct experiment not registered")
+		os.Exit(1)
+	}
+	res, err := e.Run(*seed, exp.Params{
+		"mode":     *mode,
+		"alg":      *alg,
+		"sched":    *sched,
+		"endhost":  *endhost,
+		"rate":     strconv.FormatFloat(*rate, 'g', -1, 64),
+		"rtt":      rtt.String(),
+		"load":     strconv.FormatFloat(*load, 'g', -1, 64),
+		"requests": strconv.Itoa(*requests),
+		"tunnel":   strconv.FormatBool(*tunnel),
 	})
-	if rec.Completed < *requests {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if completed := int(res.Metric("completed")); completed < *requests {
 		fmt.Fprintf(os.Stderr, "warning: only %d of %d requests completed before the horizon\n",
-			rec.Completed, *requests)
+			completed, *requests)
 	}
-
-	s := rec.Slowdowns.Summarize()
-	fmt.Printf("mode=%s alg=%s sched=%s endhost=%s rate=%.0fMbps rtt=%s load=%.0fMbps\n",
-		*mode, *alg, *sched, *endhost, *rate/1e6, rtt, *load/1e6)
-	fmt.Printf("completed %d requests, %.1f MB total\n", rec.Completed, float64(rec.Bytes)/1e6)
-	fmt.Printf("slowdown: p10=%.2f p50=%.2f p90=%.2f p99=%.2f mean=%.2f\n",
-		s.P10, s.P50, s.P90, s.P99, s.Mean)
-	for c := workload.ClassSmall; c <= workload.ClassLarge; c++ {
-		cs := rec.ByClass[c].Summarize()
-		fmt.Printf("  %-12s n=%-6d p50=%.2f p90=%.2f p99=%.2f\n", c, cs.N, cs.P50, cs.P90, cs.P99)
+	if *asJSON {
+		if err := exp.WriteJSON(os.Stdout, []exp.Result{res}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
-	fmt.Printf("FCT: p50=%.1fms p99=%.1fms\n", rec.FCTms.Quantile(0.5), rec.FCTms.Quantile(0.99))
+	fmt.Print(res.Report)
 }

@@ -1,0 +1,3 @@
+module bundler
+
+go 1.24

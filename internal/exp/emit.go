@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteJSON emits results as indented JSON. Params maps marshal with
+// sorted keys and Metrics keep their insertion order, so the bytes are a
+// pure function of the results — the determinism tests compare sweeps
+// through this emitter.
+func WriteJSON(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(results)
+}
+
+// WriteCSV flattens results into one row per run: experiment, seed, the
+// sorted union of param names, then the sorted union of metric names
+// (summaries expand to name.p50 / name.p99 / name.mean columns). Cells
+// absent from a given result are left empty.
+func WriteCSV(w io.Writer, results []Result) error {
+	paramSet := map[string]bool{}
+	colSet := map[string]bool{}
+	for _, r := range results {
+		for k := range r.Params {
+			paramSet[k] = true
+		}
+		for _, m := range r.Metrics {
+			colSet[m.Name] = true
+		}
+		for name := range r.Summaries {
+			for _, q := range summaryCols {
+				colSet[name+"."+q] = true
+			}
+		}
+	}
+	params := sortedKeys(paramSet)
+	cols := sortedKeys(colSet)
+
+	header := append([]string{"experiment", "seed"}, params...)
+	header = append(header, cols...)
+	header = append(header, "err")
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, r := range results {
+		row := make([]string, 0, len(header))
+		row = append(row, r.Experiment, fmt.Sprintf("%d", r.Seed))
+		for _, p := range params {
+			row = append(row, r.Params[p])
+		}
+		vals := map[string]float64{}
+		for _, m := range r.Metrics {
+			vals[m.Name] = m.Value
+		}
+		for name, s := range r.Summaries {
+			vals[name+".n"] = float64(s.N)
+			vals[name+".mean"] = s.Mean
+			vals[name+".p50"] = s.P50
+			vals[name+".p90"] = s.P90
+			vals[name+".p99"] = s.P99
+		}
+		for _, c := range cols {
+			if v, ok := vals[c]; ok {
+				row = append(row, fmt.Sprintf("%g", v))
+			} else {
+				row = append(row, "")
+			}
+		}
+		row = append(row, csvEscape(r.Err))
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var summaryCols = []string{"n", "mean", "p50", "p90", "p99"}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

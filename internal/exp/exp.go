@@ -1,0 +1,186 @@
+// Package exp is the experiment harness: a common interface every
+// scenario implements, a registry the CLIs derive their experiment lists
+// from, and a parallel sweep runner that fans a parameter grid out across
+// goroutines — one deterministic sim.Engine per run — collecting
+// structured Results with JSON/CSV emitters built on internal/stats.
+//
+// Registering a new experiment makes it runnable from cmd/bundler-bench
+// (and sweepable) with no CLI changes:
+//
+//	type myExp struct{}
+//	func (myExp) Name() string { return "myexp" }
+//	func (myExp) Desc() string { return "what it measures" }
+//	func (myExp) Params() []exp.Param { ... }
+//	func (myExp) Run(seed int64, p exp.Params) (exp.Result, error) { ... }
+//	func init() { exp.Register(myExp{}) }
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"bundler/internal/stats"
+)
+
+// Param declares one tunable of an experiment, for -help text and
+// sweep-grid validation.
+type Param struct {
+	Name    string
+	Default string
+	Help    string
+}
+
+// Params carries the parameter values for one run as name → string;
+// experiments parse them through a Binder. Missing keys mean "use the
+// declared default".
+type Params map[string]string
+
+// Clone returns an independent copy.
+func (p Params) Clone() Params {
+	out := make(Params, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Binder parses Params into typed values, remembering the first parse
+// failure so experiments can check once after binding everything.
+type Binder struct {
+	p   Params
+	err error
+}
+
+// Bind wraps p for typed access.
+func Bind(p Params) *Binder { return &Binder{p: p} }
+
+// Err reports the first parse failure, or nil.
+func (b *Binder) Err() error { return b.err }
+
+func (b *Binder) fail(name, val, kind string, err error) {
+	if b.err == nil {
+		b.err = fmt.Errorf("exp: param %s=%q: bad %s: %v", name, val, kind, err)
+	}
+}
+
+// String returns the named param or def when absent.
+func (b *Binder) String(name, def string) string {
+	if v, ok := b.p[name]; ok {
+		return v
+	}
+	return def
+}
+
+// Int parses the named param as an integer.
+func (b *Binder) Int(name string, def int) int {
+	v, ok := b.p[name]
+	if !ok {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		b.fail(name, v, "int", err)
+		return def
+	}
+	return n
+}
+
+// Float parses the named param as a float (so "96e6" works for rates).
+func (b *Binder) Float(name string, def float64) float64 {
+	v, ok := b.p[name]
+	if !ok {
+		return def
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		b.fail(name, v, "float", err)
+		return def
+	}
+	return f
+}
+
+// Bool parses the named param as a boolean.
+func (b *Binder) Bool(name string, def bool) bool {
+	v, ok := b.p[name]
+	if !ok {
+		return def
+	}
+	t, err := strconv.ParseBool(v)
+	if err != nil {
+		b.fail(name, v, "bool", err)
+		return def
+	}
+	return t
+}
+
+// Duration parses the named param as a time.Duration ("50ms").
+func (b *Binder) Duration(name string, def time.Duration) time.Duration {
+	v, ok := b.p[name]
+	if !ok {
+		return def
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		b.fail(name, v, "duration", err)
+		return def
+	}
+	return d
+}
+
+// Metric is one named scalar an experiment reports.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit,omitempty"`
+}
+
+// Artifact is a named blob (CSV trace) an experiment produced. Data is
+// excluded from JSON results; the CLIs write it to the -dump directory.
+type Artifact struct {
+	Name string `json:"name"`
+	Data string `json:"-"`
+}
+
+// Result is the structured record of one experiment run. Everything in
+// it derives from the simulation alone (no wall-clock), so a fixed seed
+// and params produce byte-identical Results regardless of scheduling.
+type Result struct {
+	Experiment string                   `json:"experiment"`
+	Seed       int64                    `json:"seed"`
+	Params     Params                   `json:"params,omitempty"`
+	Metrics    []Metric                 `json:"metrics,omitempty"`
+	Summaries  map[string]stats.Summary `json:"summaries,omitempty"`
+	Report     string                   `json:"report,omitempty"`
+	Artifacts  []Artifact               `json:"artifacts,omitempty"`
+	// Err records a per-point failure during a sweep (the sweep keeps
+	// going and reports the first error separately).
+	Err string `json:"err,omitempty"`
+}
+
+// AddMetric appends a metric.
+func (r *Result) AddMetric(name string, value float64, unit string) {
+	r.Metrics = append(r.Metrics, Metric{Name: name, Value: value, Unit: unit})
+}
+
+// Metric returns the named metric's value, or NaN when absent.
+func (r *Result) Metric(name string) float64 {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	return math.NaN()
+}
+
+// Experiment is one reproducible scenario: a parameterized function from
+// (seed, params) to a structured Result. Run must be self-contained —
+// build its own sim.Engine(s), share no mutable state — so the sweep
+// runner can execute many instances concurrently.
+type Experiment interface {
+	Name() string
+	Desc() string
+	Params() []Param
+	Run(seed int64, p Params) (Result, error)
+}

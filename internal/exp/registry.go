@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// registry holds every known experiment. Canonical ordering is the
+// registration order, which internal/scenario fixes in one place
+// (experiments.go) — the CLIs' "all" mode and help text both derive
+// from it instead of maintaining their own lists.
+type registry struct {
+	mu      sync.RWMutex
+	ordered []Experiment
+	byName  map[string]Experiment
+	hidden  map[string]bool
+	aliases map[string]string
+}
+
+var reg = &registry{
+	byName:  map[string]Experiment{},
+	hidden:  map[string]bool{},
+	aliases: map[string]string{},
+}
+
+// Register adds e to the registry in canonical (call) order. It panics
+// on a duplicate name: two experiments claiming one name is a
+// programming error that silent last-wins resolution would hide.
+func Register(e Experiment) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	name := e.Name()
+	if _, dup := reg.byName[name]; dup {
+		panic(fmt.Sprintf("exp: duplicate experiment %q", name))
+	}
+	if c, isAlias := reg.aliases[name]; isAlias {
+		// Lookup resolves aliases first, so this experiment would be
+		// silently unreachable.
+		panic(fmt.Sprintf("exp: experiment %q collides with alias of %q", name, c))
+	}
+	reg.byName[name] = e
+	reg.ordered = append(reg.ordered, e)
+}
+
+// RegisterHidden registers e but keeps it out of Names() and the CLIs'
+// "all" mode — for building-block experiments (like the single-point
+// "fct" run) that are looked up explicitly or swept.
+func RegisterHidden(e Experiment) {
+	Register(e)
+	reg.mu.Lock()
+	reg.hidden[e.Name()] = true
+	reg.mu.Unlock()
+}
+
+// RegisterAlias makes alias resolve to the canonical experiment (the
+// paper presents Figures 5 and 6 as one accuracy run, so "fig5" and
+// "fig6" both alias "fig56"). Panics if canonical is unknown or alias
+// collides with an existing name.
+func RegisterAlias(alias, canonical string) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if _, ok := reg.byName[canonical]; !ok {
+		panic(fmt.Sprintf("exp: alias %q for unknown experiment %q", alias, canonical))
+	}
+	if _, dup := reg.byName[alias]; dup {
+		panic(fmt.Sprintf("exp: alias %q collides with experiment %q", alias, alias))
+	}
+	if _, dup := reg.aliases[alias]; dup {
+		panic(fmt.Sprintf("exp: duplicate alias %q", alias))
+	}
+	reg.aliases[alias] = canonical
+}
+
+// Lookup resolves a name or alias to its experiment.
+func Lookup(name string) (Experiment, bool) {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	if c, ok := reg.aliases[name]; ok {
+		name = c
+	}
+	e, ok := reg.byName[name]
+	return e, ok
+}
+
+// All returns the non-hidden experiments in canonical order.
+func All() []Experiment {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	out := make([]Experiment, 0, len(reg.ordered))
+	for _, e := range reg.ordered {
+		if !reg.hidden[e.Name()] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Names returns the non-hidden experiment names in canonical order.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = e.Name()
+	}
+	return out
+}
+
+// Aliases returns the alias → canonical map, sorted keys.
+func Aliases() map[string]string {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	out := make(map[string]string, len(reg.aliases))
+	for k, v := range reg.aliases {
+		out[k] = v
+	}
+	return out
+}
+
+// AliasNames returns the registered aliases, sorted.
+func AliasNames() []string {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	out := make([]string, 0, len(reg.aliases))
+	for a := range reg.aliases {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}

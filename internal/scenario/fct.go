@@ -2,11 +2,16 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
+	"strings"
+	"time"
 
 	"bundler/internal/bundle"
+	"bundler/internal/exp"
 	"bundler/internal/pkt"
 	"bundler/internal/qdisc"
 	"bundler/internal/sim"
+	"bundler/internal/stats"
 	"bundler/internal/tcp"
 	"bundler/internal/workload"
 )
@@ -372,4 +377,283 @@ func SchedulerByName(eng *sim.Engine, name string, packets int) qdisc.Qdisc {
 	default:
 		panic("scenario: unknown scheduler " + name)
 	}
+}
+
+// --- experiment adapters ---
+
+// fctExp is the single-point FCT run: the unit of work the sweep engine
+// fans out, and what cmd/bundler-sim exposes interactively. Registered
+// hidden — it is looked up or swept, not part of "all".
+type fctExp struct{}
+
+func (fctExp) Name() string { return "fct" }
+func (fctExp) Desc() string {
+	return "single-point FCT run (the §7.1 setup): rate × RTT × load × scheduler × CC"
+}
+
+func (fctExp) Params() []exp.Param {
+	return []exp.Param{
+		{Name: "mode", Default: "bundler", Help: `"statusquo", "bundler", or "innetwork"`},
+		{Name: "alg", Default: "copa", Help: `inner-loop algorithm: "copa", "basicdelay", "bbr"`},
+		{Name: "sched", Default: "sfq", Help: `sendbox scheduler: "sfq", "fifo", "fqcodel", "prio:<port>", ...`},
+		{Name: "endhost", Default: "cubic", Help: `endhost congestion control: "cubic", "reno", "bbr"`},
+		{Name: "rate", Default: "96e6", Help: "bottleneck rate, bits/s"},
+		{Name: "rtt", Default: "50ms", Help: "path round-trip propagation delay"},
+		{Name: "load", Default: "84e6", Help: "offered load, bits/s"},
+		{Name: "loadfrac", Default: "", Help: "offered load as a fraction of rate (overrides load)"},
+		{Name: "requests", Default: "10000", Help: "number of requests to complete"},
+		{Name: "tunnel", Default: "false", Help: "encapsulation-based epoch marking (§4.5 tunnel mode)"},
+	}
+}
+
+func (fctExp) Run(seed int64, p exp.Params) (exp.Result, error) {
+	b := exp.Bind(p)
+	var (
+		mode     = b.String("mode", "bundler")
+		alg      = b.String("alg", "copa")
+		sched    = b.String("sched", "sfq")
+		endhost  = b.String("endhost", "cubic")
+		rate     = b.Float("rate", 96e6)
+		rtt      = b.Duration("rtt", 50*time.Millisecond)
+		load     = b.Float("load", 84e6)
+		loadfrac = b.Float("loadfrac", 0)
+		requests = b.Int("requests", 10000)
+		tunnel   = b.Bool("tunnel", false)
+	)
+	if err := b.Err(); err != nil {
+		return exp.Result{}, err
+	}
+	if loadfrac > 0 {
+		load = loadfrac * rate
+	}
+	rec := RunFCT(FCTOptions{
+		Seed:       seed,
+		LinkRate:   rate,
+		RTT:        sim.FromSeconds(rtt.Seconds()),
+		Requests:   requests,
+		OfferedBps: load,
+		Mode:       mode,
+		InnerAlg:   alg,
+		Scheduler:  sched,
+		EndhostCC:  endhost,
+		TunnelMode: tunnel,
+	})
+
+	s := rec.Slowdowns.Summarize()
+	var w strings.Builder
+	fmt.Fprintf(&w, "mode=%s alg=%s sched=%s endhost=%s rate=%.0fMbps rtt=%s load=%.0fMbps\n",
+		mode, alg, sched, endhost, rate/1e6, rtt, load/1e6)
+	fmt.Fprintf(&w, "completed %d requests, %.1f MB total\n", rec.Completed, float64(rec.Bytes)/1e6)
+	fmt.Fprintf(&w, "slowdown: p10=%.2f p50=%.2f p90=%.2f p99=%.2f mean=%.2f\n",
+		s.P10, s.P50, s.P90, s.P99, s.Mean)
+	for c := workload.ClassSmall; c <= workload.ClassLarge; c++ {
+		cs := rec.ByClass[c].Summarize()
+		fmt.Fprintf(&w, "  %-12s n=%-6d p50=%.2f p90=%.2f p99=%.2f\n", c, cs.N, cs.P50, cs.P90, cs.P99)
+	}
+	fmt.Fprintf(&w, "FCT: p50=%.1fms p99=%.1fms\n", rec.FCTms.Quantile(0.5), rec.FCTms.Quantile(0.99))
+
+	res := exp.Result{Experiment: "fct", Seed: seed, Params: p, Report: w.String(),
+		Summaries: map[string]stats.Summary{"slowdown": s}}
+	res.AddMetric("completed", float64(rec.Completed), "requests")
+	res.AddMetric("bytes", float64(rec.Bytes), "B")
+	res.AddMetric("fct-p50", rec.FCTms.Quantile(0.5), "ms")
+	res.AddMetric("fct-p99", rec.FCTms.Quantile(0.99), "ms")
+	return res, nil
+}
+
+// fig9Exp is the headline comparison (Figure 9).
+type fig9Exp struct{}
+
+func (fig9Exp) Name() string { return "fig9" }
+func (fig9Exp) Desc() string {
+	return "Figure 9: FCT slowdowns — status quo vs Bundler (SFQ/FIFO) vs in-network FQ"
+}
+func (fig9Exp) Params() []exp.Param { return []exp.Param{requestsParam("15000")} }
+
+func (fig9Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
+	b := exp.Bind(p)
+	requests := b.Int("requests", 15000)
+	if err := b.Err(); err != nil {
+		return exp.Result{}, err
+	}
+	rows := RunFig9(seed, requests)
+	var w strings.Builder
+	reportHeader(&w, fmt.Sprintf("Figure 9: FCT slowdowns (%d requests; paper: 1M, medians 1.76 → 1.26)", requests))
+	writeFCTRows(&w, rows)
+	res := exp.Result{Experiment: "fig9", Seed: seed, Params: p, Report: w.String()}
+	addRowMetrics(&res, rows)
+	return res, nil
+}
+
+// fig11Exp sweeps short-flow cross traffic (Figure 11).
+type fig11Exp struct{}
+
+func (fig11Exp) Name() string { return "fig11" }
+func (fig11Exp) Desc() string {
+	return "Figure 11: short-flow cross traffic sweep against a fixed 48 Mbit/s bundle"
+}
+func (fig11Exp) Params() []exp.Param { return []exp.Param{requestsParam("15000")} }
+
+func (fig11Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
+	b := exp.Bind(p)
+	requests := b.Int("requests", 15000)
+	if err := b.Err(); err != nil {
+		return exp.Result{}, err
+	}
+	points := RunFig11(seed, requests/2)
+	var w strings.Builder
+	reportHeader(&w, "Figure 11: short-flow cross traffic sweep (bundle fixed at 48 Mbit/s)")
+	fmt.Fprintf(&w, "%-12s %12s %14s %16s\n", "cross Mb/s", "status quo", "bundler-copa", "bundler-nimbus")
+	res := exp.Result{Experiment: "fig11", Seed: seed, Params: p}
+	for _, pt := range points {
+		fmt.Fprintf(&w, "%-12.0f %12.2f %14.2f %16.2f\n",
+			pt.CrossBps/1e6, pt.Median["statusquo"], pt.Median["bundler-copa"], pt.Median["bundler-nimbus"])
+		prefix := fmt.Sprintf("cross%.0fM/", pt.CrossBps/1e6)
+		for _, label := range []string{"statusquo", "bundler-copa", "bundler-nimbus"} {
+			res.AddMetric(prefix+label+"/median-slowdown", pt.Median[label], "")
+		}
+	}
+	res.Report = w.String()
+	return res, nil
+}
+
+// fig12Exp measures persistent elastic cross flows (Figure 12).
+type fig12Exp struct{}
+
+func (fig12Exp) Name() string { return "fig12" }
+func (fig12Exp) Desc() string {
+	return "Figure 12: bundle throughput against persistent elastic (Cubic) cross flows"
+}
+func (fig12Exp) Params() []exp.Param { return nil }
+
+func (fig12Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
+	points := RunFig12(seed)
+	var w strings.Builder
+	reportHeader(&w, "Figure 12: persistent elastic cross flows (paper: 12-22% bundle throughput loss)")
+	fmt.Fprintf(&w, "%-12s %12s %14s %16s\n", "cross flows", "status quo", "bundler-copa", "bundler-nimbus")
+	res := exp.Result{Experiment: "fig12", Seed: seed, Params: p}
+	for _, pt := range points {
+		fmt.Fprintf(&w, "%-12d %9.1f Mb/s %11.1f Mb/s %13.1f Mb/s\n",
+			pt.CrossFlows, pt.Throughput["statusquo"], pt.Throughput["bundler-copa"], pt.Throughput["bundler-nimbus"])
+		prefix := fmt.Sprintf("cross%d/", pt.CrossFlows)
+		for _, label := range []string{"statusquo", "bundler-copa", "bundler-nimbus"} {
+			res.AddMetric(prefix+label+"/Mbps", pt.Throughput[label], "Mbps")
+		}
+	}
+	res.Report = w.String()
+	return res, nil
+}
+
+// fig13Exp runs competing bundles (Figure 13).
+type fig13Exp struct{}
+
+func (fig13Exp) Name() string { return "fig13" }
+func (fig13Exp) Desc() string {
+	return "Figure 13: two bundles sharing the bottleneck at 1:1 and 2:1 load splits"
+}
+func (fig13Exp) Params() []exp.Param { return []exp.Param{requestsParam("15000")} }
+
+func (fig13Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
+	b := exp.Bind(p)
+	requests := b.Int("requests", 15000)
+	if err := b.Err(); err != nil {
+		return exp.Result{}, err
+	}
+	rows := RunFig13(seed, requests)
+	var w strings.Builder
+	reportHeader(&w, "Figure 13: competing bundles (aggregate 84 Mbit/s)")
+	res := exp.Result{Experiment: "fig13", Seed: seed, Params: p}
+	for _, r := range rows {
+		var parts []string
+		for i, m := range r.Medians {
+			parts = append(parts, fmt.Sprintf("bundle%d p50=%.2f", i+1, m))
+			res.AddMetric(strings.ReplaceAll(r.Label, " ", "_")+fmt.Sprintf("/bundle%d-median", i+1), m, "")
+		}
+		fmt.Fprintf(&w, "%-24s %s\n", r.Label, strings.Join(parts, "  "))
+	}
+	res.Report = w.String()
+	return res, nil
+}
+
+// fig14Exp compares inner-loop algorithms (Figure 14).
+type fig14Exp struct{}
+
+func (fig14Exp) Name() string { return "fig14" }
+func (fig14Exp) Desc() string {
+	return "Figure 14: inner-loop congestion control comparison (Copa vs BasicDelay vs BBR)"
+}
+func (fig14Exp) Params() []exp.Param { return []exp.Param{requestsParam("15000")} }
+
+func (fig14Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
+	b := exp.Bind(p)
+	requests := b.Int("requests", 15000)
+	if err := b.Err(); err != nil {
+		return exp.Result{}, err
+	}
+	rows := RunFig14(seed, requests)
+	var w strings.Builder
+	reportHeader(&w, "Figure 14: inner-loop congestion control comparison")
+	writeFCTRows(&w, rows)
+	res := exp.Result{Experiment: "fig14", Seed: seed, Params: p, Report: w.String()}
+	addRowMetrics(&res, rows)
+	return res, nil
+}
+
+// fig15Exp runs the idealized TCP proxy comparison (Figure 15).
+type fig15Exp struct{}
+
+func (fig15Exp) Name() string { return "fig15" }
+func (fig15Exp) Desc() string {
+	return "Figure 15: idealized TCP proxy (fixed endhost windows) vs normal Bundler"
+}
+func (fig15Exp) Params() []exp.Param { return []exp.Param{requestsParam("15000")} }
+
+func (fig15Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
+	b := exp.Bind(p)
+	requests := b.Int("requests", 15000)
+	if err := b.Err(); err != nil {
+		return exp.Result{}, err
+	}
+	rows := RunFig15(seed, requests)
+	var w strings.Builder
+	reportHeader(&w, "Figure 15: idealized TCP proxy (fixed 450-packet endhost windows)")
+	writeFCTRows(&w, rows)
+	res := exp.Result{Experiment: "fig15", Seed: seed, Params: p, Report: w.String()}
+	addRowMetrics(&res, rows)
+	return res, nil
+}
+
+// sec74Exp varies the endhost congestion control (§7.4).
+type sec74Exp struct{}
+
+func (sec74Exp) Name() string { return "sec74" }
+func (sec74Exp) Desc() string {
+	return "§7.4: Bundler's benefit with Cubic, Reno, and BBR endhosts"
+}
+func (sec74Exp) Params() []exp.Param { return []exp.Param{requestsParam("15000")} }
+
+func (sec74Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
+	b := exp.Bind(p)
+	requests := b.Int("requests", 15000)
+	if err := b.Err(); err != nil {
+		return exp.Result{}, err
+	}
+	pairs := RunSec74(seed, requests)
+	var ccs []string
+	for cc := range pairs {
+		ccs = append(ccs, cc)
+	}
+	sort.Strings(ccs)
+	var w strings.Builder
+	reportHeader(&w, "§7.4: endhost congestion control")
+	res := exp.Result{Experiment: "sec74", Seed: seed, Params: p}
+	for _, cc := range ccs {
+		pair := pairs[cc]
+		fmt.Fprintf(&w, "endhost %-6s status quo p50=%.2f | bundler p50=%.2f (%.0f%% lower)\n",
+			cc, pair[0].Median, pair[1].Median, (1-pair[1].Median/pair[0].Median)*100)
+		res.AddMetric(cc+"/statusquo-median", pair[0].Median, "")
+		res.AddMetric(cc+"/bundler-median", pair[1].Median, "")
+	}
+	res.Report = w.String()
+	return res, nil
 }

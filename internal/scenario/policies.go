@@ -1,7 +1,12 @@
 package scenario
 
 import (
+	"fmt"
+	"strings"
+	"time"
+
 	"bundler/internal/bundle"
+	"bundler/internal/exp"
 	"bundler/internal/sim"
 	"bundler/internal/stats"
 	"bundler/internal/udpapp"
@@ -93,4 +98,44 @@ func RunSec72Prio(seed int64, requests int) Sec72PrioResult {
 	res.StatusQuoHigh, res.StatusQuoLow = run(false)
 	res.BundlerHigh, res.BundlerLow = run(true)
 	return res
+}
+
+// --- experiment adapter ---
+
+// sec72Exp runs both §7.2 highlights: FQ-CoDel latency probes and strict
+// priority.
+type sec72Exp struct{}
+
+func (sec72Exp) Name() string { return "sec72" }
+func (sec72Exp) Desc() string {
+	return "§7.2: other sendbox policies — FQ-CoDel probe RTTs and strict priority"
+}
+func (sec72Exp) Params() []exp.Param {
+	return []exp.Param{
+		requestsParam("15000"),
+		{Name: "dur", Default: "20s", Help: "virtual time for the FQ-CoDel probe run"},
+	}
+}
+
+func (sec72Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
+	b := exp.Bind(p)
+	requests := b.Int("requests", 15000)
+	dur := sim.FromSeconds(b.Duration("dur", 20*time.Second).Seconds())
+	if err := b.Err(); err != nil {
+		return exp.Result{}, err
+	}
+	var w strings.Builder
+	reportHeader(&w, "§7.2: other sendbox policies")
+	c := RunSec72CoDel(seed, dur)
+	fmt.Fprintf(&w, "FQ-CoDel probe RTTs: status quo p50=%.1fms p99=%.1fms | bundler p50=%.1fms p99=%.1fms\n",
+		c.StatusQuoMedianMs, c.StatusQuoP99Ms, c.BundlerMedianMs, c.BundlerP99Ms)
+	pr := RunSec72Prio(seed, requests)
+	fmt.Fprintf(&w, "strict priority: favored class p50 %.2f (status quo %.2f); other class p50 %.2f (status quo %.2f)\n",
+		pr.BundlerHigh, pr.StatusQuoHigh, pr.BundlerLow, pr.StatusQuoLow)
+	out := exp.Result{Experiment: "sec72", Seed: seed, Params: p, Report: w.String()}
+	out.AddMetric("fqcodel/statusquo-probe-p50", c.StatusQuoMedianMs, "ms")
+	out.AddMetric("fqcodel/bundler-probe-p50", c.BundlerMedianMs, "ms")
+	out.AddMetric("prio/bundler-high-median", pr.BundlerHigh, "")
+	out.AddMetric("prio/statusquo-high-median", pr.StatusQuoHigh, "")
+	return out, nil
 }

@@ -1,7 +1,11 @@
 package scenario
 
 import (
+	"fmt"
+	"strings"
+
 	"bundler/internal/bundle"
+	"bundler/internal/exp"
 	"bundler/internal/sim"
 	"bundler/internal/stats"
 	"bundler/internal/udpapp"
@@ -61,4 +65,37 @@ func RunPolicySweep(seed int64, requests int) []PolicyRow {
 		})
 	}
 	return out
+}
+
+// --- experiment adapter ---
+
+// policiesExp is the extended scheduler-vs-AQM sweep.
+type policiesExp struct{}
+
+func (policiesExp) Name() string { return "policies" }
+func (policiesExp) Desc() string {
+	return "extension: every sendbox scheduler/AQM under the Fig 9 workload"
+}
+func (policiesExp) Params() []exp.Param { return []exp.Param{requestsParam("15000")} }
+
+func (policiesExp) Run(seed int64, p exp.Params) (exp.Result, error) {
+	b := exp.Bind(p)
+	requests := b.Int("requests", 15000)
+	if err := b.Err(); err != nil {
+		return exp.Result{}, err
+	}
+	rows := RunPolicySweep(seed, requests/2)
+	var w strings.Builder
+	reportHeader(&w, "Extension: full sendbox policy sweep (schedulers vs AQMs)")
+	fmt.Fprintf(&w, "%-10s %14s %12s %12s %12s\n", "policy", "median slow", "p99 slow", "probe p50", "probe p99")
+	out := exp.Result{Experiment: "policies", Seed: seed, Params: p}
+	for _, r := range rows {
+		fmt.Fprintf(&w, "%-10s %14.2f %12.2f %10.1fms %10.1fms\n",
+			r.Policy, r.MedianSlowdown, r.P99Slowdown, r.ProbeP50Ms, r.ProbeP99Ms)
+		out.AddMetric(r.Policy+"/median-slowdown", r.MedianSlowdown, "")
+		out.AddMetric(r.Policy+"/p99-slowdown", r.P99Slowdown, "")
+		out.AddMetric(r.Policy+"/probe-p99", r.ProbeP99Ms, "ms")
+	}
+	out.Report = w.String()
+	return out, nil
 }

@@ -1,9 +1,15 @@
 package scenario
 
 import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bundler/internal/exp"
 	"bundler/internal/sim"
 	"bundler/internal/stats"
 	"bundler/internal/tcp"
+	"bundler/internal/trace"
 	"bundler/internal/workload"
 )
 
@@ -165,4 +171,105 @@ func RunFig10(seed int64) Fig10Result {
 		}
 	}
 	return res
+}
+
+// --- experiment adapters ---
+
+// fig2Exp shows the queue moving from the bottleneck to the sendbox.
+type fig2Exp struct{}
+
+func (fig2Exp) Name() string { return "fig2" }
+func (fig2Exp) Desc() string {
+	return "Figure 2: queue shifting — delay moves from the bottleneck to the sendbox"
+}
+func (fig2Exp) Params() []exp.Param {
+	return []exp.Param{
+		{Name: "dur", Default: "30s", Help: "run duration (virtual time)"},
+		artifactsParam(),
+	}
+}
+
+func (fig2Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
+	b := exp.Bind(p)
+	dur := sim.FromSeconds(b.Duration("dur", 30*time.Second).Seconds())
+	artifacts := b.Bool("artifacts", false)
+	if err := b.Err(); err != nil {
+		return exp.Result{}, err
+	}
+	res := RunQueueShift(seed, dur)
+	sqBn := res.StatusQuoBottleneck.MeanOver(dur/6, dur)
+	sqEdge := res.StatusQuoEdge.MeanOver(dur/6, dur)
+	bdBn := res.BundlerBottleneck.MeanOver(dur/6, dur)
+	bdEdge := res.BundlerSendbox.MeanOver(dur/6, dur)
+
+	var w strings.Builder
+	reportHeader(&w, "Figure 2: queue shifting (single flow, 96 Mbit/s, 50 ms RTT)")
+	fmt.Fprintf(&w, "%-28s %-22s %-20s\n", "", "bottleneck queue (ms)", "edge/sendbox queue (ms)")
+	fmt.Fprintf(&w, "%-28s %-22.1f %-20.1f\n", "Status Quo", sqBn, sqEdge)
+	fmt.Fprintf(&w, "%-28s %-22.1f %-20.1f\n", "With Bundler", bdBn, bdEdge)
+	fmt.Fprintf(&w, "throughput: status quo %.1f Mbit/s, bundler %.1f Mbit/s\n",
+		res.StatusQuoThroughput, res.BundlerThroughput)
+
+	out := exp.Result{Experiment: "fig2", Seed: seed, Params: p, Report: w.String()}
+	out.AddMetric("statusquo/bottleneck-queue", sqBn, "ms")
+	out.AddMetric("bundler/bottleneck-queue", bdBn, "ms")
+	out.AddMetric("bundler/sendbox-queue", bdEdge, "ms")
+	out.AddMetric("statusquo/throughput", res.StatusQuoThroughput, "Mbps")
+	out.AddMetric("bundler/throughput", res.BundlerThroughput, "Mbps")
+
+	if artifacts {
+		var csv strings.Builder
+		if err := trace.WriteTimeSeries(&csv,
+			[]string{"statusquo_bottleneck_ms", "bundler_bottleneck_ms", "bundler_sendbox_ms"},
+			[]*stats.TimeSeries{&res.StatusQuoBottleneck, &res.BundlerBottleneck, &res.BundlerSendbox}); err != nil {
+			return exp.Result{}, err
+		}
+		out.Artifacts = append(out.Artifacts, exp.Artifact{Name: "fig2_queues.csv", Data: csv.String()})
+	}
+	return out, nil
+}
+
+// fig10Exp runs the time-varying cross-traffic timeline.
+type fig10Exp struct{}
+
+func (fig10Exp) Name() string { return "fig10" }
+func (fig10Exp) Desc() string {
+	return "Figure 10: reaction to buffer-filling and web-like cross traffic over time"
+}
+func (fig10Exp) Params() []exp.Param { return []exp.Param{artifactsParam()} }
+
+func (fig10Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
+	b := exp.Bind(p)
+	artifacts := b.Bool("artifacts", false)
+	if err := b.Err(); err != nil {
+		return exp.Result{}, err
+	}
+	res := RunFig10(seed)
+	var w strings.Builder
+	reportHeader(&w, "Figure 10: time-varying cross traffic (3 × 60 s phases)")
+	fmt.Fprintf(&w, "%-28s %12s %12s %10s %12s %14s\n",
+		"phase", "bundle Mb/s", "cross Mb/s", "queue ms", "pass-through", "short-flow p50")
+	out := exp.Result{Experiment: "fig10", Seed: seed, Params: p}
+	for _, ph := range res.Phases {
+		fmt.Fprintf(&w, "%-28s %12.1f %12.1f %10.1f %11.0f%% %14.2f\n",
+			ph.Label, ph.BundleMbps, ph.CrossMbps, ph.MeanQueueMs, ph.PassThroughFrac*100, ph.ShortFlowSlowdowns.P50)
+		prefix := strings.ReplaceAll(ph.Label, " ", "_") + "/"
+		out.AddMetric(prefix+"bundle", ph.BundleMbps, "Mbps")
+		out.AddMetric(prefix+"cross", ph.CrossMbps, "Mbps")
+		out.AddMetric(prefix+"queue", ph.MeanQueueMs, "ms")
+		out.AddMetric(prefix+"passthrough-frac", ph.PassThroughFrac, "")
+		out.AddMetric(prefix+"short-p50-slowdown", ph.ShortFlowSlowdowns.P50, "")
+	}
+	out.Report = w.String()
+
+	if artifacts {
+		var csv strings.Builder
+		if err := trace.WriteTimeSeries(&csv,
+			[]string{"bundle_mbps", "cross_mbps", "queue_ms", "mode"},
+			[]*stats.TimeSeries{&res.BundleTput, &res.CrossTput, &res.QueueMs, &res.Mode}); err != nil {
+			return exp.Result{}, err
+		}
+		out.Artifacts = append(out.Artifacts, exp.Artifact{Name: "fig10_timeline.csv", Data: csv.String()})
+	}
+	return out, nil
 }

@@ -1,6 +1,11 @@
 package scenario
 
 import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bundler/internal/exp"
 	"bundler/internal/sim"
 	"bundler/internal/stats"
 	"bundler/internal/tcp"
@@ -110,4 +115,41 @@ func RunFig16(seed int64, dur sim.Time) []WANPathResult {
 		out = append(out, res)
 	}
 	return out
+}
+
+// --- experiment adapter ---
+
+// fig16Exp emulates the §8 wide-area deployments.
+type fig16Exp struct{}
+
+func (fig16Exp) Name() string { return "fig16" }
+func (fig16Exp) Desc() string {
+	return "Figure 16: emulated wide-area paths — probe RTTs and bulk throughput"
+}
+func (fig16Exp) Params() []exp.Param {
+	return []exp.Param{{Name: "dur", Default: "15s", Help: "virtual time per path and configuration"}}
+}
+
+func (fig16Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
+	b := exp.Bind(p)
+	dur := sim.FromSeconds(b.Duration("dur", 15*time.Second).Seconds())
+	if err := b.Err(); err != nil {
+		return exp.Result{}, err
+	}
+	rows := RunFig16(seed, dur)
+	var w strings.Builder
+	reportHeader(&w, "Figure 16: emulated wide-area paths (paper: 57% lower latencies, throughput within 1%)")
+	fmt.Fprintf(&w, "%-12s %10s %12s %10s | %14s %12s\n",
+		"path", "base ms", "statusquo ms", "bundler ms", "statusquo Mb/s", "bundler Mb/s")
+	out := exp.Result{Experiment: "fig16", Seed: seed, Params: p}
+	for _, r := range rows {
+		fmt.Fprintf(&w, "%-12s %10.1f %12.1f %10.1f | %14.0f %12.0f\n",
+			r.Name, r.BaseRTT, r.StatusQuoRTT, r.BundlerRTT, r.StatusQuoMbps, r.BundlerMbps)
+		out.AddMetric(r.Name+"/statusquo-rtt", r.StatusQuoRTT, "ms")
+		out.AddMetric(r.Name+"/bundler-rtt", r.BundlerRTT, "ms")
+		out.AddMetric(r.Name+"/statusquo-Mbps", r.StatusQuoMbps, "Mbps")
+		out.AddMetric(r.Name+"/bundler-Mbps", r.BundlerMbps, "Mbps")
+	}
+	out.Report = w.String()
+	return out, nil
 }

@@ -19,12 +19,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 
 	"bundler/internal/exp"
+	"bundler/internal/perf"
 	_ "bundler/internal/scenario" // registers every experiment
 )
 
@@ -46,8 +48,17 @@ func main() {
 		grid     = flag.String("grid", defaultGrid, `sweep grid "axis=v1,v2;..."; a seed axis overrides -seed`)
 		parallel = flag.Int("parallel", runtime.NumCPU(), "sweep worker goroutines")
 		out      = flag.String("out", "", "sweep results file (.json or .csv); default: CSV to stdout")
+		benchOut = flag.String("bench-out", "",
+			"run the perf harness and write its JSON trajectory (e.g. BENCH_pr2.json), then exit")
+		benchFilter = flag.String("bench-filter", "",
+			"with -bench-out: regexp selecting which benchmarks to run (default all)")
 	)
 	flag.Parse()
+
+	if *benchOut != "" {
+		runBench(*benchOut, *benchFilter)
+		return
+	}
 	if *dump != "" {
 		if err := os.MkdirAll(*dump, 0o755); err != nil {
 			fatal("dump:", err)
@@ -220,6 +231,36 @@ func runSweep(name, gridSpec, setSpec string, seed int64, parallel int, outPath 
 	if err != nil {
 		os.Exit(1)
 	}
+}
+
+// runBench executes the internal/perf suite and writes the trajectory
+// file (current measurements next to the frozen pre-pooling baseline).
+func runBench(outPath, filter string) {
+	var re *regexp.Regexp
+	if filter != "" {
+		var err error
+		if re, err = regexp.Compile(filter); err != nil {
+			fatal("-bench-filter:", err)
+		}
+	}
+	records, err := perf.MeasureAll(re, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if len(records) == 0 {
+		fatal("-bench-filter matched no benchmarks")
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := perf.WriteJSON(f, records); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d benchmark records to %s\n", len(records), outPath)
 }
 
 // parseSet parses "k=v,k2=v2".

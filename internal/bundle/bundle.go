@@ -153,6 +153,9 @@ func (c *Config) fillDefaults(eng *sim.Engine) {
 }
 
 // boundary is the sendbox's record of one epoch boundary packet.
+// Records are recycled through a per-sendbox free list (newBoundary /
+// freeBoundary): one is retired every time a congestion ACK matches, an
+// entry goes stale, or the table overflows.
 type boundary struct {
 	hash      uint64
 	seq       uint64 // dequeue order
@@ -234,6 +237,7 @@ type Sendbox struct {
 	starvedSince  sim.Time
 	ipid          uint16
 	ticker        *sim.Ticker
+	bFree         []*boundary // boundary record free list
 
 	// OnEpochSample, when set, observes every matched epoch measurement
 	// (the Figure 5/6 microbenchmark pairs these against per-packet
@@ -280,12 +284,14 @@ func NewSendbox(eng *sim.Engine, cfg Config, downstream netem.Receiver, ctlAddr,
 }
 
 // Receive implements netem.Receiver. Control messages addressed to the
-// box are consumed; everything else enters the bundle's paced queue.
+// box are consumed (and released); everything else enters the bundle's
+// paced queue.
 func (s *Sendbox) Receive(p *pkt.Packet) {
 	if p.Proto == pkt.ProtoCtl && p.Dst == s.ctlAddr {
 		if ack, ok := p.Payload.(*CtlAck); ok {
 			s.onCtlAck(ack)
 		}
+		pkt.Put(p)
 		return
 	}
 	s.bytesIn += int64(p.Size)
@@ -325,9 +331,10 @@ func (s *Sendbox) onTransmitted(p *pkt.Packet) {
 		}
 		s.seqCounter++
 	}
-	b := &boundary{hash: h, seq: s.seqCounter, tsent: s.eng.Now(), bytesSent: s.bytesDequeued}
 	s.evictStaleBoundaries()
 	if _, dup := s.boundaries[h]; !dup {
+		b := s.newBoundary()
+		*b = boundary{hash: h, seq: s.seqCounter, tsent: s.eng.Now(), bytesSent: s.bytesDequeued}
 		s.boundaries[h] = b
 		s.boundaryOrder = append(s.boundaryOrder, h)
 		// Bound state: Bundler keeps no per-flow state, and its boundary
@@ -335,9 +342,25 @@ func (s *Sendbox) onTransmitted(p *pkt.Packet) {
 		if len(s.boundaryOrder) > 4096 {
 			old := s.boundaryOrder[0]
 			s.boundaryOrder = s.boundaryOrder[1:]
-			delete(s.boundaries, old)
+			if ob, ok := s.boundaries[old]; ok {
+				delete(s.boundaries, old)
+				s.freeBoundary(ob)
+			}
 		}
 	}
+}
+
+func (s *Sendbox) newBoundary() *boundary {
+	if n := len(s.bFree); n > 0 {
+		b := s.bFree[n-1]
+		s.bFree = s.bFree[:n-1]
+		return b
+	}
+	return new(boundary)
+}
+
+func (s *Sendbox) freeBoundary(b *boundary) {
+	s.bFree = append(s.bFree, b)
 }
 
 // evictStaleBoundaries drops records whose congestion ACK can no longer
@@ -360,6 +383,7 @@ func (s *Sendbox) evictStaleBoundaries() {
 		s.boundaryOrder = s.boundaryOrder[1:]
 		if ok {
 			delete(s.boundaries, h)
+			s.freeBoundary(b)
 		}
 	}
 }
@@ -430,9 +454,14 @@ func (s *Sendbox) onCtlAck(ack *CtlAck) {
 		}
 	}
 	if s.lastAcked == nil || b.seq > s.lastAcked.seq {
+		if s.lastAcked != nil {
+			s.freeBoundary(s.lastAcked)
+		}
 		s.lastAcked = b
 		s.lastAckArrival = now
 		s.lastBytesRcvd = ack.BytesRcvd
+	} else {
+		s.freeBoundary(b)
 	}
 
 	s.maybeUpdateEpochSize()
@@ -497,15 +526,15 @@ func (s *Sendbox) maybeUpdateEpochSize() {
 // from bundled traffic) and enter the WAN path directly.
 func (s *Sendbox) sendEpochUpdate(n uint64) {
 	s.ipid++
-	s.downstream.Receive(&pkt.Packet{
-		IPID:    s.ipid,
-		Src:     s.ctlAddr,
-		Dst:     s.peerCtl,
-		Proto:   pkt.ProtoCtl,
-		Size:    CtlPacketSize,
-		Payload: &CtlEpochUpdate{N: n},
-		SentAt:  s.eng.Now(),
-	})
+	p := pkt.Get()
+	p.IPID = s.ipid
+	p.Src = s.ctlAddr
+	p.Dst = s.peerCtl
+	p.Proto = pkt.ProtoCtl
+	p.Size = CtlPacketSize
+	p.Payload = &CtlEpochUpdate{N: n}
+	p.SentAt = s.eng.Now()
+	s.downstream.Receive(p)
 }
 
 func floorPow2(x float64) uint64 {
@@ -886,27 +915,29 @@ func (r *Receivebox) Observe(p *pkt.Packet) {
 	}
 	r.ipid++
 	r.AcksSent++
-	r.out.Receive(&pkt.Packet{
-		IPID:    r.ipid,
-		Src:     r.addr,
-		Dst:     r.peerCtl,
-		Proto:   pkt.ProtoCtl,
-		Size:    CtlPacketSize,
-		Payload: &CtlAck{Hash: marker, BytesRcvd: r.bytesRcvd},
-		SentAt:  r.eng.Now(),
-	})
+	ack := pkt.Get()
+	ack.IPID = r.ipid
+	ack.Src = r.addr
+	ack.Dst = r.peerCtl
+	ack.Proto = pkt.ProtoCtl
+	ack.Size = CtlPacketSize
+	ack.Payload = &CtlAck{Hash: marker, BytesRcvd: r.bytesRcvd}
+	ack.SentAt = r.eng.Now()
+	r.out.Receive(ack)
 }
 
 // Receive implements netem.Receiver for the control channel (epoch-size
-// updates from the sendbox).
+// updates from the sendbox). The message is consumed and released.
 func (r *Receivebox) Receive(p *pkt.Packet) {
 	if p.Proto != pkt.ProtoCtl || p.Dst != r.addr {
+		pkt.Put(p)
 		return
 	}
 	if up, ok := p.Payload.(*CtlEpochUpdate); ok && up.N > 0 {
 		r.epochN = up.N
 		r.EpochUpdates++
 	}
+	pkt.Put(p)
 }
 
 // EpochN reports the receivebox's current epoch size.

@@ -48,6 +48,7 @@ func (m *MultiSendbox) Receive(p *pkt.Packet) {
 		}
 		// Not ours: drop silently (mirrors a host discarding a stray
 		// datagram).
+		pkt.Put(p)
 		return
 	}
 	i := m.classify(p)

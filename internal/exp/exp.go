@@ -16,6 +16,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strconv"
@@ -134,6 +135,25 @@ type Metric struct {
 	Name  string  `json:"name"`
 	Value float64 `json:"value"`
 	Unit  string  `json:"unit,omitempty"`
+}
+
+// MarshalJSON emits non-finite values as null instead of failing the
+// whole document (encoding/json rejects NaN/Inf). Scale-starved runs
+// legitimately produce NaN quantiles — e.g. a latency probe that never
+// completed — and one such metric must not make a Result, a sweep
+// file, or a golden snapshot unserializable. Finite values go through
+// the standard encoder, so their formatting is byte-identical to a
+// plain struct marshal.
+func (m Metric) MarshalJSON() ([]byte, error) {
+	if math.IsNaN(m.Value) || math.IsInf(m.Value, 0) {
+		return json.Marshal(struct {
+			Name  string   `json:"name"`
+			Value *float64 `json:"value"`
+			Unit  string   `json:"unit,omitempty"`
+		}{m.Name, nil, m.Unit})
+	}
+	type noMethods Metric // drop MarshalJSON to avoid recursion
+	return json.Marshal(noMethods(m))
 }
 
 // Artifact is a named blob (CSV trace) an experiment produced. Data is

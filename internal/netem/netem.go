@@ -33,7 +33,10 @@ func (f ReceiverFunc) Receive(p *pkt.Packet) { f(p) }
 type Sink struct{ Count int }
 
 // Receive implements Receiver.
-func (s *Sink) Receive(*pkt.Packet) { s.Count++ }
+func (s *Sink) Receive(p *pkt.Packet) {
+	s.Count++
+	pkt.Put(p)
+}
 
 // Link is a store-and-forward link: packets are queued in a qdisc, drained
 // at the link rate (serialization), then delivered after the propagation
@@ -75,10 +78,13 @@ func NewLink(eng *sim.Engine, name string, rate float64, delay sim.Time, q qdisc
 }
 
 // Receive implements Receiver: enqueue and start transmitting if idle.
+// A packet the qdisc refuses is dropped here (the link owns it once
+// Receive is called).
 func (l *Link) Receive(p *pkt.Packet) {
 	p.EnqueuedAt = l.eng.Now()
 	if !l.q.Enqueue(p) {
 		l.rejected++
+		pkt.Put(p)
 		return
 	}
 	if !l.busy {
@@ -86,11 +92,21 @@ func (l *Link) Receive(p *pkt.Packet) {
 	}
 }
 
+// transmitNext dequeues and begins serializing one packet. The
+// serialization and propagation legs are scheduled through the engine's
+// pooled no-handle path with package-level callbacks, so the steady
+// state forwards packets without allocating.
 func (l *Link) transmitNext() {
 	p := l.q.Dequeue()
 	if p == nil {
 		l.busy = false
 		return
+	}
+	// Queue accounting invariant: a qdisc that miscounts goes negative
+	// here first (it drains one packet at a time).
+	if l.q.Bytes() < 0 || l.q.Len() < 0 {
+		panic(fmt.Sprintf("netem: link %s qdisc accounting negative: %d pkts, %d bytes",
+			l.name, l.q.Len(), l.q.Bytes()))
 	}
 	l.busy = true
 	if l.onDequeue != nil {
@@ -100,31 +116,39 @@ func (l *Link) transmitNext() {
 	if tx < 1 {
 		tx = 1
 	}
-	l.eng.After(tx, func() {
-		l.delivered++
-		l.bytesSent += int64(p.Size)
-		if l.onTransmitted != nil {
-			l.onTransmitted(p)
+	l.eng.CallAfter(tx, linkTransmitted, l, p)
+}
+
+// linkTransmitted runs when a packet finishes serializing.
+func linkTransmitted(a0, a1 any) {
+	l, p := a0.(*Link), a1.(*pkt.Packet)
+	l.delivered++
+	l.bytesSent += int64(p.Size)
+	if l.onTransmitted != nil {
+		l.onTransmitted(p)
+	}
+	dst, delay := l.dst, l.delay
+	if delay == 0 {
+		if l.onDelivery != nil {
+			l.onDelivery(p)
 		}
-		dst, delay := l.dst, l.delay
-		if delay == 0 {
-			if l.onDelivery != nil {
-				l.onDelivery(p)
-			}
-			// Continue draining before delivering so the link never
-			// re-enters itself via synchronous feedback loops.
-			l.transmitNext()
-			dst.Receive(p)
-			return
-		}
-		l.eng.After(delay, func() {
-			if l.onDelivery != nil {
-				l.onDelivery(p)
-			}
-			dst.Receive(p)
-		})
+		// Continue draining before delivering so the link never
+		// re-enters itself via synchronous feedback loops.
 		l.transmitNext()
-	})
+		dst.Receive(p)
+		return
+	}
+	l.eng.CallAfter(delay, linkDeliver, l, p)
+	l.transmitNext()
+}
+
+// linkDeliver runs when a packet finishes propagating.
+func linkDeliver(a0, a1 any) {
+	l, p := a0.(*Link), a1.(*pkt.Packet)
+	if l.onDelivery != nil {
+		l.onDelivery(p)
+	}
+	l.dst.Receive(p)
 }
 
 // SetRate changes the drain rate, clamped to MinRate. The packet currently
@@ -193,7 +217,12 @@ func NewPipe(eng *sim.Engine, delay sim.Time, dst Receiver) *Pipe {
 
 // Receive implements Receiver.
 func (pp *Pipe) Receive(p *pkt.Packet) {
-	pp.eng.After(pp.delay, func() { pp.dst.Receive(p) })
+	pp.eng.CallAfter(pp.delay, pipeDeliver, pp, p)
+}
+
+func pipeDeliver(a0, a1 any) {
+	pp, p := a0.(*Pipe), a1.(*pkt.Packet)
+	pp.dst.Receive(p)
 }
 
 // Demux routes packets to receivers by destination host.
@@ -221,6 +250,7 @@ func (d *Demux) Receive(p *pkt.Packet) {
 		return
 	}
 	d.dropped++
+	pkt.Put(p)
 }
 
 // Dropped reports packets with no route.
@@ -271,6 +301,7 @@ func NewLossy(eng *sim.Engine, prob float64, dst Receiver) *Lossy {
 func (l *Lossy) Receive(p *pkt.Packet) {
 	if (l.Filter == nil || l.Filter(p)) && l.eng.Rand().Float64() < l.prob {
 		l.Dropped++
+		pkt.Put(p)
 		return
 	}
 	l.dst.Receive(p)
@@ -301,7 +332,12 @@ func (j *Jitter) Receive(p *pkt.Packet) {
 	if j.max > 0 {
 		d = sim.Time(j.eng.Rand().Int63n(int64(j.max)))
 	}
-	j.eng.After(d, func() { j.dst.Receive(p) })
+	j.eng.CallAfter(d, jitterDeliver, j, p)
+}
+
+func jitterDeliver(a0, a1 any) {
+	j, p := a0.(*Jitter), a1.(*pkt.Packet)
+	j.dst.Receive(p)
 }
 
 // BalanceMode selects how the load balancer spreads packets.

@@ -1,0 +1,99 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// benchCase runs one suite case under the standard benchmark driver:
+//
+//	go test ./internal/perf -run '^$' -bench Fig09 -benchtime 1x
+func benchCase(b *testing.B, name string) {
+	for _, c := range Cases() {
+		if c.Name != name {
+			continue
+		}
+		b.ReportAllocs()
+		var packets int64
+		for i := 0; i < b.N; i++ {
+			n, err := c.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			packets += n
+		}
+		b.ReportMetric(float64(packets)/float64(b.N), "packets/op")
+		return
+	}
+	b.Fatalf("no case named %s", name)
+}
+
+func BenchmarkFig09FCT(b *testing.B)          { benchCase(b, "BenchmarkFig09FCT") }
+func BenchmarkFig05RateAccuracy(b *testing.B) { benchCase(b, "BenchmarkFig05RateAccuracy") }
+func BenchmarkFig10CrossTraffic(b *testing.B) { benchCase(b, "BenchmarkFig10CrossTraffic") }
+
+// TestBaselineMatchesSuite pins the baseline table to the suite: every
+// baseline entry must name a live case (a renamed benchmark would
+// otherwise silently orphan its point of comparison).
+func TestBaselineMatchesSuite(t *testing.T) {
+	known := map[string]bool{}
+	for _, c := range Cases() {
+		known[c.Name] = true
+	}
+	for _, r := range Baseline {
+		if !known[r.Name] {
+			t.Errorf("baseline entry %q has no matching benchmark case", r.Name)
+		}
+		if r.AllocsPerOp <= 0 || r.NsPerOp <= 0 {
+			t.Errorf("baseline entry %q has non-positive measurements", r.Name)
+		}
+	}
+}
+
+// TestWriteJSON checks the trajectory file shape without running any
+// benchmark: baseline present, current sorted, valid JSON.
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	current := []Record{
+		{Name: "BenchmarkZZZ", NsPerOp: 2, AllocsPerOp: 1},
+		{Name: "BenchmarkAAA", NsPerOp: 1, AllocsPerOp: 1},
+	}
+	if err := WriteJSON(&buf, current); err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("emitted file is not valid JSON: %v", err)
+	}
+	if len(f.Baseline) != len(Baseline) {
+		t.Errorf("baseline not embedded: got %d entries, want %d", len(f.Baseline), len(Baseline))
+	}
+	if len(f.Current) != 2 || f.Current[0].Name != "BenchmarkAAA" {
+		t.Errorf("current not sorted by name: %+v", f.Current)
+	}
+	if !strings.Contains(f.Note, "bench-out") {
+		t.Errorf("note should say how to regenerate; got %q", f.Note)
+	}
+}
+
+// TestMeasureSmoke runs the cheapest case end to end through Measure at
+// a tiny scale, checking the per-packet derivation.
+func TestMeasureSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark smoke is slow; skipped under -short")
+	}
+	c := Case{Name: "BenchmarkSmoke", Exp: "fct", Seed: 1,
+		Params: map[string]string{"requests": "200"}}
+	r, err := Measure(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Packets <= 0 {
+		t.Fatalf("expected simulated packets to be counted, got %v", r.Packets)
+	}
+	if r.NsPerPacket <= 0 {
+		t.Fatalf("ns/packet not derived: %+v", r)
+	}
+}

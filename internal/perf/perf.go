@@ -1,0 +1,170 @@
+// Package perf is the reproducible performance harness: it runs
+// registry experiments under the testing.Benchmark machinery, prices
+// them in ns and allocations per simulated packet (using the packet
+// pool's counters), and emits a JSON trajectory file (BENCH_pr2.json)
+// that future optimization PRs extend and compare against.
+//
+// Two entry points exist: the benchmarks in bench_test.go (so plain
+// `go test -bench` works, with b.ReportAllocs wired), and
+// cmd/bundler-bench's -bench-out flag, which runs the same cases
+// programmatically and writes the JSON file.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"testing"
+
+	"bundler/internal/exp"
+	"bundler/internal/pkt"
+	_ "bundler/internal/scenario" // registers every experiment
+)
+
+// Case is one benchmarkable experiment configuration. Scales match the
+// root-level benchmarks so numbers are comparable across both entry
+// points and across PRs.
+type Case struct {
+	// Name follows Go benchmark naming (BenchmarkFig09FCT) so -bench
+	// filters and the JSON trajectory use the same identifiers.
+	Name string
+	// Exp and Params select the registry experiment to run.
+	Exp    string
+	Seed   int64
+	Params exp.Params
+}
+
+// Cases returns the benchmark suite in a fixed order.
+func Cases() []Case {
+	return []Case{
+		{Name: "BenchmarkFig09FCT", Exp: "fig9", Seed: 1, Params: exp.Params{"requests": "15000"}},
+		{Name: "BenchmarkFig05RateAccuracy", Exp: "fig56", Seed: 1, Params: exp.Params{"dur": "20s"}},
+		{Name: "BenchmarkFig10CrossTraffic", Exp: "fig10", Seed: 1, Params: nil},
+	}
+}
+
+// Run executes the case once, returning the number of packets the
+// simulation sent (pool Gets) during the run. It is the body both
+// benchmark entry points share.
+func (c Case) Run() (packets int64, err error) {
+	e, ok := exp.Lookup(c.Exp)
+	if !ok {
+		return 0, fmt.Errorf("perf: experiment %q not registered", c.Exp)
+	}
+	before := pkt.Stats().Gets
+	if _, err := e.Run(c.Seed, c.Params); err != nil {
+		return 0, err
+	}
+	return pkt.Stats().Gets - before, nil
+}
+
+// Record is one benchmark measurement. Per-packet figures divide by the
+// number of packets the simulation sent during the run — the unit the
+// ROADMAP's "scenario-seconds per wall-second" goal decomposes into.
+type Record struct {
+	Name            string  `json:"name"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	BytesPerOp      float64 `json:"bytes_per_op"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	Packets         float64 `json:"packets_per_op,omitempty"`
+	NsPerPacket     float64 `json:"ns_per_packet,omitempty"`
+	AllocsPerPacket float64 `json:"allocs_per_packet,omitempty"`
+}
+
+// Baseline is the pre-optimization state of the suite, measured at the
+// start of this PR (seed commit efe98c3, go1.24, -benchtime=1x) before
+// the packet/event pooling landed. It is frozen here so the emitted
+// file always carries its own point of comparison; per-packet figures
+// are absent because the packet counters did not exist yet.
+var Baseline = []Record{
+	{Name: "BenchmarkFig09FCT", NsPerOp: 4715743754, BytesPerOp: 636891008, AllocsPerOp: 12514979},
+	{Name: "BenchmarkFig05RateAccuracy", NsPerOp: 3466611804, BytesPerOp: 923645360, AllocsPerOp: 16788464},
+	{Name: "BenchmarkFig10CrossTraffic", NsPerOp: 7990156867, BytesPerOp: 1516990256, AllocsPerOp: 29317809},
+}
+
+// Measure benchmarks one case with the testing machinery (which
+// handles iteration count and alloc accounting) and derives the
+// per-packet figures.
+func Measure(c Case) (Record, error) {
+	var packets int64
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		packets = 0
+		for i := 0; i < b.N; i++ {
+			n, err := c.Run()
+			if err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+			packets += n
+		}
+	})
+	if runErr != nil {
+		return Record{}, fmt.Errorf("%s: %w", c.Name, runErr)
+	}
+	r := Record{
+		Name:        c.Name,
+		NsPerOp:     float64(res.NsPerOp()),
+		BytesPerOp:  float64(res.AllocedBytesPerOp()),
+		AllocsPerOp: float64(res.AllocsPerOp()),
+	}
+	if res.N > 0 && packets > 0 {
+		r.Packets = float64(packets) / float64(res.N)
+		r.NsPerPacket = float64(res.T.Nanoseconds()) / float64(packets)
+		r.AllocsPerPacket = float64(res.MemAllocs) / float64(packets)
+	}
+	return r, nil
+}
+
+// MeasureAll benchmarks every case whose name matches filter (nil
+// matches all), reporting progress through logf (may be nil).
+func MeasureAll(filter *regexp.Regexp, logf func(format string, args ...any)) ([]Record, error) {
+	var out []Record
+	for _, c := range Cases() {
+		if filter != nil && !filter.MatchString(c.Name) {
+			continue
+		}
+		if logf != nil {
+			logf("bench: running %s", c.Name)
+		}
+		r, err := Measure(c)
+		if err != nil {
+			return out, err
+		}
+		if logf != nil {
+			logf("bench: %s  %.0f ns/op  %.0f allocs/op  %.1f ns/pkt  %.3f allocs/pkt",
+				r.Name, r.NsPerOp, r.AllocsPerOp, r.NsPerPacket, r.AllocsPerPacket)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// File is the on-disk trajectory format: the frozen pre-PR baseline
+// next to the current measurements, so a single artifact shows the
+// delta this PR (and, as later PRs re-emit it, each successive PR)
+// bought.
+type File struct {
+	Note     string   `json:"note"`
+	Baseline []Record `json:"baseline"`
+	Current  []Record `json:"current"`
+}
+
+// WriteJSON emits the trajectory file for the given current records,
+// sorted by name for deterministic output.
+func WriteJSON(w io.Writer, current []Record) error {
+	f := File{
+		Note: "simulation hot-path benchmarks; baseline = pre-pooling (PR 2 start), " +
+			"regenerate with: go run ./cmd/bundler-bench -bench-out BENCH_pr2.json",
+		Baseline: append([]Record(nil), Baseline...),
+		Current:  append([]Record(nil), current...),
+	}
+	sort.Slice(f.Baseline, func(i, j int) bool { return f.Baseline[i].Name < f.Baseline[j].Name })
+	sort.Slice(f.Current, func(i, j int) bool { return f.Current[i].Name < f.Current[j].Name })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}

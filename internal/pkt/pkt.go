@@ -7,7 +7,12 @@
 // and the TCP-ish sequence/ack fields drive the endhost transports.
 package pkt
 
-import "bundler/internal/sim"
+import (
+	"sync"
+	"sync/atomic"
+
+	"bundler/internal/sim"
+)
 
 // Proto distinguishes transport protocols. Bundler itself is
 // protocol-agnostic; the emulator uses the protocol only to route packets
@@ -41,9 +46,33 @@ type Addr struct {
 	Port uint16
 }
 
+// SACKBlock reports one contiguous received byte range [Start, End) in
+// an ACK. Up to four blocks travel inline in the packet (RFC 2018's
+// practical limit) so ACK emission needs no per-packet allocation.
+type SACKBlock struct{ Start, End int64 }
+
 // Packet is a single datagram in flight. Packets are passed by pointer and
 // owned by whichever component currently holds them; they are never shared
 // after being forwarded.
+//
+// # Ownership and pooling
+//
+// Packets are pooled (Get/Put). Ownership transfers on every hand-off:
+// calling Receive(p) gives p away, and the caller must not touch it
+// again — the new owner may release it, and the pool may already have
+// handed the same object to an unrelated flow. Exactly one component
+// releases each packet, exactly once, at the end of its life:
+//
+//   - the endpoint that consumes it (TCP sender/receiver, ping
+//     client/server, Bundler box eating a control message), or
+//   - the dropper (a qdisc discarding an already-accepted packet, a
+//     demux/mux with no route, a Lossy element, a Sink).
+//
+// Enqueue returning false does NOT drop: the packet was never accepted,
+// so it still belongs to the caller. Taps and hooks (netem.Tap,
+// OnDequeue/OnTransmitted/OnDelivery, Receivebox.Observe) borrow the
+// packet for the duration of the call and must not retain or release
+// it. Double release panics.
 type Packet struct {
 	// Header subset used by Bundler's epoch hash.
 	IPID uint16
@@ -68,6 +97,11 @@ type Packet struct {
 	// this bit exists for tests to assert that property.
 	Retransmit bool
 
+	// SACK carries up to four selective-ACK blocks inline; NSACK is the
+	// length of the valid prefix. Zero NSACK means no SACK information.
+	SACK  [4]SACKBlock
+	NSACK uint8
+
 	// Payload carries protocol-specific metadata (e.g. a control message).
 	Payload any
 
@@ -84,6 +118,71 @@ type Packet struct {
 	// SentAt is stamped when the packet first leaves its origin host, for
 	// end-to-end latency statistics.
 	SentAt sim.Time
+
+	// pooled marks a packet currently resting in the free list; Put uses
+	// it to catch double releases (a lifecycle bug that would otherwise
+	// surface as impossible-to-debug field corruption two flows away).
+	pooled bool
+}
+
+// Pool bookkeeping. Counters are global (sweeps run engines on many
+// goroutines against the one pool) and monotonically increasing; the
+// perf harness differences them around a run to price its hot path in
+// packets, and the invariant tests use Live to check conservation.
+var (
+	pool     sync.Pool
+	getCount atomic.Int64
+	putCount atomic.Int64
+	newCount atomic.Int64
+)
+
+// PoolStats is a snapshot of the packet pool counters.
+type PoolStats struct {
+	// Gets counts packets handed out by Get (the number of packets
+	// "sent" since process start, pooled or fresh).
+	Gets int64
+	// Puts counts packets released back by Put.
+	Puts int64
+	// News counts pool misses: Gets served by a fresh allocation.
+	News int64
+}
+
+// Stats returns a snapshot of the pool counters.
+func Stats() PoolStats {
+	return PoolStats{Gets: getCount.Load(), Puts: putCount.Load(), News: newCount.Load()}
+}
+
+// Live reports packets currently outstanding: handed out by Get and not
+// yet returned by Put. Packets constructed directly (tests) and never
+// released bias it low; packets dropped into test blackholes bias it
+// high — treat it as a conservation signal, not an exact census.
+func Live() int64 { return getCount.Load() - putCount.Load() }
+
+// Get returns a zeroed packet from the pool, allocating only on a pool
+// miss. The caller owns it until hand-off (see the Packet lifecycle
+// contract above).
+func Get() *Packet {
+	getCount.Add(1)
+	if v := pool.Get(); v != nil {
+		p := v.(*Packet)
+		p.pooled = false
+		return p
+	}
+	newCount.Add(1)
+	return new(Packet)
+}
+
+// Put releases a packet back to the pool. Only the packet's current
+// owner may call it, exactly once; releasing a packet twice panics.
+// Packets built with plain &Packet{} (tests do this) may be released
+// too — the pool adopts them.
+func Put(p *Packet) {
+	if p.pooled {
+		panic("pkt: packet released twice")
+	}
+	*p = Packet{pooled: true}
+	putCount.Add(1)
+	pool.Put(p)
 }
 
 // HeaderBytes is the emulator's fixed per-packet header overhead

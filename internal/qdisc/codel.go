@@ -107,7 +107,7 @@ func (c *CoDel) Dequeue() *pkt.Packet {
 			return c.pop()
 		}
 		for now >= c.st.dropNext && c.st.dropping {
-			c.pop()
+			pkt.Put(c.pop()) // internal drop: the queue owned it
 			c.drops++
 			c.st.dropCount++
 			drop, nonEmpty = c.shouldDrop(now)
@@ -124,7 +124,7 @@ func (c *CoDel) Dequeue() *pkt.Packet {
 		return c.pop()
 	}
 	if drop && (now-c.st.dropNext < c.interval || now-c.st.firstAboveTime >= c.interval) {
-		c.pop()
+		pkt.Put(c.pop()) // internal drop: the queue owned it
 		c.drops++
 		c.st.dropping = true
 		if now-c.st.dropNext < c.interval {

@@ -93,6 +93,7 @@ func (d *DRR) dropHead(key uint64) {
 	p := f.pop()
 	d.count--
 	d.bytes -= p.Size
+	pkt.Put(p) // internal drop: the queue owned it
 }
 
 // Dequeue implements Qdisc.

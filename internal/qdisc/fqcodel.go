@@ -130,7 +130,7 @@ func (f *FQCoDel) dropHead(fi int) {
 	p := fl.pop()
 	f.count--
 	f.bytes -= p.Size
-	_ = p
+	pkt.Put(p) // internal drop: the queue owned it
 }
 
 // Dequeue implements Qdisc: serve new flows first, then old flows, running
@@ -240,6 +240,7 @@ func (f *FQCoDel) dropPacket(fl *fqFlow) {
 	f.count--
 	f.bytes -= p.Size
 	f.drops++
+	pkt.Put(p) // internal drop: the queue owned it
 }
 
 // codelShouldDrop evaluates the head packet's sojourn time. It returns

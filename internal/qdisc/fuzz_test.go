@@ -1,0 +1,78 @@
+package qdisc
+
+import (
+	"testing"
+
+	"bundler/internal/pkt"
+)
+
+// FuzzSFQ drives the sendbox's default scheduler with an arbitrary
+// enqueue/dequeue interleaving over adversarial flow IDs and sizes, and
+// checks the accounting invariants the link relies on:
+//
+//   - Len and Bytes never go negative;
+//   - packet conservation: every accepted packet is eventually either
+//     dequeued or dropped from the fattest bucket, never duplicated or
+//     lost (accepted == dequeued + internal drops + still queued);
+//   - draining the queue empties it exactly (Len == 0 implies Bytes == 0).
+//
+// Each op byte either dequeues (high bit) or enqueues a packet whose
+// flow and size derive from the byte, so the corpus explores collisions
+// within SFQ's bucket array as well as the drop-from-fattest path.
+func FuzzSFQ(f *testing.F) {
+	f.Add(3, 16, []byte{0x01, 0x02, 0x81, 0x03, 0xFF, 0x04})
+	f.Add(1, 1, []byte{0x00, 0x00, 0x80, 0x00})
+	f.Add(8, 4, []byte{0x10, 0x11, 0x12, 0x13, 0x90, 0x91, 0x14, 0x15, 0x16})
+	f.Fuzz(func(t *testing.T, nbuckets, limit int, ops []byte) {
+		if nbuckets <= 0 || nbuckets > 1024 || limit <= 0 || limit > 4096 {
+			t.Skip()
+		}
+		q := NewSFQ(nbuckets, limit)
+		accepted, dequeued, rejected := 0, 0, 0
+
+		check := func(when string) {
+			if q.Len() < 0 || q.Bytes() < 0 {
+				t.Fatalf("%s: negative accounting: %d pkts, %d bytes", when, q.Len(), q.Bytes())
+			}
+			if q.Len() == 0 && q.Bytes() != 0 {
+				t.Fatalf("%s: empty queue holds %d bytes", when, q.Bytes())
+			}
+			internalDrops := q.Drops() - rejected
+			if accepted != dequeued+internalDrops+q.Len() {
+				t.Fatalf("%s: conservation broken: accepted %d != dequeued %d + dropped %d + queued %d",
+					when, accepted, dequeued, internalDrops, q.Len())
+			}
+		}
+
+		for _, op := range ops {
+			if op&0x80 != 0 {
+				if q.Dequeue() != nil {
+					dequeued++
+				}
+			} else {
+				p := &pkt.Packet{
+					Src:   pkt.Addr{Host: uint32(op) * 2654435761, Port: uint16(op)},
+					Dst:   pkt.Addr{Host: uint32(op>>3) + 7, Port: 80},
+					Proto: pkt.ProtoTCP,
+					Size:  40 + int(op&0x7F)*12, // 40..1564 bytes
+				}
+				if q.Enqueue(p) {
+					accepted++
+				} else {
+					rejected++
+				}
+			}
+			check("mid-run")
+		}
+
+		// Drain completely: everything still queued must come out.
+		for q.Dequeue() != nil {
+			dequeued++
+			check("drain")
+		}
+		if q.Len() != 0 || q.Bytes() != 0 {
+			t.Fatalf("drained queue not empty: %d pkts, %d bytes", q.Len(), q.Bytes())
+		}
+		check("end")
+	})
+}

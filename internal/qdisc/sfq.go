@@ -107,6 +107,7 @@ func (s *SFQ) dropHead(bi int) {
 	s.count--
 	s.bytes -= p.Size
 	// The bucket stays in the active list; Dequeue removes it when empty.
+	pkt.Put(p) // the queue owned it; an internal drop is its end of life
 }
 
 // Dequeue implements Qdisc using deficit round robin over active buckets.

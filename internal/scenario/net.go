@@ -197,6 +197,9 @@ func (s *Site) RunOpenLoop(tr Traffic) *workload.Recorder {
 		tr.Dist = workload.PaperWebCDF()
 	}
 	rec := workload.NewRecorder(s.net.Cfg.LinkRate, s.net.Cfg.RTT)
+	if tr.Requests < 1<<20 { // huge counts mean "run until the horizon"
+		rec.Reserve(tr.Requests)
+	}
 	port := tr.DstPort
 	if port == 0 {
 		port = 80

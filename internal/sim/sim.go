@@ -40,12 +40,39 @@ func (t Time) String() string {
 
 // Event is a scheduled callback. It is returned by the scheduling methods
 // so callers can cancel it before it fires.
+//
+// Events come in three flavors, distinguished by how their storage is
+// managed:
+//
+//   - handle events (At/After): heap-allocated per call, returned to the
+//     caller, never recycled — a retained *Event stays valid forever.
+//   - pooled events (CallAt/CallAfter): owned by the engine's free list
+//     and recycled the moment they fire. No handle escapes, so no caller
+//     can observe the reuse. This is the allocation-free hot path.
+//   - intrusive events: embedded in a Timer (or Ticker) and re-armed in
+//     place by their owner.
 type Event struct {
-	at     Time
-	seq    uint64 // tie-break: FIFO among events with equal timestamps
-	fn     func()
+	at  Time
+	seq uint64 // tie-break: FIFO among events with equal timestamps
+
+	// Exactly one of fn / afn is set. afn carries its arguments in the
+	// event itself so hot-path callers need no capturing closure.
+	fn  func()
+	afn func(a0, a1 any)
+	a0  any
+	a1  any
+
 	index  int // heap index; -1 once removed
 	cancel bool
+	pooled bool // owned by the engine free list; recycled after firing
+}
+
+func (e *Event) run() {
+	if e.afn != nil {
+		e.afn(e.a0, e.a1)
+		return
+	}
+	e.fn()
 }
 
 // Time reports when the event will fire.
@@ -103,6 +130,7 @@ type Engine struct {
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
+	free    []*Event // recycled pooled events (CallAt/CallAfter)
 }
 
 // NewEngine returns an engine whose clock starts at zero and whose random
@@ -140,6 +168,49 @@ func (e *Engine) After(d Time, fn func()) *Event {
 	return e.At(e.now+d, fn)
 }
 
+// CallAt schedules fn(a0, a1) at absolute virtual time t without
+// returning a handle. The backing event comes from a per-engine free
+// list and is recycled the moment it fires, so steady-state scheduling
+// through this path allocates nothing. Use it for per-packet work
+// (link serialization, propagation, jitter); use At/After when the
+// caller needs to cancel, and Timer for re-armed component timers.
+//
+// fn should be a package-level function (a func literal that captures
+// nothing also compiles to a static value); the values it needs travel
+// in a0/a1. Boxing a pointer into any does not allocate.
+func (e *Engine) CallAt(t Time, fn func(a0, a1 any), a0, a1 any) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{pooled: true}
+	}
+	e.seq++
+	ev.at, ev.seq = t, e.seq
+	ev.afn, ev.a0, ev.a1 = fn, a0, a1
+	ev.cancel = false
+	heap.Push(&e.events, ev)
+}
+
+// CallAfter is CallAt relative to now; negative d is clamped to zero.
+func (e *Engine) CallAfter(d Time, fn func(a0, a1 any), a0, a1 any) {
+	if d < 0 {
+		d = 0
+	}
+	e.CallAt(e.now+d, fn, a0, a1)
+}
+
+// release returns a pooled event to the free list, dropping references
+// so the pool never retains callbacks or packet arguments.
+func (e *Engine) release(ev *Event) {
+	ev.afn, ev.a0, ev.a1, ev.fn = nil, nil, nil, nil
+	e.free = append(e.free, ev)
+}
+
 // Stop makes Run / RunUntil return after the currently executing event.
 func (e *Engine) Stop() { e.stopped = true }
 
@@ -155,10 +226,22 @@ func (e *Engine) step(limit Time, useLimit bool) bool {
 		}
 		heap.Pop(&e.events)
 		if next.cancel {
+			if next.pooled {
+				e.release(next)
+			}
 			continue
 		}
+		// Invariant: virtual time never runs backwards. The heap makes
+		// this structural, but a corrupted comparison (or a mutated
+		// Timer event) would surface here first.
+		if next.at < e.now {
+			panic(fmt.Sprintf("sim: clock would run backwards: event at %v, now %v", next.at, e.now))
+		}
 		e.now = next.at
-		next.fn()
+		next.run()
+		if next.pooled {
+			e.release(next)
+		}
 		return true
 	}
 	return false
@@ -182,13 +265,70 @@ func (e *Engine) RunUntil(t Time) {
 	}
 }
 
+// Timer is a reusable one-shot timer for components that repeatedly
+// schedule, cancel, and re-arm the same callback (retransmission
+// timeouts, pacing gates, tickers). It owns a single intrusive Event
+// that is re-armed in place, so arming allocates nothing after Init.
+//
+// A Timer must be initialized with Init before use and belongs to one
+// engine for its lifetime. The zero value is not usable.
+type Timer struct {
+	eng *Engine
+	ev  Event
+}
+
+// Init binds the timer to an engine and callback. It must be called
+// exactly once, before any Arm.
+func (t *Timer) Init(eng *Engine, fn func()) {
+	if t.eng != nil {
+		panic("sim: Timer initialized twice")
+	}
+	t.eng = eng
+	t.ev.fn = fn
+	t.ev.index = -1
+}
+
+// Pending reports whether the timer is armed and will fire.
+func (t *Timer) Pending() bool { return t.ev.index >= 0 && !t.ev.cancel }
+
+// Stop disarms the timer. Stopping an unarmed timer is a no-op.
+func (t *Timer) Stop() { t.ev.cancel = true }
+
+// ArmAt (re)schedules the timer's callback at absolute time at,
+// regardless of its current state. Like Engine.At, arming in the past
+// panics. The re-armed event gets a fresh sequence number, so FIFO
+// ordering among equal timestamps behaves exactly as if the timer had
+// been cancelled and a new event created.
+func (t *Timer) ArmAt(at Time) {
+	e := t.eng
+	if at < e.now {
+		panic(fmt.Sprintf("sim: arming timer at %v before now %v", at, e.now))
+	}
+	e.seq++
+	t.ev.at, t.ev.seq, t.ev.cancel = at, e.seq, false
+	if t.ev.index >= 0 {
+		heap.Fix(&e.events, t.ev.index)
+	} else {
+		heap.Push(&e.events, &t.ev)
+	}
+}
+
+// ArmAfter arms the timer d from now; negative d is clamped to zero.
+func (t *Timer) ArmAfter(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	t.ArmAt(t.eng.now + d)
+}
+
 // Ticker invokes fn every period until Stop is called on it. The first
-// invocation happens one period from the time Tick is called.
+// invocation happens one period from the time Tick is called. Each
+// tick re-arms an intrusive Timer, so a running ticker allocates
+// nothing.
 type Ticker struct {
-	eng     *Engine
+	timer   Timer
 	period  Time
 	fn      func()
-	ev      *Event
 	stopped bool
 }
 
@@ -197,25 +337,24 @@ func Tick(eng *Engine, period Time, fn func()) *Ticker {
 	if period <= 0 {
 		panic("sim: Tick period must be positive")
 	}
-	t := &Ticker{eng: eng, period: period, fn: fn}
-	t.schedule()
+	t := &Ticker{period: period, fn: fn}
+	t.timer.Init(eng, t.tick)
+	t.timer.ArmAfter(period)
 	return t
 }
 
-func (t *Ticker) schedule() {
-	t.ev = t.eng.After(t.period, func() {
-		if t.stopped {
-			return
-		}
-		t.fn()
-		if !t.stopped {
-			t.schedule()
-		}
-	})
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.timer.ArmAfter(t.period)
+	}
 }
 
 // Stop cancels future ticks.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	t.ev.Cancel()
+	t.timer.Stop()
 }

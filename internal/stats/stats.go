@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -20,6 +21,25 @@ type Sample struct {
 // Add appends an observation.
 func (s *Sample) Add(v float64) {
 	s.vals = append(s.vals, v)
+	s.sorted = false
+}
+
+// Reserve grows the sample's buffer to hold at least n observations, so
+// recording hot paths (one Add per flow or per packet) never reallocate
+// mid-run. It never shrinks.
+func (s *Sample) Reserve(n int) {
+	if cap(s.vals) >= n {
+		return
+	}
+	vals := make([]float64, len(s.vals), n)
+	copy(vals, s.vals)
+	s.vals = vals
+}
+
+// Reset discards all observations but keeps the buffer, so a Sample can
+// be reused across runs without reallocating.
+func (s *Sample) Reset() {
+	s.vals = s.vals[:0]
 	s.sorted = false
 }
 
@@ -130,6 +150,38 @@ func (s *Sample) Summarize() Summary {
 	}
 }
 
+// MarshalJSON emits non-finite quantiles as null (encoding/json rejects
+// NaN/Inf outright): an empty sample's Summary is all-NaN, and one such
+// summary must not make a whole results file unserializable. Finite
+// summaries take the standard encoding path, byte-identical to a plain
+// struct marshal.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	finite := true
+	for _, v := range [...]float64{s.Mean, s.P10, s.P25, s.P50, s.P75, s.P90, s.P99, s.Min, s.Max} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			finite = false
+			break
+		}
+	}
+	if finite {
+		type noMethods Summary // drop MarshalJSON to avoid recursion
+		return json.Marshal(noMethods(s))
+	}
+	opt := func(v float64) *float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil
+		}
+		return &v
+	}
+	return json.Marshal(struct {
+		N                       int
+		Mean                    *float64
+		P10, P25, P50, P75, P90 *float64
+		P99                     *float64
+		Min, Max                *float64
+	}{s.N, opt(s.Mean), opt(s.P10), opt(s.P25), opt(s.P50), opt(s.P75), opt(s.P90), opt(s.P99), opt(s.Min), opt(s.Max)})
+}
+
 func (s Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.3f p10=%.3f p50=%.3f p90=%.3f p99=%.3f",
 		s.N, s.Mean, s.P10, s.P50, s.P90, s.P99)
@@ -176,6 +228,15 @@ func (h *Histogram) PDF() []float64 {
 	return out
 }
 
+// Reset zeroes all bins, keeping the configuration, for reuse across
+// runs.
+func (h *Histogram) Reset() {
+	for i := range h.bins {
+		h.bins[i] = 0
+	}
+	h.n = 0
+}
+
 // BinCenter returns the midpoint value of bin i.
 func (h *Histogram) BinCenter(i int) float64 {
 	w := (h.hi - h.lo) / float64(len(h.bins))
@@ -195,6 +256,27 @@ type TimeSeries struct {
 func (ts *TimeSeries) Add(t sim.Time, v float64) {
 	ts.T = append(ts.T, t)
 	ts.V = append(ts.V, v)
+}
+
+// Reserve grows both columns to hold at least n points (see
+// Sample.Reserve).
+func (ts *TimeSeries) Reserve(n int) {
+	if cap(ts.T) < n {
+		t := make([]sim.Time, len(ts.T), n)
+		copy(t, ts.T)
+		ts.T = t
+	}
+	if cap(ts.V) < n {
+		v := make([]float64, len(ts.V), n)
+		copy(v, ts.V)
+		ts.V = v
+	}
+}
+
+// Reset discards all points but keeps the buffers for reuse.
+func (ts *TimeSeries) Reset() {
+	ts.T = ts.T[:0]
+	ts.V = ts.V[:0]
 }
 
 // N reports the number of points.

@@ -14,7 +14,7 @@ package tcp
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 
 	"bundler/internal/netem"
 	"bundler/internal/pkt"
@@ -35,10 +35,14 @@ const InitialCwnd = 10
 // declared lost once SACKed bytes reach this many segments past its end.
 const sackDupThresh = 3
 
-// SACKBlock reports one contiguous received range in an ACK.
-type SACKBlock struct{ Start, End int64 }
+// SACKBlock reports one contiguous received range in an ACK. It travels
+// inline in the packet header (see pkt.Packet.SACK); the alias keeps
+// the transport's vocabulary intact.
+type SACKBlock = pkt.SACKBlock
 
 // segment is the sender's scoreboard entry for one in-flight segment.
+// Segments are pooled: the scoreboard releases them as they are
+// cumulatively acknowledged (and in bulk on completion/abort).
 type segment struct {
 	seq      int64
 	length   int
@@ -48,6 +52,8 @@ type segment struct {
 	lost     bool
 	inFlight bool
 }
+
+var segPool = sync.Pool{New: func() any { return new(segment) }}
 
 // Sender transmits Size payload bytes to Dst and consumes the ACK stream.
 // It implements netem.Receiver for incoming ACKs.
@@ -69,11 +75,11 @@ type Sender struct {
 
 	srtt, rttvar, rto sim.Time
 	lastRTT           sim.Time
-	rtoTimer          *sim.Event
+	rtoTimer          sim.Timer
 
 	ipid       uint16
 	nextSendAt sim.Time
-	paceTimer  *sim.Event
+	paceTimer  sim.Timer
 
 	started    bool
 	done       bool
@@ -94,10 +100,13 @@ func NewSender(eng *sim.Engine, out netem.Receiver, src, dst pkt.Addr, flowID ui
 	if size <= 0 {
 		panic("tcp: transfer size must be positive")
 	}
-	return &Sender{
+	s := &Sender{
 		eng: eng, out: out, src: src, dst: dst, flowID: flowID, size: size,
 		cc: cc, rto: initialRTO, onComplete: onComplete,
 	}
+	s.rtoTimer.Init(eng, s.onRTO)
+	s.paceTimer.Init(eng, s.trySend)
+	return s
 }
 
 // Start begins the transfer.
@@ -148,7 +157,7 @@ func (s *Sender) trySend() {
 			now := s.eng.Now()
 			if now < s.nextSendAt {
 				if !s.paceTimer.Pending() {
-					s.paceTimer = s.eng.At(s.nextSendAt, s.trySend)
+					s.paceTimer.ArmAt(s.nextSendAt)
 				}
 				return
 			}
@@ -176,7 +185,8 @@ func (s *Sender) nextLost() *segment {
 
 func (s *Sender) sendNew() {
 	length := int(min64(int64(pkt.MSS), s.size-s.sndNxt))
-	sg := &segment{seq: s.sndNxt, length: length}
+	sg := segPool.Get().(*segment)
+	*sg = segment{seq: s.sndNxt, length: length}
 	s.segs = append(s.segs, sg)
 	s.sndNxt += int64(length)
 	s.emit(sg, false)
@@ -198,17 +208,16 @@ func (s *Sender) emit(sg *segment, retx bool) {
 	sg.inFlight = true
 	s.ipid++
 	s.DataSent++
-	p := &pkt.Packet{
-		IPID:       s.ipid,
-		Src:        s.src,
-		Dst:        s.dst,
-		Proto:      pkt.ProtoTCP,
-		Size:       sg.length + pkt.HeaderBytes,
-		Seq:        sg.seq,
-		FlowID:     s.flowID,
-		Retransmit: retx,
-		SentAt:     now,
-	}
+	p := pkt.Get()
+	p.IPID = s.ipid
+	p.Src = s.src
+	p.Dst = s.dst
+	p.Proto = pkt.ProtoTCP
+	p.Size = sg.length + pkt.HeaderBytes
+	p.Seq = sg.seq
+	p.FlowID = s.flowID
+	p.Retransmit = retx
+	p.SentAt = now
 	if pr := s.cc.PacingRate(); pr > 0 {
 		if s.nextSendAt < now {
 			s.nextSendAt = now
@@ -216,15 +225,15 @@ func (s *Sender) emit(sg *segment, retx bool) {
 		s.nextSendAt += sim.Time(float64(p.Size*8) / pr * float64(sim.Second))
 	}
 	if !s.rtoTimer.Pending() {
-		s.rtoTimer = s.eng.After(s.rto, s.onRTO)
+		s.rtoTimer.ArmAfter(s.rto)
 	}
 	s.out.Receive(p)
 }
 
 func (s *Sender) rearmRTO() {
-	s.rtoTimer.Cancel()
+	s.rtoTimer.Stop()
 	if s.sndUna < s.sndNxt {
-		s.rtoTimer = s.eng.After(s.rto, s.onRTO)
+		s.rtoTimer.ArmAfter(s.rto)
 	}
 }
 
@@ -249,17 +258,20 @@ func (s *Sender) onRTO() {
 	if s.rto > maxRTO {
 		s.rto = maxRTO
 	}
-	s.rtoTimer = s.eng.After(s.rto, s.onRTO)
+	s.rtoTimer.ArmAfter(s.rto)
 	s.trySend()
 }
 
-// Receive implements netem.Receiver; the sender consumes ACKs.
+// Receive implements netem.Receiver; the sender consumes (and releases)
+// ACKs.
 func (s *Sender) Receive(p *pkt.Packet) {
 	if s.done || p.Flags&pkt.FlagACK == 0 {
+		pkt.Put(p)
 		return
 	}
 	now := s.eng.Now()
 	ack := p.Ack
+	blocks := p.SACK[:p.NSACK]
 
 	cumAdvance := ack > s.sndUna
 	if cumAdvance {
@@ -273,12 +285,13 @@ func (s *Sender) Receive(p *pkt.Packet) {
 		}
 		if s.sndUna >= s.size {
 			s.complete(now)
+			pkt.Put(p)
 			return
 		}
 		s.rearmRTO()
 	}
 
-	if blocks, ok := p.Payload.([]SACKBlock); ok && len(blocks) > 0 {
+	if len(blocks) > 0 {
 		s.applySACK(blocks)
 	}
 	newLoss := s.markLost()
@@ -287,12 +300,13 @@ func (s *Sender) Receive(p *pkt.Packet) {
 		// Fallback for SACK-less peers: third dupack implies the first
 		// outstanding segment was lost.
 		if s.dupacks >= sackDupThresh && len(s.segs) > 0 && !s.segs[0].sacked &&
-			!s.segs[0].lost && s.segs[0].inFlight && p.Payload == nil {
+			!s.segs[0].lost && s.segs[0].inFlight && p.NSACK == 0 {
 			s.segs[0].lost = true
 			s.segs[0].inFlight = false
 			newLoss = true
 		}
 	}
+	pkt.Put(p)
 	if newLoss && !s.recovery {
 		s.recovery = true
 		s.recoverPt = s.sndNxt
@@ -351,11 +365,13 @@ func (s *Sender) markLost() bool {
 }
 
 // popAcked removes cumulatively acknowledged segments from the front of
-// the scoreboard and feeds the RTT estimator from the newest popped
-// segment that was never retransmitted (Karn's algorithm). The scoreboard
-// is ordered by sequence, so this is O(newly acked).
+// the scoreboard (releasing them to the pool) and feeds the RTT
+// estimator from the newest popped segment that was never retransmitted
+// (Karn's algorithm). The scoreboard is ordered by sequence, so this is
+// O(newly acked).
 func (s *Sender) popAcked(ack int64, now sim.Time) {
-	var best *segment
+	var bestSent sim.Time
+	haveBest := false
 	i := 0
 	for ; i < len(s.segs); i++ {
 		sg := s.segs[i]
@@ -363,16 +379,22 @@ func (s *Sender) popAcked(ack int64, now sim.Time) {
 			break
 		}
 		if !sg.retx {
-			best = sg
+			bestSent = sg.sentAt
+			haveBest = true
 		}
+		segPool.Put(sg)
 	}
 	if i > 0 {
-		s.segs = append(s.segs[:0], s.segs[i:]...)
+		copy(s.segs, s.segs[i:])
+		for j := len(s.segs) - i; j < len(s.segs); j++ {
+			s.segs[j] = nil
+		}
+		s.segs = s.segs[:len(s.segs)-i]
 	}
-	if best == nil {
+	if !haveBest {
 		return
 	}
-	rtt := now - best.sentAt
+	rtt := now - bestSent
 	s.lastRTT = rtt
 	if s.srtt == 0 {
 		s.srtt = rtt
@@ -397,12 +419,19 @@ func (s *Sender) popAcked(ack int64, now sim.Time) {
 func (s *Sender) complete(now sim.Time) {
 	s.done = true
 	s.DoneAt = now
-	s.rtoTimer.Cancel()
-	s.paceTimer.Cancel()
-	s.segs = nil
+	s.rtoTimer.Stop()
+	s.paceTimer.Stop()
+	s.releaseScoreboard()
 	if s.onComplete != nil {
 		s.onComplete(now)
 	}
+}
+
+func (s *Sender) releaseScoreboard() {
+	for _, sg := range s.segs {
+		segPool.Put(sg)
+	}
+	s.segs = nil
 }
 
 // SRTT exposes the smoothed RTT estimate (for tests and the §7.5 proxy
@@ -414,9 +443,9 @@ func (s *Sender) SRTT() sim.Time { return s.srtt }
 // to model cross traffic that departs (Figure 10's phase changes).
 func (s *Sender) Abort() {
 	s.done = true
-	s.rtoTimer.Cancel()
-	s.paceTimer.Cancel()
-	s.segs = nil
+	s.rtoTimer.Stop()
+	s.paceTimer.Stop()
+	s.releaseScoreboard()
 }
 
 // Receiver consumes data packets, reassembles the byte stream, and emits
@@ -451,14 +480,18 @@ func NewReceiver(eng *sim.Engine, out netem.Receiver, addr, peer pkt.Addr, flowI
 	return &Receiver{eng: eng, out: out, addr: addr, peer: peer, flowID: flowID, size: size, onComplete: onComplete}
 }
 
-// Receive implements netem.Receiver.
+// Receive implements netem.Receiver; the receiver consumes (and
+// releases) data packets.
 func (r *Receiver) Receive(p *pkt.Packet) {
 	if p.Proto != pkt.ProtoTCP || p.Flags&pkt.FlagACK != 0 {
+		pkt.Put(p)
 		return
 	}
 	r.DataReceived++
 	payload := int64(p.Size - pkt.HeaderBytes)
-	r.insert(p.Seq, p.Seq+payload)
+	seq := p.Seq
+	pkt.Put(p)
+	r.insert(seq, seq+payload)
 	if !r.done && r.rcvNxt >= r.size {
 		r.done = true
 		r.DoneAt = r.eng.Now()
@@ -473,7 +506,9 @@ func (r *Receiver) Receive(p *pkt.Packet) {
 func (r *Receiver) Done() bool { return r.done }
 
 // insert merges [start, end) into the reassembly state and advances
-// rcvNxt across any now-contiguous prefix.
+// rcvNxt across any now-contiguous prefix. The interval list is kept
+// sorted by insertion (a shift-and-merge in place), so the common
+// in-order arrival neither sorts nor allocates.
 func (r *Receiver) insert(start, end int64) {
 	if end <= r.rcvNxt {
 		return // stale retransmit
@@ -481,11 +516,18 @@ func (r *Receiver) insert(start, end int64) {
 	if start < r.rcvNxt {
 		start = r.rcvNxt
 	}
-	r.ooo = append(r.ooo, interval{start, end})
-	sort.Slice(r.ooo, func(i, j int) bool { return r.ooo[i].start < r.ooo[j].start })
-	merged := r.ooo[:0]
-	for _, iv := range r.ooo {
-		if n := len(merged); n > 0 && iv.start <= merged[n-1].end {
+	// Insert in sorted position.
+	i := len(r.ooo)
+	for i > 0 && r.ooo[i-1].start > start {
+		i--
+	}
+	r.ooo = append(r.ooo, interval{})
+	copy(r.ooo[i+1:], r.ooo[i:])
+	r.ooo[i] = interval{start, end}
+	// Merge overlapping/adjacent runs in place.
+	merged := r.ooo[:1]
+	for _, iv := range r.ooo[1:] {
+		if n := len(merged); iv.start <= merged[n-1].end {
 			if iv.end > merged[n-1].end {
 				merged[n-1].end = iv.end
 			}
@@ -494,36 +536,38 @@ func (r *Receiver) insert(start, end int64) {
 		}
 	}
 	r.ooo = merged
-	for len(r.ooo) > 0 && r.ooo[0].start <= r.rcvNxt {
-		if r.ooo[0].end > r.rcvNxt {
-			r.rcvNxt = r.ooo[0].end
+	// Advance the contiguous prefix, compacting without dropping the
+	// backing array (the list is reused for the connection's lifetime).
+	k := 0
+	for k < len(r.ooo) && r.ooo[k].start <= r.rcvNxt {
+		if r.ooo[k].end > r.rcvNxt {
+			r.rcvNxt = r.ooo[k].end
 		}
-		r.ooo = r.ooo[1:]
+		k++
+	}
+	if k > 0 {
+		copy(r.ooo, r.ooo[k:])
+		r.ooo = r.ooo[:len(r.ooo)-k]
 	}
 }
 
 func (r *Receiver) sendAck() {
 	r.ipid++
-	var blocks []SACKBlock
+	p := pkt.Get()
+	p.IPID = r.ipid
+	p.Src = r.addr
+	p.Dst = r.peer
+	p.Proto = pkt.ProtoTCP
+	p.Size = pkt.HeaderBytes
+	p.Ack = r.rcvNxt
+	p.Flags = pkt.FlagACK
+	p.FlowID = r.flowID
+	p.SentAt = r.eng.Now()
 	for i := 0; i < len(r.ooo) && i < 4; i++ {
-		blocks = append(blocks, SACKBlock{Start: r.ooo[i].start, End: r.ooo[i].end})
+		p.SACK[i] = SACKBlock{Start: r.ooo[i].start, End: r.ooo[i].end}
+		p.NSACK = uint8(i + 1)
 	}
-	var payload any
-	if blocks != nil {
-		payload = blocks
-	}
-	r.out.Receive(&pkt.Packet{
-		IPID:    r.ipid,
-		Src:     r.addr,
-		Dst:     r.peer,
-		Proto:   pkt.ProtoTCP,
-		Size:    pkt.HeaderBytes,
-		Ack:     r.rcvNxt,
-		Flags:   pkt.FlagACK,
-		FlowID:  r.flowID,
-		SentAt:  r.eng.Now(),
-		Payload: payload,
-	})
+	r.out.Receive(p)
 }
 
 // Mux routes packets to registered endpoints by destination address. It is
@@ -557,6 +601,7 @@ func (m *Mux) Receive(p *pkt.Packet) {
 		return
 	}
 	m.dropped++
+	pkt.Put(p)
 }
 
 // Dropped reports packets with no registered endpoint.

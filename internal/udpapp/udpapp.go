@@ -46,20 +46,23 @@ func (c *PingClient) sendRequest() {
 	c.ipid++
 	c.lastReq = c.eng.Now()
 	c.waiting = true
-	c.out.Receive(&pkt.Packet{
-		IPID:   c.ipid,
-		Src:    c.addr,
-		Dst:    c.server,
-		Proto:  pkt.ProtoUDP,
-		Size:   RequestSize + pkt.HeaderBytes,
-		FlowID: c.flowID,
-		SentAt: c.lastReq,
-	})
+	p := pkt.Get()
+	p.IPID = c.ipid
+	p.Src = c.addr
+	p.Dst = c.server
+	p.Proto = pkt.ProtoUDP
+	p.Size = RequestSize + pkt.HeaderBytes
+	p.FlowID = c.flowID
+	p.SentAt = c.lastReq
+	c.out.Receive(p)
 }
 
 // Receive implements netem.Receiver: a response completes the loop.
+// The response packet is consumed and released.
 func (c *PingClient) Receive(p *pkt.Packet) {
-	if !c.waiting || p.Proto != pkt.ProtoUDP {
+	proto := p.Proto
+	pkt.Put(p)
+	if !c.waiting || proto != pkt.ProtoUDP {
 		return
 	}
 	c.waiting = false
@@ -87,22 +90,25 @@ func NewPingServer(eng *sim.Engine, out netem.Receiver, addr pkt.Addr) *PingServ
 	return &PingServer{eng: eng, out: out, addr: addr}
 }
 
-// Receive implements netem.Receiver.
+// Receive implements netem.Receiver. The request is consumed and
+// released; the response is a fresh pooled packet.
 func (s *PingServer) Receive(p *pkt.Packet) {
 	if p.Proto != pkt.ProtoUDP {
+		pkt.Put(p)
 		return
 	}
 	s.ipid++
 	s.Served++
-	s.out.Receive(&pkt.Packet{
-		IPID:   s.ipid,
-		Src:    s.addr,
-		Dst:    p.Src,
-		Proto:  pkt.ProtoUDP,
-		Size:   RequestSize + pkt.HeaderBytes,
-		FlowID: p.FlowID,
-		SentAt: s.eng.Now(),
-	})
+	resp := pkt.Get()
+	resp.IPID = s.ipid
+	resp.Src = s.addr
+	resp.Dst = p.Src
+	resp.Proto = pkt.ProtoUDP
+	resp.Size = RequestSize + pkt.HeaderBytes
+	resp.FlowID = p.FlowID
+	resp.SentAt = s.eng.Now()
+	pkt.Put(p)
+	s.out.Receive(resp)
 }
 
 // CBRStream emits fixed-size UDP packets at a constant bit rate: an
@@ -151,13 +157,13 @@ func (c *CBRStream) Stop() {
 func (c *CBRStream) emit() {
 	c.ipid++
 	c.Sent++
-	c.out.Receive(&pkt.Packet{
-		IPID:   c.ipid,
-		Src:    c.src,
-		Dst:    c.dst,
-		Proto:  pkt.ProtoUDP,
-		Size:   c.pktSize,
-		FlowID: c.flowID,
-		SentAt: c.eng.Now(),
-	})
+	p := pkt.Get()
+	p.IPID = c.ipid
+	p.Src = c.src
+	p.Dst = c.dst
+	p.Proto = pkt.ProtoUDP
+	p.Size = c.pktSize
+	p.FlowID = c.flowID
+	p.SentAt = c.eng.Now()
+	c.out.Receive(p)
 }

@@ -176,6 +176,22 @@ func NewRecorder(linkRate float64, rtt sim.Time) *Recorder {
 	return &Recorder{linkRate: linkRate, rtt: rtt}
 }
 
+// Reserve pre-sizes the recorder's sample buffers for n expected flows,
+// batching what would otherwise be grow-on-Add reallocation during the
+// run. The per-class samples are sized by the web CDF's class shares
+// (97.6 % small) with headroom, since exact splits are seed-dependent.
+func (r *Recorder) Reserve(n int) {
+	r.Slowdowns.Reserve(n)
+	r.FCTms.Reserve(n)
+	small := n
+	medium := n/16 + 16
+	large := n/256 + 16
+	for c, want := range [3]int{small, medium, large} {
+		r.ByClass[c].Reserve(want)
+		r.FCTByClass[c].Reserve(want)
+	}
+}
+
 // RecordUncounted marks a flow complete without contributing to the
 // statistics — used for warmup traffic that loads the network while the
 // control loops converge.

@@ -28,6 +28,7 @@ import (
 	"bundler/internal/exp"
 	"bundler/internal/perf"
 	_ "bundler/internal/scenario" // registers every experiment
+	"bundler/internal/topo"
 )
 
 // defaultGrid is the out-of-the-box -sweep space: 3 rates × 3 RTTs ×
@@ -37,8 +38,9 @@ const defaultGrid = "rate=24e6,48e6,96e6;rtt=20ms,50ms,100ms;sched=sfq,fifo;load
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			strings.Join(exp.Names(), "|")+"|all (aliases: "+aliasHelp()+")")
-		requests = flag.Int("requests", 15000, "requests per FCT experiment (paper: 1,000,000)")
+			strings.Join(exp.Names(), "|")+"|all (aliases: "+aliasHelp()+"; -config files add more)")
+		requests = flag.Int("requests", 15000,
+			"requests per FCT experiment (paper: 1,000,000); when not set, each experiment's declared default applies")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		dump     = flag.String("dump", "", "directory to write CSV traces of the timeline figures (fig2, fig10)")
 		set      = flag.String("set", "", "extra experiment params, comma-separated k=v pairs (see -experiment <name> -params)")
@@ -52,8 +54,22 @@ func main() {
 			"run the perf harness and write its JSON trajectory (e.g. BENCH_pr2.json), then exit")
 		benchFilter = flag.String("bench-filter", "",
 			"with -bench-out: regexp selecting which benchmarks to run (default all)")
+		config = flag.String("config", "",
+			"comma-separated declarative scenario files or directories (*.json) to load and register as experiments; a config named like a built-in shadows it")
 	)
 	flag.Parse()
+
+	// Distinguish "-requests 15000" from the flag's default: experiments
+	// (and loaded configs in particular) declare their own defaults, and
+	// the flag must only override them when the user actually set it.
+	requestsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "requests" {
+			requestsSet = true
+		}
+	})
+
+	loadConfigs(*config)
 
 	if *benchOut != "" {
 		runBench(*benchOut, *benchFilter)
@@ -90,7 +106,7 @@ func main() {
 			}
 		}
 		for _, e := range exp.All() {
-			runOne(e, *seed, paramsFor(e, *requests, *dump, pairs, false), *dump)
+			runOne(e, *seed, paramsFor(e, *requests, requestsSet, *dump, pairs, false), *dump)
 		}
 		return
 	}
@@ -102,20 +118,22 @@ func main() {
 		printParams(e)
 		return
 	}
-	runOne(e, *seed, paramsFor(e, *requests, *dump, pairs, true), *dump)
+	runOne(e, *seed, paramsFor(e, *requests, requestsSet, *dump, pairs, true), *dump)
 }
 
 // paramsFor assembles an experiment's params: the -requests and -dump
 // flags map onto the declared "requests"/"artifacts" params, and -set
 // pairs are checked against the declaration (strict mode rejects
-// unknown keys; "all" mode skips keys other experiments own).
-func paramsFor(e exp.Experiment, requests int, dumpDir string, pairs map[string]string, strict bool) exp.Params {
+// unknown keys; "all" mode skips keys other experiments own). -requests
+// applies only when explicitly given, so an experiment's own declared
+// default — a loaded config's, say — wins otherwise.
+func paramsFor(e exp.Experiment, requests int, requestsSet bool, dumpDir string, pairs map[string]string, strict bool) exp.Params {
 	declared := map[string]bool{}
 	for _, pd := range e.Params() {
 		declared[pd.Name] = true
 	}
 	p := exp.Params{}
-	if declared["requests"] {
+	if requestsSet && declared["requests"] {
 		p["requests"] = strconv.Itoa(requests)
 	}
 	if dumpDir != "" && declared["artifacts"] {
@@ -261,6 +279,41 @@ func runBench(outPath, filter string) {
 		fatal(err)
 	}
 	fmt.Printf("wrote %d benchmark records to %s\n", len(records), outPath)
+}
+
+// loadConfigs registers every declarative scenario named by the -config
+// flag: a comma-separated list of files and/or directories (a directory
+// contributes its *.json files, sorted). Loaded configs become ordinary
+// registry entries — runnable, listable, sweepable — and a config whose
+// name matches a built-in experiment replaces it for this invocation.
+func loadConfigs(spec string) {
+	if spec == "" {
+		return
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		paths := []string{entry}
+		if st, err := os.Stat(entry); err == nil && st.IsDir() {
+			var gerr error
+			paths, gerr = filepath.Glob(filepath.Join(entry, "*.json"))
+			if gerr != nil || len(paths) == 0 {
+				fatal("-config " + entry + ": no *.json files found")
+			}
+			sort.Strings(paths)
+		}
+		for _, path := range paths {
+			e, replaced, err := topo.RegisterFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			if replaced {
+				fmt.Fprintf(os.Stderr, "config %s: %q shadows the built-in experiment\n", path, e.Name())
+			}
+		}
+	}
 }
 
 // parseSet parses "k=v,k2=v2".

@@ -4,10 +4,15 @@
 // registry's "fct" experiment (the same one bundler-bench -sweep fans
 // out), so the two tools cannot drift apart.
 //
+// With -config it instead runs a declarative scenario file (see
+// internal/topo and examples/configs/), with -set overriding the
+// config's declared parameters.
+//
 // Example:
 //
 //	bundler-sim -mode bundler -alg copa -sched sfq -requests 20000
 //	bundler-sim -mode statusquo -rate 48e6 -rtt 100ms
+//	bundler-sim -config examples/configs/cellular.json -set requests=2000
 //	bundler-sim -json            # structured result for scripting
 package main
 
@@ -16,10 +21,12 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"bundler/internal/exp"
 	_ "bundler/internal/scenario" // registers the fct experiment
+	"bundler/internal/topo"
 )
 
 func main() {
@@ -34,9 +41,30 @@ func main() {
 		requests = flag.Int("requests", 10000, "number of requests to complete")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		tunnel   = flag.Bool("tunnel", false, "use encapsulation-based epoch marking (§4.5 tunnel mode)")
+		config   = flag.String("config", "", "run a declarative scenario file instead of the fct flags above")
+		set      = flag.String("set", "", "with -config: comma-separated k=v overrides of the config's declared params")
 		asJSON   = flag.Bool("json", false, "emit the structured result as JSON instead of text")
 	)
 	flag.Parse()
+
+	if *config != "" {
+		// The dedicated scenario flags describe the fct experiment, not a
+		// config; silently ignoring one the user set would make them
+		// believe they changed the run. Configs take overrides via -set.
+		allowed := map[string]bool{"config": true, "set": true, "seed": true, "json": true}
+		flag.Visit(func(f *flag.Flag) {
+			if !allowed[f.Name] {
+				fmt.Fprintf(os.Stderr, "-%s does not apply with -config; override the config's params with -set (see its \"params\" section)\n", f.Name)
+				os.Exit(1)
+			}
+		})
+		runConfig(*config, *set, *seed, *asJSON)
+		return
+	}
+	if *set != "" {
+		fmt.Fprintln(os.Stderr, "-set only applies with -config (use the dedicated flags otherwise)")
+		os.Exit(1)
+	}
 
 	e, ok := exp.Lookup("fct")
 	if !ok {
@@ -62,7 +90,49 @@ func main() {
 		fmt.Fprintf(os.Stderr, "warning: only %d of %d requests completed before the horizon\n",
 			completed, *requests)
 	}
-	if *asJSON {
+	emit(res, *asJSON)
+}
+
+// runConfig executes a declarative scenario file with -set param
+// overrides, through the same load-and-validate path bundler-bench
+// -config uses, so a broken file (or a broken later run) fails before
+// any simulation starts.
+func runConfig(path, set string, seed int64, asJSON bool) {
+	e, _, err := topo.RegisterFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	declared := map[string]bool{}
+	for _, d := range e.Params() {
+		declared[d.Name] = true
+	}
+	params := exp.Params{}
+	if set != "" {
+		for _, pair := range strings.Split(set, ",") {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "-set %q: want k=v pairs\n", pair)
+				os.Exit(1)
+			}
+			k = strings.TrimSpace(k)
+			if !declared[k] {
+				fmt.Fprintf(os.Stderr, "-set %s: config %s declares no such param\n", k, e.Name())
+				os.Exit(1)
+			}
+			params[k] = strings.TrimSpace(v)
+		}
+	}
+	res, err := e.Run(seed, params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	emit(res, asJSON)
+}
+
+func emit(res exp.Result, asJSON bool) {
+	if asJSON {
 		if err := exp.WriteJSON(os.Stdout, []exp.Result{res}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

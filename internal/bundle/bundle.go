@@ -15,6 +15,9 @@
 // rate, and receive rate, averaged over a sliding window of about one RTT.
 // The epoch size adapts to ¼·minRTT·send_rate and is rounded down to a
 // power of two so stale receivebox epochs stay strict sub/supersets.
+//
+// All rates (pacing, measured send/receive) are bits/second; byte counts
+// are int64 bytes; every timer and timestamp is sim.Time.
 package bundle
 
 import (

@@ -13,6 +13,12 @@
 //	func (myExp) Params() []exp.Param { ... }
 //	func (myExp) Run(seed int64, p exp.Params) (exp.Result, error) { ... }
 //	func init() { exp.Register(myExp{}) }
+//
+// Experiments also arrive at run time: internal/topo registers
+// declarative config files through TryRegister / RegisterOrReplace, so
+// a loaded config is indistinguishable from a compiled-in experiment.
+// Params are strings in the repository's unit conventions (rates in
+// bits/s float syntax, durations as Go strings like "50ms").
 package exp
 
 import (

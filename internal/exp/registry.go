@@ -28,19 +28,56 @@ var reg = &registry{
 // on a duplicate name: two experiments claiming one name is a
 // programming error that silent last-wins resolution would hide.
 func Register(e Experiment) {
+	if err := TryRegister(e); err != nil {
+		panic("exp: " + err.Error())
+	}
+}
+
+// TryRegister is Register returning an error instead of panicking — the
+// entry point for experiments loaded from user-supplied config files,
+// where a name collision is bad input rather than a programming error.
+func TryRegister(e Experiment) error {
 	reg.mu.Lock()
 	defer reg.mu.Unlock()
 	name := e.Name()
 	if _, dup := reg.byName[name]; dup {
-		panic(fmt.Sprintf("exp: duplicate experiment %q", name))
+		return fmt.Errorf("duplicate experiment %q", name)
 	}
 	if c, isAlias := reg.aliases[name]; isAlias {
 		// Lookup resolves aliases first, so this experiment would be
 		// silently unreachable.
-		panic(fmt.Sprintf("exp: experiment %q collides with alias of %q", name, c))
+		return fmt.Errorf("experiment %q collides with alias of %q", name, c)
 	}
 	reg.byName[name] = e
 	reg.ordered = append(reg.ordered, e)
+	return nil
+}
+
+// RegisterOrReplace registers e, replacing any existing experiment of
+// the same name in place (canonical order and hidden status preserved).
+// It reports whether a replacement happened. Loaded topology configs use
+// it to shadow a built-in experiment with a declarative re-expression of
+// the same scenario.
+func RegisterOrReplace(e Experiment) (replaced bool, err error) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	name := e.Name()
+	if c, isAlias := reg.aliases[name]; isAlias {
+		return false, fmt.Errorf("experiment %q collides with alias of %q", name, c)
+	}
+	if _, dup := reg.byName[name]; dup {
+		for i, old := range reg.ordered {
+			if old.Name() == name {
+				reg.ordered[i] = e
+				break
+			}
+		}
+		reg.byName[name] = e
+		return true, nil
+	}
+	reg.byName[name] = e
+	reg.ordered = append(reg.ordered, e)
+	return false, nil
 }
 
 // RegisterHidden registers e but keeps it out of Names() and the CLIs'

@@ -250,3 +250,57 @@ func TestBinderErrors(t *testing.T) {
 		t.Error("Binder swallowed a parse error")
 	}
 }
+
+func TestTryRegisterReportsDuplicates(t *testing.T) {
+	Register(fakeExp{name: "try-dup"})
+	if err := TryRegister(fakeExp{name: "try-dup"}); err == nil {
+		t.Fatal("TryRegister of a duplicate should error")
+	}
+	if err := TryRegister(fakeExp{name: "try-fresh"}); err != nil {
+		t.Fatalf("TryRegister of a fresh name: %v", err)
+	}
+	if _, ok := Lookup("try-fresh"); !ok {
+		t.Fatal("try-fresh not registered")
+	}
+}
+
+// TestRegisterOrReplace pins the config-shadowing semantics: replacement
+// keeps the canonical position, and alias names stay off limits.
+func TestRegisterOrReplace(t *testing.T) {
+	Register(fakeExp{name: "ror-a"})
+	Register(fakeExp{name: "ror-b"})
+	replaced, err := RegisterOrReplace(fakeExp{name: "ror-a", fail: func(Params) error {
+		return fmt.Errorf("replacement marker")
+	}})
+	if err != nil || !replaced {
+		t.Fatalf("RegisterOrReplace existing: replaced=%v err=%v", replaced, err)
+	}
+	e, ok := Lookup("ror-a")
+	if !ok {
+		t.Fatal("ror-a vanished")
+	}
+	if _, rerr := e.Run(1, nil); rerr == nil || !strings.Contains(rerr.Error(), "replacement marker") {
+		t.Fatalf("lookup did not return the replacement: %v", rerr)
+	}
+	// Canonical order: ror-a must still precede ror-b.
+	ia, ib := -1, -1
+	for i, n := range Names() {
+		switch n {
+		case "ror-a":
+			ia = i
+		case "ror-b":
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("replacement moved ror-a in canonical order (a=%d, b=%d)", ia, ib)
+	}
+	replaced, err = RegisterOrReplace(fakeExp{name: "ror-new"})
+	if err != nil || replaced {
+		t.Fatalf("RegisterOrReplace fresh: replaced=%v err=%v", replaced, err)
+	}
+	RegisterAlias("ror-alias", "ror-a")
+	if _, err := RegisterOrReplace(fakeExp{name: "ror-alias"}); err == nil {
+		t.Fatal("RegisterOrReplace onto an alias should error")
+	}
+}

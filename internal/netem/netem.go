@@ -7,6 +7,8 @@
 //
 // Components implement Receiver and are wired explicitly into a forwarding
 // graph; all behaviour unfolds on the shared sim.Engine's virtual clock.
+// Link rates are bits/second, delays are sim.Time, queue budgets are
+// whatever the attached qdisc counts (bytes or packets).
 package netem
 
 import (
@@ -201,6 +203,44 @@ func (l *Link) OnTransmitted(fn func(p *pkt.Packet)) { l.onTransmitted = fn }
 // (after propagation). Experiments use it to measure ground-truth receive
 // rate at the bottleneck.
 func (l *Link) OnDelivery(fn func(p *pkt.Packet)) { l.onDelivery = fn }
+
+// RateStep is one point of a piecewise-constant rate schedule: at virtual
+// time At (relative to when the schedule starts), the link's drain rate
+// becomes Bps.
+type RateStep struct {
+	At  sim.Time
+	Bps float64
+}
+
+// ScheduleRate drives a link's drain rate through a piecewise-constant
+// trace — the emulated cellular / time-varying bottleneck. Steps must be
+// sorted by At. With period > 0 the trace repeats every period (each
+// step's At must then be < period); with period 0 it plays once. Rates
+// below MinRate are clamped by SetRate, like any other rate change.
+func ScheduleRate(eng *sim.Engine, l *Link, steps []RateStep, period sim.Time) {
+	if len(steps) == 0 {
+		return
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i].At <= steps[i-1].At {
+			panic("netem: rate trace steps must be sorted by time")
+		}
+	}
+	if period > 0 && steps[len(steps)-1].At >= period {
+		panic("netem: rate trace step beyond the repeat period")
+	}
+	var cycle func(base sim.Time)
+	cycle = func(base sim.Time) {
+		for _, s := range steps {
+			bps := s.Bps
+			eng.At(base+s.At, func() { l.SetRate(bps) })
+		}
+		if period > 0 {
+			eng.At(base+period, func() { cycle(base + period) })
+		}
+	}
+	cycle(eng.Now())
+}
 
 // Pipe delivers packets after a fixed delay with no queueing or rate
 // limit: an uncongested path segment.

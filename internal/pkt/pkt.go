@@ -16,7 +16,8 @@ import (
 
 // Proto distinguishes transport protocols. Bundler itself is
 // protocol-agnostic; the emulator uses the protocol only to route packets
-// to the right endpoint logic.
+// to the right endpoint logic. Size is the on-wire packet size in bytes,
+// headers included (MTU 1500, 40-byte TCP/IPv4-style header).
 type Proto uint8
 
 // Supported protocols.

@@ -1,11 +1,14 @@
 // Package qdisc implements the packet schedulers Bundler enforces at the
-// sendbox and that the emulated bottleneck uses: droptail FIFO, Stochastic
-// Fairness Queueing (SFQ), FQ-CoDel, and strict priority.
+// sendbox (§4.2's "flexible queueing policies", evaluated in §7.2) and
+// that the emulated bottleneck uses: droptail FIFO, Stochastic Fairness
+// Queueing (SFQ), FQ-CoDel, and strict priority.
 //
 // The interface mirrors the Linux qdisc contract the paper's prototype
 // patches into tc: enqueue (possibly dropping), dequeue, and occupancy
 // introspection. Queues that make time-based decisions (CoDel) receive the
-// simulation engine at construction.
+// simulation engine at construction. Capacity limits are bytes for FIFO,
+// RED, and Prio, packets for the flow-queueing disciplines — each
+// constructor documents which.
 package qdisc
 
 import "bundler/internal/pkt"

@@ -122,7 +122,7 @@ func (fig56Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
 	}
 	res := RunMeasurementAccuracy(seed, dur)
 	var w strings.Builder
-	reportHeader(&w, "Figures 5+6: measurement accuracy (9 configs: {20,50,100 ms} × {24,48,96 Mbit/s})")
+	ReportHeader(&w, "Figures 5+6: measurement accuracy (9 configs: {20,50,100 ms} × {24,48,96 Mbit/s})")
 	fmt.Fprintf(&w, "RTT estimate error:  p10=%+.2fms p50=%+.2fms p90=%+.2fms  within ±1.2ms: %.0f%% (paper: 80%%)\n",
 		res.RTTErrMs.Quantile(0.1), res.RTTErrMs.Quantile(0.5), res.RTTErrMs.Quantile(0.9), res.WithinRTT*100)
 	fmt.Fprintf(&w, "rate estimate error: p10=%+.2fMbps p50=%+.2fMbps p90=%+.2fMbps  within ±4Mbps: %.0f%% (paper: 80%%)\n",

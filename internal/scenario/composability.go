@@ -166,7 +166,7 @@ func (hierExp) Run(seed int64, p exp.Params) (exp.Result, error) {
 	}
 	res := RunHierarchical(seed, dur)
 	var w strings.Builder
-	reportHeader(&w, "§9: hierarchical bundles (two departments nested in an institute)")
+	ReportHeader(&w, "§9: hierarchical bundles (two departments nested in an institute)")
 	fmt.Fprintf(&w, "matched congestion ACKs: parent=%d dept-A=%d dept-B=%d\n",
 		res.ParentMatched, res.SubAMatched, res.SubBMatched)
 	fmt.Fprintf(&w, "goodput: dept-A %.1f Mb/s, dept-B %.1f Mb/s\n", res.SubAMbps, res.SubBMbps)

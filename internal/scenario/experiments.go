@@ -37,14 +37,14 @@ func init() {
 	exp.RegisterHidden(fctExp{})
 }
 
-// reportHeader writes the banner every experiment report opens with.
-func reportHeader(w io.Writer, s string) {
+// ReportHeader writes the banner every experiment report opens with.
+func ReportHeader(w io.Writer, s string) {
 	fmt.Fprintf(w, "\n=== %s ===\n", s)
 }
 
-// writeFCTRows renders the shared slowdown table of the FCT-comparison
-// figures (9, 14, 15).
-func writeFCTRows(w io.Writer, rows []Fig9Result) {
+// WriteFCTRows renders the shared slowdown table of the FCT-comparison
+// figures (9, 14, 15) and of internal/topo's "fct"-style config reports.
+func WriteFCTRows(w io.Writer, rows []Fig9Result) {
 	fmt.Fprintf(w, "%-22s %8s %8s | median slowdown by size: %-10s %-12s %-10s\n",
 		"", "p50", "p99", "≤10KB", "10KB-1MB", ">1MB")
 	for _, r := range rows {
@@ -53,8 +53,9 @@ func writeFCTRows(w io.Writer, rows []Fig9Result) {
 	}
 }
 
-// addRowMetrics records the headline numbers of an FCT-comparison table.
-func addRowMetrics(res *exp.Result, rows []Fig9Result) {
+// AddFCTRowMetrics records the headline numbers of an FCT-comparison
+// table as Result metrics.
+func AddFCTRowMetrics(res *exp.Result, rows []Fig9Result) {
 	for _, r := range rows {
 		label := strings.ReplaceAll(r.Label, " ", "_")
 		res.AddMetric(label+"/median-slowdown", r.Median, "")

@@ -130,12 +130,14 @@ func RunFig9(seed int64, requests int) []Fig9Result {
 	var out []Fig9Result
 	for _, c := range configs {
 		rec := RunFCT(FCTOptions{Seed: seed, Requests: requests, Mode: c.mode, Scheduler: c.sched})
-		out = append(out, summarizeFig9(c.label, rec))
+		out = append(out, SummarizeFCT(c.label, rec))
 	}
 	return out
 }
 
-func summarizeFig9(label string, rec *workload.Recorder) Fig9Result {
+// SummarizeFCT condenses a recorder into one row of the shared
+// FCT-comparison table.
+func SummarizeFCT(label string, rec *workload.Recorder) Fig9Result {
 	r := Fig9Result{Label: label, Rec: rec, Median: rec.Slowdowns.Median(), P99: rec.Slowdowns.Quantile(0.99)}
 	for i := range rec.ByClass {
 		r.ByClass[i] = rec.ByClass[i].Median()
@@ -147,11 +149,11 @@ func summarizeFig9(label string, rec *workload.Recorder) Fig9Result {
 // (Copa vs BasicDelay vs BBR) plus the status-quo baseline.
 func RunFig14(seed int64, requests int) []Fig9Result {
 	var out []Fig9Result
-	out = append(out, summarizeFig9("Status Quo",
+	out = append(out, SummarizeFCT("Status Quo",
 		RunFCT(FCTOptions{Seed: seed, Requests: requests, Mode: "statusquo"})))
 	for _, alg := range []string{"copa", "basicdelay", "bbr"} {
 		rec := RunFCT(FCTOptions{Seed: seed, Requests: requests, Mode: "bundler", InnerAlg: alg})
-		out = append(out, summarizeFig9("Bundler ("+alg+")", rec))
+		out = append(out, SummarizeFCT("Bundler ("+alg+")", rec))
 	}
 	return out
 }
@@ -163,7 +165,7 @@ func RunSec74(seed int64, requests int) map[string][2]Fig9Result {
 	for _, cc := range []string{"cubic", "reno", "bbr"} {
 		sq := RunFCT(FCTOptions{Seed: seed, Requests: requests, Mode: "statusquo", EndhostCC: cc})
 		bd := RunFCT(FCTOptions{Seed: seed, Requests: requests, Mode: "bundler", EndhostCC: cc})
-		out[cc] = [2]Fig9Result{summarizeFig9("Status Quo", sq), summarizeFig9("Bundler", bd)}
+		out[cc] = [2]Fig9Result{SummarizeFCT("Status Quo", sq), SummarizeFCT("Bundler", bd)}
 	}
 	return out
 }
@@ -177,8 +179,8 @@ func RunFig15(seed int64, requests int) []Fig9Result {
 		FixedCwnd: 450, SendboxQueuePackets: 8192,
 	})
 	return []Fig9Result{
-		summarizeFig9("Bundler", normal),
-		summarizeFig9("Bundler + Proxy", proxy),
+		SummarizeFCT("Bundler", normal),
+		SummarizeFCT("Bundler + Proxy", proxy),
 	}
 }
 
@@ -346,36 +348,48 @@ func RunFig12(seed int64) []Fig12Point {
 // SchedulerByName builds a sendbox scheduler with an explicit depth in
 // packets: "sfq" (default), "fifo", "fqcodel", "codel", "red", "drr",
 // "pie", or "prio:<port>" giving strict priority to destination port
-// <port>.
+// <port>. It panics on an unknown name; code paths fed by user-supplied
+// config files use ParseScheduler instead.
 func SchedulerByName(eng *sim.Engine, name string, packets int) qdisc.Qdisc {
+	q, err := ParseScheduler(eng, name, packets)
+	if err != nil {
+		panic("scenario: " + err.Error())
+	}
+	return q
+}
+
+// ParseScheduler is SchedulerByName returning an error instead of
+// panicking — the entry point for internal/topo's declarative configs,
+// where a bad qdisc name is user input, not a programming error.
+func ParseScheduler(eng *sim.Engine, name string, packets int) (qdisc.Qdisc, error) {
 	switch {
 	case name == "" || name == "sfq":
-		return qdisc.NewSFQ(1024, packets)
+		return qdisc.NewSFQ(1024, packets), nil
 	case name == "fifo":
-		return qdisc.NewFIFO(packets * pkt.MTU)
+		return qdisc.NewFIFO(packets * pkt.MTU), nil
 	case name == "fqcodel":
-		return qdisc.NewFQCoDel(eng, 1024, packets)
+		return qdisc.NewFQCoDel(eng, 1024, packets), nil
 	case name == "codel":
-		return qdisc.NewCoDel(eng, packets)
+		return qdisc.NewCoDel(eng, packets), nil
 	case name == "red":
-		return qdisc.NewRED(eng.Rand(), packets*pkt.MTU)
+		return qdisc.NewRED(eng.Rand(), packets*pkt.MTU), nil
 	case name == "drr":
-		return qdisc.NewDRR(packets)
+		return qdisc.NewDRR(packets), nil
 	case name == "pie":
-		return qdisc.NewPIE(eng, eng.Rand(), packets)
+		return qdisc.NewPIE(eng, eng.Rand(), packets), nil
 	case len(name) > 5 && name[:5] == "prio:":
 		var port int
-		if _, err := fmt.Sscanf(name[5:], "%d", &port); err != nil {
-			panic("scenario: bad prio port in " + name)
+		if _, err := fmt.Sscanf(name[5:], "%d", &port); err != nil || port < 0 || port > 65535 {
+			return nil, fmt.Errorf("bad prio port in scheduler %q (want 0-65535)", name)
 		}
 		return qdisc.NewPrio(2, packets/2*pkt.MTU, func(p *pkt.Packet) int {
 			if int(p.Dst.Port) == port {
 				return 0
 			}
 			return 1
-		})
+		}), nil
 	default:
-		panic("scenario: unknown scheduler " + name)
+		return nil, fmt.Errorf("unknown scheduler %q (want sfq, fifo, fqcodel, codel, red, drr, pie, or prio:<port>)", name)
 	}
 }
 
@@ -478,10 +492,10 @@ func (fig9Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
 	}
 	rows := RunFig9(seed, requests)
 	var w strings.Builder
-	reportHeader(&w, fmt.Sprintf("Figure 9: FCT slowdowns (%d requests; paper: 1M, medians 1.76 → 1.26)", requests))
-	writeFCTRows(&w, rows)
+	ReportHeader(&w, fmt.Sprintf("Figure 9: FCT slowdowns (%d requests; paper: 1M, medians 1.76 → 1.26)", requests))
+	WriteFCTRows(&w, rows)
 	res := exp.Result{Experiment: "fig9", Seed: seed, Params: p, Report: w.String()}
-	addRowMetrics(&res, rows)
+	AddFCTRowMetrics(&res, rows)
 	return res, nil
 }
 
@@ -502,7 +516,7 @@ func (fig11Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
 	}
 	points := RunFig11(seed, requests/2)
 	var w strings.Builder
-	reportHeader(&w, "Figure 11: short-flow cross traffic sweep (bundle fixed at 48 Mbit/s)")
+	ReportHeader(&w, "Figure 11: short-flow cross traffic sweep (bundle fixed at 48 Mbit/s)")
 	fmt.Fprintf(&w, "%-12s %12s %14s %16s\n", "cross Mb/s", "status quo", "bundler-copa", "bundler-nimbus")
 	res := exp.Result{Experiment: "fig11", Seed: seed, Params: p}
 	for _, pt := range points {
@@ -529,7 +543,7 @@ func (fig12Exp) Params() []exp.Param { return nil }
 func (fig12Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
 	points := RunFig12(seed)
 	var w strings.Builder
-	reportHeader(&w, "Figure 12: persistent elastic cross flows (paper: 12-22% bundle throughput loss)")
+	ReportHeader(&w, "Figure 12: persistent elastic cross flows (paper: 12-22% bundle throughput loss)")
 	fmt.Fprintf(&w, "%-12s %12s %14s %16s\n", "cross flows", "status quo", "bundler-copa", "bundler-nimbus")
 	res := exp.Result{Experiment: "fig12", Seed: seed, Params: p}
 	for _, pt := range points {
@@ -561,7 +575,7 @@ func (fig13Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
 	}
 	rows := RunFig13(seed, requests)
 	var w strings.Builder
-	reportHeader(&w, "Figure 13: competing bundles (aggregate 84 Mbit/s)")
+	ReportHeader(&w, "Figure 13: competing bundles (aggregate 84 Mbit/s)")
 	res := exp.Result{Experiment: "fig13", Seed: seed, Params: p}
 	for _, r := range rows {
 		var parts []string
@@ -592,10 +606,10 @@ func (fig14Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
 	}
 	rows := RunFig14(seed, requests)
 	var w strings.Builder
-	reportHeader(&w, "Figure 14: inner-loop congestion control comparison")
-	writeFCTRows(&w, rows)
+	ReportHeader(&w, "Figure 14: inner-loop congestion control comparison")
+	WriteFCTRows(&w, rows)
 	res := exp.Result{Experiment: "fig14", Seed: seed, Params: p, Report: w.String()}
-	addRowMetrics(&res, rows)
+	AddFCTRowMetrics(&res, rows)
 	return res, nil
 }
 
@@ -616,10 +630,10 @@ func (fig15Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
 	}
 	rows := RunFig15(seed, requests)
 	var w strings.Builder
-	reportHeader(&w, "Figure 15: idealized TCP proxy (fixed 450-packet endhost windows)")
-	writeFCTRows(&w, rows)
+	ReportHeader(&w, "Figure 15: idealized TCP proxy (fixed 450-packet endhost windows)")
+	WriteFCTRows(&w, rows)
 	res := exp.Result{Experiment: "fig15", Seed: seed, Params: p, Report: w.String()}
-	addRowMetrics(&res, rows)
+	AddFCTRowMetrics(&res, rows)
 	return res, nil
 }
 
@@ -645,7 +659,7 @@ func (sec74Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
 	}
 	sort.Strings(ccs)
 	var w strings.Builder
-	reportHeader(&w, "§7.4: endhost congestion control")
+	ReportHeader(&w, "§7.4: endhost congestion control")
 	res := exp.Result{Experiment: "sec74", Seed: seed, Params: p}
 	for _, cc := range ccs {
 		pair := pairs[cc]

@@ -189,7 +189,7 @@ func (fig7Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
 	}
 	res := RunFig7(seed, dur)
 	var w strings.Builder
-	reportHeader(&w, "Figure 7: imbalanced multipath visibility (4 paths)")
+	ReportHeader(&w, "Figure 7: imbalanced multipath visibility (4 paths)")
 	out := exp.Result{Experiment: "fig7", Seed: seed, Params: p}
 	for i, ts := range res.PathRTTms {
 		mean := ts.MeanOver(0, dur)
@@ -223,7 +223,7 @@ func (sec76Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
 	}
 	points := RunSec76(seed, dur)
 	var w strings.Builder
-	reportHeader(&w, "§7.6: multipath detection sweep (paper: ≤0.4% single path, ≥20% multipath)")
+	ReportHeader(&w, "§7.6: multipath detection sweep (paper: ≤0.4% single path, ≥20% multipath)")
 	fmt.Fprintf(&w, "%-10s %-8s %-8s %-10s %-8s\n", "rate Mb/s", "RTT ms", "paths", "OOO frac", "disabled")
 	out := exp.Result{Experiment: "sec76", Seed: seed, Params: p}
 	maxSingle, minMulti := 0.0, 1.0

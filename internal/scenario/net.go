@@ -1,8 +1,15 @@
 // Package scenario wires complete experiments: the emulated dumbbell (and
 // multipath / WAN variants), the Bundler boxes, endhost traffic, and the
-// measurement probes each figure of the paper needs. Every evaluation
-// figure has a Run* entry point here, invoked by cmd/bundler-bench and by
-// the root-level benchmarks.
+// measurement probes each figure of the paper's evaluation (§7–§9) needs.
+// Every evaluation figure has a Run* entry point here, wrapped as a
+// registered exp.Experiment, invoked by cmd/bundler-bench and by the
+// root-level benchmarks.
+//
+// The reusable endpoint machinery — sender mux, destination demux,
+// reverse path, address allocation — lives in Fabric; Net adds the
+// paper's single-bottleneck dumbbell on top, and internal/topo compiles
+// declarative configs into arbitrary link graphs over the same Fabric.
+// Rates are bits/second, times sim.Time, buffers bytes.
 package scenario
 
 import (
@@ -40,28 +47,52 @@ func (c *NetConfig) fill() {
 	}
 }
 
-// Net is one emulated dumbbell: source sites on the left, a single
-// bottleneck link, destination demux on the right, and an uncongested
-// reverse path for ACKs and Bundler control messages.
-type Net struct {
-	Eng        *sim.Engine
-	Cfg        NetConfig
-	MuxA       *tcp.Mux
-	Demux      *netem.Demux
-	Bottleneck *netem.Link
-	Reverse    *netem.Link
+// Fabric is the endpoint machinery every emulated topology hangs sites
+// on: the sender-side mux, the destination demux, the uncongested
+// reverse path for ACKs and Bundler control messages, and the address /
+// flow-ID allocators. The forward path between them — one bottleneck,
+// a chain, load-balanced parallel links — is the caller's to wire;
+// Net wires the paper's dumbbell, and internal/topo compiles declarative
+// configs into arbitrary link graphs over the same fabric.
+type Fabric struct {
+	Eng     *sim.Engine
+	MuxA    *tcp.Mux
+	Demux   *netem.Demux
+	Reverse *netem.Link
+
+	// OracleRate (bits/s) and OracleRTT normalize recorded slowdowns:
+	// the unloaded-path parameters of workload.OracleFCT. Traffic can
+	// override them per workload.
+	OracleRate float64
+	OracleRTT  sim.Time
 
 	nextHost uint32
 	nextCtl  uint32
 	flowID   uint64
 }
 
+// NewFabric builds the shared endpoint machinery on eng. The caller must
+// set Reverse (and the oracle parameters) before adding sites.
+func NewFabric(eng *sim.Engine) *Fabric {
+	return &Fabric{Eng: eng, MuxA: tcp.NewMux(), Demux: netem.NewDemux(),
+		nextHost: 1 << 16, nextCtl: 1 << 30}
+}
+
+// Net is one emulated dumbbell: source sites on the left, a single
+// bottleneck link, destination demux on the right, and an uncongested
+// reverse path for ACKs and Bundler control messages.
+type Net struct {
+	Fabric
+	Cfg        NetConfig
+	Bottleneck *netem.Link
+}
+
 // NewNet builds the dumbbell.
 func NewNet(cfg NetConfig) *Net {
 	cfg.fill()
 	eng := sim.NewEngine(cfg.Seed)
-	n := &Net{Eng: eng, Cfg: cfg, MuxA: tcp.NewMux(), Demux: netem.NewDemux(),
-		nextHost: 1 << 16, nextCtl: 1 << 30}
+	n := &Net{Fabric: *NewFabric(eng), Cfg: cfg}
+	n.OracleRate, n.OracleRTT = cfg.LinkRate, cfg.RTT
 	n.Bottleneck = netem.NewLink(eng, "bottleneck", cfg.LinkRate, cfg.RTT/2, cfg.Bottleneck, n.Demux)
 	n.Reverse = netem.NewLink(eng, "reverse", 10e9, cfg.RTT/2, qdisc.NewFIFO(1<<26), n.MuxA)
 	return n
@@ -71,7 +102,7 @@ func NewNet(cfg NetConfig) *Net {
 // attached, its egress is the sendbox and its ingress is tapped by the
 // receivebox; otherwise traffic goes straight to the bottleneck.
 type Site struct {
-	net     *Net
+	net     *Fabric
 	SB      *bundle.Sendbox
 	RB      *bundle.Receivebox
 	MuxB    *tcp.Mux
@@ -79,22 +110,31 @@ type Site struct {
 	egress  netem.Receiver
 }
 
-// AddSite creates a site pairing. bcfg nil means no Bundler (status quo).
+// AddSite creates a site pairing whose egress is the dumbbell's
+// bottleneck. bcfg nil means no Bundler (status quo).
 func (n *Net) AddSite(bcfg *bundle.Config) *Site {
-	s := &Site{net: n, MuxB: tcp.NewMux()}
+	return n.AddSiteAt(n.Bottleneck, bcfg)
+}
+
+// AddSiteAt creates a site pairing that forwards into egress — the head
+// of whatever forward path the topology wired there. bcfg nil means no
+// Bundler (status quo); otherwise a Sendbox is interposed in front of
+// egress and a Receivebox taps the site's ingress.
+func (f *Fabric) AddSiteAt(egress netem.Receiver, bcfg *bundle.Config) *Site {
+	s := &Site{net: f, MuxB: tcp.NewMux()}
 	if bcfg == nil {
 		s.ingress = s.MuxB
-		s.egress = n.Bottleneck
+		s.egress = egress
 		return s
 	}
-	sbCtl := pkt.Addr{Host: n.nextCtl, Port: 1}
-	rbCtl := pkt.Addr{Host: n.nextCtl, Port: 2}
-	n.nextCtl++
-	s.SB = bundle.NewSendbox(n.Eng, *bcfg, n.Bottleneck, sbCtl, rbCtl)
-	s.RB = bundle.NewReceivebox(n.Eng, n.Reverse, rbCtl, sbCtl, bcfg.InitialEpochN)
-	n.MuxA.Register(sbCtl, s.SB)
+	sbCtl := pkt.Addr{Host: f.nextCtl, Port: 1}
+	rbCtl := pkt.Addr{Host: f.nextCtl, Port: 2}
+	f.nextCtl++
+	s.SB = bundle.NewSendbox(f.Eng, *bcfg, egress, sbCtl, rbCtl)
+	s.RB = bundle.NewReceivebox(f.Eng, f.Reverse, rbCtl, sbCtl, bcfg.InitialEpochN)
+	f.MuxA.Register(sbCtl, s.SB)
 	s.MuxB.Register(rbCtl, s.RB)
-	n.Demux.Route(rbCtl.Host, s.MuxB) // epoch updates reach the receivebox
+	f.Demux.Route(rbCtl.Host, s.MuxB) // epoch updates reach the receivebox
 	s.ingress = netem.NewTap(s.RB.Observe, s.MuxB)
 	s.egress = s.SB
 	return s
@@ -159,6 +199,21 @@ func (s *Site) AddPing() *udpapp.PingClient {
 	return client
 }
 
+// AddCBR starts a paced constant-bit-rate UDP stream through the site —
+// the §3 application-limited "video" traffic class — and returns the
+// stream plus the receiving sink (whose count measures delivery).
+// pktSize is the on-wire packet size in bytes.
+func (s *Site) AddCBR(rateBps float64, pktSize int) (*udpapp.CBRStream, *netem.Sink) {
+	n := s.net
+	src, dst := s.addrs(443)
+	n.flowID++
+	sink := &netem.Sink{}
+	stream := udpapp.NewCBRStream(n.Eng, s.egress, src, dst, n.flowID, rateBps, pktSize)
+	s.MuxB.Register(dst, sink)
+	stream.Start()
+	return stream, sink
+}
+
 // Traffic configures an open-loop request workload through a site.
 type Traffic struct {
 	Dist       *workload.SizeDist
@@ -176,6 +231,11 @@ type Traffic struct {
 	// statistics (they still load the network). Short runs are otherwise
 	// dominated by the control loops' convergence transient.
 	Warmup sim.Time
+	// OracleRate (bits/s) and OracleRTT override the fabric's slowdown
+	// normalization for this workload — for sites whose path bottleneck
+	// differs from the fabric default. Zero means use the fabric's.
+	OracleRate float64
+	OracleRTT  sim.Time
 }
 
 func (t *Traffic) cc() tcp.Congestion {
@@ -196,7 +256,14 @@ func (s *Site) RunOpenLoop(tr Traffic) *workload.Recorder {
 	if tr.Dist == nil {
 		tr.Dist = workload.PaperWebCDF()
 	}
-	rec := workload.NewRecorder(s.net.Cfg.LinkRate, s.net.Cfg.RTT)
+	rate, rtt := s.net.OracleRate, s.net.OracleRTT
+	if tr.OracleRate > 0 {
+		rate = tr.OracleRate
+	}
+	if tr.OracleRTT > 0 {
+		rtt = tr.OracleRTT
+	}
+	rec := workload.NewRecorder(rate, rtt)
 	if tr.Requests < 1<<20 { // huge counts mean "run until the horizon"
 		rec.Reserve(tr.Requests)
 	}
@@ -220,18 +287,18 @@ func (s *Site) RunOpenLoop(tr Traffic) *workload.Recorder {
 
 // RunUntilDone advances the engine in one-second steps until check reports
 // true or the horizon passes. It returns the stop time.
-func (n *Net) RunUntilDone(horizon sim.Time, check func() bool) sim.Time {
-	for n.Eng.Now() < horizon {
+func (f *Fabric) RunUntilDone(horizon sim.Time, check func() bool) sim.Time {
+	for f.Eng.Now() < horizon {
 		if check != nil && check() {
 			break
 		}
-		next := n.Eng.Now() + sim.Second
+		next := f.Eng.Now() + sim.Second
 		if next > horizon {
 			next = horizon
 		}
-		n.Eng.RunUntil(next)
+		f.Eng.RunUntil(next)
 	}
-	return n.Eng.Now()
+	return f.Eng.Now()
 }
 
 // DefaultBundleConfig returns the evaluation's default sendbox setup:

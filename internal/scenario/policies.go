@@ -125,7 +125,7 @@ func (sec72Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
 		return exp.Result{}, err
 	}
 	var w strings.Builder
-	reportHeader(&w, "§7.2: other sendbox policies")
+	ReportHeader(&w, "§7.2: other sendbox policies")
 	c := RunSec72CoDel(seed, dur)
 	fmt.Fprintf(&w, "FQ-CoDel probe RTTs: status quo p50=%.1fms p99=%.1fms | bundler p50=%.1fms p99=%.1fms\n",
 		c.StatusQuoMedianMs, c.StatusQuoP99Ms, c.BundlerMedianMs, c.BundlerP99Ms)

@@ -86,7 +86,7 @@ func (policiesExp) Run(seed int64, p exp.Params) (exp.Result, error) {
 	}
 	rows := RunPolicySweep(seed, requests/2)
 	var w strings.Builder
-	reportHeader(&w, "Extension: full sendbox policy sweep (schedulers vs AQMs)")
+	ReportHeader(&w, "Extension: full sendbox policy sweep (schedulers vs AQMs)")
 	fmt.Fprintf(&w, "%-10s %14s %12s %12s %12s\n", "policy", "median slow", "p99 slow", "probe p50", "probe p99")
 	out := exp.Result{Experiment: "policies", Seed: seed, Params: p}
 	for _, r := range rows {

@@ -203,7 +203,7 @@ func (fig2Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
 	bdEdge := res.BundlerSendbox.MeanOver(dur/6, dur)
 
 	var w strings.Builder
-	reportHeader(&w, "Figure 2: queue shifting (single flow, 96 Mbit/s, 50 ms RTT)")
+	ReportHeader(&w, "Figure 2: queue shifting (single flow, 96 Mbit/s, 50 ms RTT)")
 	fmt.Fprintf(&w, "%-28s %-22s %-20s\n", "", "bottleneck queue (ms)", "edge/sendbox queue (ms)")
 	fmt.Fprintf(&w, "%-28s %-22.1f %-20.1f\n", "Status Quo", sqBn, sqEdge)
 	fmt.Fprintf(&w, "%-28s %-22.1f %-20.1f\n", "With Bundler", bdBn, bdEdge)
@@ -246,7 +246,7 @@ func (fig10Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
 	}
 	res := RunFig10(seed)
 	var w strings.Builder
-	reportHeader(&w, "Figure 10: time-varying cross traffic (3 × 60 s phases)")
+	ReportHeader(&w, "Figure 10: time-varying cross traffic (3 × 60 s phases)")
 	fmt.Fprintf(&w, "%-28s %12s %12s %10s %12s %14s\n",
 		"phase", "bundle Mb/s", "cross Mb/s", "queue ms", "pass-through", "short-flow p50")
 	out := exp.Result{Experiment: "fig10", Seed: seed, Params: p}

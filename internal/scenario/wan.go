@@ -138,7 +138,7 @@ func (fig16Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
 	}
 	rows := RunFig16(seed, dur)
 	var w strings.Builder
-	reportHeader(&w, "Figure 16: emulated wide-area paths (paper: 57% lower latencies, throughput within 1%)")
+	ReportHeader(&w, "Figure 16: emulated wide-area paths (paper: 57% lower latencies, throughput within 1%)")
 	fmt.Fprintf(&w, "%-12s %10s %12s %10s | %14s %12s\n",
 		"path", "base ms", "statusquo ms", "bundler ms", "statusquo Mb/s", "bundler Mb/s")
 	out := exp.Result{Experiment: "fig16", Seed: seed, Params: p}

@@ -5,7 +5,12 @@
 // events. Components schedule callbacks at absolute or relative virtual
 // times; the engine runs them in timestamp order (FIFO among equal
 // timestamps). Because nothing ever consults the wall clock, every run is
-// exactly reproducible given the same seed.
+// exactly reproducible given the same seed — the property that lets the
+// paper's evaluation (§7–§9) regenerate byte for byte.
+//
+// Units convention: Time is integer nanoseconds of virtual time, used
+// for both timestamps and durations; rates elsewhere in the repository
+// are float64 bits/second.
 package sim
 
 import (

@@ -1,6 +1,8 @@
 // Package stats provides the measurement plumbing the evaluation harness
 // uses: exact quantiles, summaries, histograms/PDFs of estimate errors
-// (Figs 5–6), and virtual-time series (Figs 2, 7, 10).
+// (the paper's Figs 5–6), and virtual-time series (Figs 2, 7, 10).
+// Values are unitless float64s — the producer picks the unit (slowdowns,
+// milliseconds, Mbit/s) — and time series are indexed by sim.Time.
 package stats
 
 import (

@@ -10,6 +10,8 @@
 // evaluation. The model sends a configurable number of payload bytes from
 // sender to receiver; the receiver ACKs every data packet (no delayed
 // ACKs) and reports up to four SACK blocks, matching a modern Linux stack.
+// Windows and transfer sizes are bytes, pacing rates bits/second, and all
+// timers run on sim.Time.
 package tcp
 
 import (

@@ -1,0 +1,590 @@
+package topo
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"bundler/internal/bundle"
+	"bundler/internal/netem"
+	"bundler/internal/pkt"
+	"bundler/internal/qdisc"
+	"bundler/internal/scenario"
+	"bundler/internal/sim"
+	"bundler/internal/tcp"
+	"bundler/internal/udpapp"
+	"bundler/internal/workload"
+)
+
+// binder parses expanded config strings into typed values, remembering
+// the first failure (the exp.Binder pattern, but over "$param"-expanded
+// config fields rather than Params maps).
+type binder struct {
+	pv  map[string]string
+	err error
+}
+
+func (b *binder) fail(field, val, kind string, err error) {
+	if b.err == nil {
+		if err != nil {
+			b.err = fmt.Errorf("%s %q: bad %s: %v", field, val, kind, err)
+		} else {
+			b.err = fmt.Errorf("%s %q: bad %s", field, val, kind)
+		}
+	}
+}
+
+// str expands "$param" references.
+func (b *binder) str(field, s string) string {
+	out, err := expand(s, b.pv)
+	if err != nil {
+		if b.err == nil {
+			b.err = fmt.Errorf("%s %q: %v", field, s, err)
+		}
+		return ""
+	}
+	return out
+}
+
+// rate parses a bits/s value in float syntax ("96e6"); zero or absent
+// means def.
+func (b *binder) rate(field, s string, def float64) float64 {
+	v := b.str(field, s)
+	if v == "" {
+		return def
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || f < 0 {
+		b.fail(field, v, "rate (bits/s)", err)
+		return def
+	}
+	if f == 0 {
+		return def
+	}
+	return f
+}
+
+// dur parses a Go duration string ("50ms") into virtual time.
+func (b *binder) dur(field, s string, def sim.Time) sim.Time {
+	v := b.str(field, s)
+	if v == "" {
+		return def
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d < 0 {
+		b.fail(field, v, "duration", err)
+		return def
+	}
+	return sim.Time(d.Nanoseconds())
+}
+
+// count parses a non-negative integer; absent means def.
+func (b *binder) count(field, s string, def int) int {
+	v := b.str(field, s)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		b.fail(field, v, "count", err)
+		return def
+	}
+	return n
+}
+
+// bytes parses a byte count in float syntax ("1e12", "1200000").
+func (b *binder) bytes(field, s string, def int64) int64 {
+	v := b.str(field, s)
+	if v == "" {
+		return def
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || f < 0 {
+		b.fail(field, v, "bytes", err)
+		return def
+	}
+	return int64(f)
+}
+
+// webOut is one web workload's live state during a run.
+type webOut struct {
+	Host     string
+	Requests int
+	Rec      *workload.Recorder
+}
+
+// bulkOut is one bulk workload's live state.
+type bulkOut struct {
+	Host    string
+	Senders []*tcp.Sender
+}
+
+// pingOut is one probe workload's live state.
+type pingOut struct {
+	Host   string
+	Client *udpapp.PingClient
+}
+
+// cbrOut is one constant-bit-rate workload's live state.
+type cbrOut struct {
+	Host    string
+	RateBps float64
+	PktSize int
+	Stream  *udpapp.CBRStream
+	Sink    *netem.Sink
+}
+
+// compiled is one instantiated scenario: the fabric, links, and
+// workload probes of a single run, ready to execute.
+type compiled struct {
+	fab     *scenario.Fabric
+	links   map[string]*netem.Link
+	sites   []*scenario.Site // host declaration order
+	horizon sim.Time
+
+	webs  []webOut
+	bulks []bulkOut
+	pings []pingOut
+	cbrs  []cbrOut
+}
+
+var innerAlgs = map[string]bool{"": true, "copa": true, "basicdelay": true, "bbr": true}
+var endhostCCs = map[string]bool{"": true, "cubic": true, "reno": true, "bbr": true}
+
+// compile instantiates sc on a fresh engine seeded with seed. It returns
+// an error — never panics — on invalid input: every name, rate, and
+// reference in a config is user input.
+func compile(sc Scenario, seed int64, pv map[string]string) (*compiled, error) {
+	b := &binder{pv: pv}
+	rtt := b.dur("rtt", sc.RTT, 50*sim.Millisecond)
+	if b.err != nil {
+		return nil, b.err
+	}
+
+	if len(sc.Links) == 0 {
+		return nil, fmt.Errorf("scenario declares no links")
+	}
+	if len(sc.Hosts) == 0 {
+		return nil, fmt.Errorf("scenario declares no hosts")
+	}
+
+	// Validate the link graph before building anything: unique names, no
+	// dangling endpoints, converging on "dst" without cycles.
+	decl := make(map[string]Link, len(sc.Links))
+	for _, l := range sc.Links {
+		if l.Name == "" || l.Name == "dst" || l.Name == "reverse" {
+			return nil, fmt.Errorf("link name %q is empty or reserved", l.Name)
+		}
+		if _, dup := decl[l.Name]; dup {
+			return nil, fmt.Errorf("duplicate link %q", l.Name)
+		}
+		decl[l.Name] = l
+	}
+	for _, l := range sc.Links {
+		if to := linkTo(l); to != "dst" {
+			if _, ok := decl[to]; !ok {
+				return nil, fmt.Errorf("link %q forwards to unknown link %q", l.Name, to)
+			}
+		}
+	}
+
+	eng := sim.NewEngine(seed)
+	fab := scenario.NewFabric(eng)
+
+	// Build links downstream-first so each has its destination receiver.
+	// A pass over the declarations that makes no progress means the
+	// remaining links form a cycle.
+	links := make(map[string]*netem.Link, len(sc.Links))
+	entries := make(map[string]netem.Receiver, len(sc.Links))
+	for built := 0; built < len(sc.Links); {
+		progress := false
+		for _, l := range sc.Links {
+			if _, done := links[l.Name]; done {
+				continue
+			}
+			var dst netem.Receiver
+			if to := linkTo(l); to == "dst" {
+				dst = fab.Demux
+			} else if e, ok := entries[to]; ok {
+				dst = e
+			} else {
+				continue
+			}
+			link, entry, err := buildLink(b, eng, l, rtt, dst)
+			if err != nil {
+				return nil, err
+			}
+			links[l.Name] = link
+			entries[l.Name] = entry
+			built++
+			progress = true
+		}
+		if !progress {
+			var cyclic []string
+			for _, l := range sc.Links {
+				if _, done := links[l.Name]; !done {
+					cyclic = append(cyclic, l.Name)
+				}
+			}
+			return nil, fmt.Errorf("link cycle through %v (links must converge on \"dst\")", cyclic)
+		}
+	}
+
+	fab.Reverse = netem.NewLink(eng, "reverse", 10e9, rtt/2, qdisc.NewFIFO(1<<26), fab.MuxA)
+	fab.OracleRTT = rtt
+	fab.OracleRate = minRateOverall(b, decl)
+
+	// Time-varying links: schedule their rate traces.
+	for _, l := range sc.Links {
+		if err := scheduleTrace(b, eng, l, links[l.Name]); err != nil {
+			return nil, err
+		}
+	}
+
+	c := &compiled{fab: fab, links: links}
+
+	// Hosts, with their Bundler pairs, in declaration order.
+	bundleFor := make(map[string]Bundle, len(sc.Bundles))
+	hostNames := make(map[string]bool, len(sc.Hosts))
+	for _, h := range sc.Hosts {
+		if h.Name == "" {
+			return nil, fmt.Errorf("host with empty name")
+		}
+		if hostNames[h.Name] {
+			return nil, fmt.Errorf("duplicate host %q", h.Name)
+		}
+		hostNames[h.Name] = true
+	}
+	for _, bd := range sc.Bundles {
+		if !hostNames[bd.Host] {
+			return nil, fmt.Errorf("bundle on unknown host %q", bd.Host)
+		}
+		if _, dup := bundleFor[bd.Host]; dup {
+			return nil, fmt.Errorf("host %q has two bundles", bd.Host)
+		}
+		bundleFor[bd.Host] = bd
+	}
+
+	siteByName := make(map[string]*scenario.Site, len(sc.Hosts))
+	oracleRate := make(map[string]float64, len(sc.Hosts))
+	oracleRTT := make(map[string]sim.Time, len(sc.Hosts))
+	for _, h := range sc.Hosts {
+		attach := h.Attach
+		if attach == "" {
+			attach = sc.Links[0].Name
+		}
+		if _, ok := decl[attach]; !ok {
+			return nil, fmt.Errorf("host %q attaches to unknown link %q", h.Name, attach)
+		}
+		var bcfg *bundle.Config
+		if bd, ok := bundleFor[h.Name]; ok {
+			alg := b.str("bundle alg", bd.Alg)
+			if !innerAlgs[alg] {
+				return nil, fmt.Errorf("bundle on %q: unknown inner algorithm %q (want copa, basicdelay, or bbr)", h.Name, alg)
+			}
+			queue := b.count("bundle queue", bd.Queue, 1000)
+			sched, err := scenario.ParseScheduler(eng, b.str("bundle sched", bd.Sched), queue)
+			if b.err != nil {
+				return nil, b.err
+			}
+			if err != nil {
+				return nil, fmt.Errorf("bundle on %q: %w", h.Name, err)
+			}
+			bcfg = &bundle.Config{Algorithm: alg, TunnelMode: bd.Tunnel, Scheduler: sched}
+		}
+		site := fab.AddSiteAt(entries[attach], bcfg)
+		c.sites = append(c.sites, site)
+		siteByName[h.Name] = site
+		oracleRate[h.Name], oracleRTT[h.Name] = pathOracle(b, decl, attach, rtt)
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+
+	// Workloads in declaration order.
+	maxRequests := 0
+	for i, w := range sc.Workloads {
+		site, ok := siteByName[w.Host]
+		if !ok {
+			return nil, fmt.Errorf("workload %d (%s) on unknown host %q", i, w.Kind, w.Host)
+		}
+		switch w.Kind {
+		case "web":
+			requests := b.count("web requests", w.Requests, 0)
+			load := b.rate("web load", w.Load, 0)
+			if b.err == nil && (requests <= 0 || load <= 0) {
+				return nil, fmt.Errorf("web workload on %q needs positive requests and load", w.Host)
+			}
+			dist, err := webDist(b, w)
+			if err != nil {
+				return nil, fmt.Errorf("web workload on %q: %w", w.Host, err)
+			}
+			cc := b.str("web cc", w.CC)
+			if !endhostCCs[cc] {
+				return nil, fmt.Errorf("web workload on %q: unknown endhost cc %q (want cubic, reno, or bbr)", w.Host, cc)
+			}
+			dstPort := b.count("web dstport", w.DstPort, 0)
+			if dstPort > 65535 {
+				return nil, fmt.Errorf("web workload on %q: dstport %d outside [0, 65535]", w.Host, dstPort)
+			}
+			tr := scenario.Traffic{
+				Dist:          dist,
+				OfferedBps:    load,
+				Requests:      requests,
+				CC:            cc,
+				FixedCwndSegs: b.count("web fixedcwnd", w.FixedCwnd, 0),
+				DstPort:       uint16(dstPort),
+				Warmup:        b.dur("web warmup", w.Warmup, 0),
+				OracleRate:    oracleRate[w.Host],
+				OracleRTT:     oracleRTT[w.Host],
+			}
+			if b.err != nil {
+				return nil, b.err
+			}
+			c.webs = append(c.webs, webOut{Host: w.Host, Requests: requests, Rec: site.RunOpenLoop(tr)})
+			if requests > maxRequests {
+				maxRequests = requests
+			}
+		case "bulk":
+			flows := b.count("bulk flows", w.Flows, 1)
+			size := b.bytes("bulk size", w.Size, 1e12)
+			cc := b.str("bulk cc", w.CC)
+			if !endhostCCs[cc] {
+				return nil, fmt.Errorf("bulk workload on %q: unknown endhost cc %q (want cubic, reno, or bbr)", w.Host, cc)
+			}
+			if cc == "" {
+				cc = "cubic"
+			}
+			if b.err != nil {
+				return nil, b.err
+			}
+			out := bulkOut{Host: w.Host}
+			for f := 0; f < flows; f++ {
+				out.Senders = append(out.Senders, site.AddFlow(size, tcp.NewEndhostCC(cc), nil))
+			}
+			c.bulks = append(c.bulks, out)
+		case "ping":
+			c.pings = append(c.pings, pingOut{Host: w.Host, Client: site.AddPing()})
+		case "cbr":
+			load := b.rate("cbr load", w.Load, 0)
+			pktSize := b.count("cbr pktsize", w.PktSize, pkt.MTU)
+			if b.err == nil && load <= 0 {
+				return nil, fmt.Errorf("cbr workload on %q needs a positive load", w.Host)
+			}
+			if b.err == nil && (pktSize <= pkt.HeaderBytes || pktSize > pkt.MTU) {
+				return nil, fmt.Errorf("cbr workload on %q: pktsize %d outside (%d, %d]", w.Host, pktSize, pkt.HeaderBytes, pkt.MTU)
+			}
+			if b.err != nil {
+				return nil, b.err
+			}
+			stream, sink := site.AddCBR(load, pktSize)
+			c.cbrs = append(c.cbrs, cbrOut{Host: w.Host, RateBps: load, PktSize: pktSize, Stream: stream, Sink: sink})
+		default:
+			return nil, fmt.Errorf("workload %d on %q: unknown kind %q (want web, bulk, ping, or cbr)", i, w.Host, w.Kind)
+		}
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+
+	// Horizon: explicit, or the FCT experiments' load-scaled rule.
+	if sc.Horizon != "" {
+		c.horizon = b.dur("horizon", sc.Horizon, 0)
+		if b.err != nil {
+			return nil, b.err
+		}
+		if c.horizon <= 0 {
+			return nil, fmt.Errorf("horizon must be positive")
+		}
+	} else {
+		if maxRequests == 0 {
+			return nil, fmt.Errorf("an explicit horizon is required when no web workload gates completion")
+		}
+		c.horizon = 10 * sim.Time(maxRequests) * sim.Millisecond
+		if c.horizon < 120*sim.Second {
+			c.horizon = 120 * sim.Second
+		}
+	}
+	return c, nil
+}
+
+// linkTo resolves a link's downstream name ("dst" default).
+func linkTo(l Link) string {
+	if l.To == "" {
+		return "dst"
+	}
+	return l.To
+}
+
+// buildLink constructs one netem.Link (and its loss wrapper, if any)
+// delivering into dst.
+func buildLink(b *binder, eng *sim.Engine, l Link, rtt sim.Time, dst netem.Receiver) (*netem.Link, netem.Receiver, error) {
+	rate := b.rate("link "+l.Name+" rate", l.Rate, 0)
+	delay := b.dur("link "+l.Name+" delay", l.Delay, 0)
+	if b.err != nil {
+		return nil, nil, b.err
+	}
+	if rate < netem.MinRate {
+		return nil, nil, fmt.Errorf("link %q rate %.0f below the %.0f bits/s minimum", l.Name, rate, netem.MinRate)
+	}
+	// Default buffer: 2×BDP, the NetConfig rule.
+	bufBytes := b.bytes("link "+l.Name+" buffer", l.Buffer, int64(2*int(rate/8*rtt.Seconds())))
+	if b.err != nil {
+		return nil, nil, b.err
+	}
+	if bufBytes < pkt.MTU {
+		return nil, nil, fmt.Errorf("link %q buffer %d below one MTU (%d bytes)", l.Name, bufBytes, pkt.MTU)
+	}
+	q, err := linkQdisc(b, eng, l, int(bufBytes))
+	if err != nil {
+		return nil, nil, err
+	}
+	link := netem.NewLink(eng, l.Name, rate, delay, q, dst)
+	entry := netem.Receiver(link)
+	if l.Loss != 0 {
+		if l.Loss < 0 || l.Loss > 1 {
+			return nil, nil, fmt.Errorf("link %q loss %g outside [0, 1]", l.Name, l.Loss)
+		}
+		entry = netem.NewLossy(eng, l.Loss, link)
+	}
+	return link, entry, nil
+}
+
+// linkQdisc builds a link's queueing discipline with a byte budget:
+// FIFO takes it directly, packet-budgeted disciplines get bufBytes/MTU.
+func linkQdisc(b *binder, eng *sim.Engine, l Link, bufBytes int) (qdisc.Qdisc, error) {
+	name := b.str("link "+l.Name+" qdisc", l.Qdisc)
+	if b.err != nil {
+		return nil, b.err
+	}
+	if name == "" || name == "fifo" {
+		// FIFO takes the byte budget exactly (no MTU rounding), matching
+		// NetConfig's 2×BDP dumbbell bottleneck byte for byte.
+		return qdisc.NewFIFO(bufBytes), nil
+	}
+	q, err := scenario.ParseScheduler(eng, name, bufBytes/pkt.MTU)
+	if err != nil {
+		return nil, fmt.Errorf("link %q: %w", l.Name, err)
+	}
+	return q, nil
+}
+
+// scheduleTrace validates and installs a link's rate trace.
+func scheduleTrace(b *binder, eng *sim.Engine, l Link, link *netem.Link) error {
+	if len(l.RateTrace) == 0 {
+		if l.Repeat != "" {
+			return fmt.Errorf("link %q: repeat without a ratetrace", l.Name)
+		}
+		return nil
+	}
+	steps := make([]netem.RateStep, len(l.RateTrace))
+	for i, s := range l.RateTrace {
+		at := b.dur(fmt.Sprintf("link %s trace[%d] at", l.Name, i), s.At, 0)
+		rate := b.rate(fmt.Sprintf("link %s trace[%d] rate", l.Name, i), s.Rate, 0)
+		if b.err != nil {
+			return b.err
+		}
+		if rate <= 0 {
+			return fmt.Errorf("link %q trace[%d]: rate must be positive", l.Name, i)
+		}
+		if i > 0 && at <= steps[i-1].At {
+			return fmt.Errorf("link %q trace: steps must be sorted by time", l.Name)
+		}
+		steps[i] = netem.RateStep{At: at, Bps: rate}
+	}
+	period := b.dur("link "+l.Name+" repeat", l.Repeat, 0)
+	if b.err != nil {
+		return b.err
+	}
+	if period > 0 && steps[len(steps)-1].At >= period {
+		return fmt.Errorf("link %q trace: step at %s is beyond the %s repeat period",
+			l.Name, steps[len(steps)-1].At, period)
+	}
+	netem.ScheduleRate(eng, link, steps, period)
+	return nil
+}
+
+// webDist resolves a web workload's size distribution: inline CDF
+// points, a named built-in, or nil (the default paper CDF).
+func webDist(b *binder, w Workload) (*workload.SizeDist, error) {
+	if len(w.Sizes) > 0 || len(w.Probs) > 0 {
+		if w.Dist != "" {
+			return nil, fmt.Errorf("give dist or inline sizes/probs, not both")
+		}
+		return workload.MakeSizeDist(w.Sizes, w.Probs)
+	}
+	name := b.str("web dist", w.Dist)
+	if b.err != nil {
+		return nil, b.err
+	}
+	if name == "" {
+		return nil, nil // Site.RunOpenLoop defaults to the paper CDF
+	}
+	return workload.NamedDist(name)
+}
+
+// pathOracle walks a host's attach chain to the destination and returns
+// the unloaded-path parameters that normalize the slowdown metric: the
+// minimum base link rate (the path bottleneck) and the path round trip
+// (forward propagation along the chain plus the rtt/2 reverse path). For
+// a host whose chain delays sum to rtt/2 — every single-link dumbbell —
+// this is exactly the scenario-wide rtt.
+func pathOracle(b *binder, decl map[string]Link, attach string, rtt sim.Time) (float64, sim.Time) {
+	min := 0.0
+	forward := sim.Time(0)
+	for name := attach; name != "dst"; name = linkTo(decl[name]) {
+		l := decl[name]
+		r := b.rate("link "+l.Name+" rate", l.Rate, 0)
+		if min == 0 || r < min {
+			min = r
+		}
+		forward += b.dur("link "+l.Name+" delay", l.Delay, 0)
+	}
+	return min, forward + rtt/2
+}
+
+// minRateOverall returns the minimum rate across all links (the global
+// bottleneck), the fabric's fallback oracle.
+func minRateOverall(b *binder, decl map[string]Link) float64 {
+	min := 0.0
+	for _, l := range decl {
+		r := b.rate("link "+l.Name+" rate", l.Rate, 0)
+		if min == 0 || r < min {
+			min = r
+		}
+	}
+	return min
+}
+
+// run executes the compiled scenario: advance until every web workload
+// completes its request count (or the horizon), then stop the sendboxes
+// and paced streams. maxHorizon, when positive, caps the horizon — the
+// config smoke tests use it to keep shipped examples cheap to verify.
+// It returns the virtual stop time.
+func (c *compiled) run(maxHorizon sim.Time) sim.Time {
+	h := c.horizon
+	if maxHorizon > 0 && maxHorizon < h {
+		h = maxHorizon
+	}
+	var check func() bool
+	if len(c.webs) > 0 {
+		check = func() bool {
+			for _, w := range c.webs {
+				if w.Rec.Completed < w.Requests {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	stop := c.fab.RunUntilDone(h, check)
+	for _, s := range c.sites {
+		if s.SB != nil {
+			s.SB.Stop()
+		}
+	}
+	for _, cb := range c.cbrs {
+		cb.Stream.Stop()
+	}
+	return stop
+}

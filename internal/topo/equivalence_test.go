@@ -1,0 +1,54 @@
+package topo
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"bundler/internal/exp"
+	_ "bundler/internal/scenario" // registers the hand-coded experiments
+)
+
+// TestFig9ConfigEquivalence is the tentpole guarantee of the config
+// layer: the shipped fig9 config compiles into *exactly* the simulation
+// the hand-coded fig9 experiment wires — same engine event sequence,
+// same RNG draws, same report and metrics — so the two Results marshal
+// byte-identically. Any divergence means the compiler's defaults or
+// wiring order drifted from internal/scenario.
+func TestFig9ConfigEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig9 equivalence runs eight FCT simulations; skipped under -short")
+	}
+	cfg, err := Load("../../examples/configs/fig9.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand, ok := exp.Lookup("fig9")
+	if !ok {
+		t.Fatal("built-in fig9 not registered")
+	}
+
+	const seed = 1
+	params := exp.Params{"requests": "2000"}
+	want, err := hand.Run(seed, params.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Experiment(cfg).Run(seed, params.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantJSON, err := json.MarshalIndent(want, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatalf("config fig9 diverged from hand-coded fig9.\nhand-coded:\n%s\n\nconfig:\n%s",
+			wantJSON, gotJSON)
+	}
+}

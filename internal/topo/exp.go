@@ -1,0 +1,220 @@
+package topo
+
+import (
+	"fmt"
+	"strings"
+
+	"bundler/internal/exp"
+	"bundler/internal/scenario"
+	"bundler/internal/sim"
+)
+
+// configExp adapts a Config to the exp.Experiment interface, making a
+// loaded file indistinguishable from a hand-coded experiment: runnable
+// by name, listable, and sweepable over its declared params.
+type configExp struct{ cfg *Config }
+
+// Experiment wraps a parsed config as an exp.Experiment.
+func Experiment(cfg *Config) exp.Experiment { return configExp{cfg} }
+
+func (e configExp) Name() string { return e.cfg.Name }
+
+func (e configExp) Desc() string {
+	if e.cfg.Desc != "" {
+		return e.cfg.Desc
+	}
+	return "declarative scenario (config-defined)"
+}
+
+func (e configExp) Params() []exp.Param {
+	out := make([]exp.Param, len(e.cfg.Params))
+	for i, d := range e.cfg.Params {
+		out[i] = exp.Param{Name: d.Name, Default: d.Default, Help: d.Help}
+	}
+	return out
+}
+
+func (e configExp) Run(seed int64, p exp.Params) (exp.Result, error) {
+	return runConfig(e.cfg, seed, p, 0)
+}
+
+// Validate dry-compiles every run of cfg with default parameters,
+// surfacing bad qdisc names, dangling link endpoints, unknown hosts, and
+// the like without executing anything. The CLIs call it at -config load
+// time so a broken file fails fast.
+func Validate(cfg *Config) error {
+	pv, err := cfg.paramValues(nil)
+	if err != nil {
+		return err
+	}
+	style, err := reportStyle(cfg)
+	if err != nil {
+		return err
+	}
+	header := cfg.Report.Header
+	if header == "" {
+		header = defaultHeader(cfg)
+	}
+	if _, err := expand(header, pv); err != nil {
+		// Catch a typoed $ref here, not after every simulation has run.
+		return fmt.Errorf("topo: config %s: report header: %w", cfg.Name, err)
+	}
+	for _, r := range cfg.runList() {
+		c, err := compile(merged(cfg.Base, r), 0, pv)
+		if err != nil {
+			return fmt.Errorf("topo: config %s, run %q: %w", cfg.Name, r.Label, err)
+		}
+		if style == "fct" && len(c.webs) == 0 {
+			return fmt.Errorf("topo: config %s, run %q: fct report style needs a web workload in every run", cfg.Name, r.Label)
+		}
+	}
+	return nil
+}
+
+// RegisterFile loads, validates, and registers the config at path as an
+// experiment, replacing a same-named built-in (the declarative
+// re-expression shadows it). It reports whether a replacement happened.
+func RegisterFile(path string) (exp.Experiment, bool, error) {
+	cfg, err := Load(path)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := Validate(cfg); err != nil {
+		return nil, false, fmt.Errorf("%w (in %s)", err, path)
+	}
+	e := Experiment(cfg)
+	replaced, err := exp.RegisterOrReplace(e)
+	if err != nil {
+		return nil, false, fmt.Errorf("topo: register %s: %w", path, err)
+	}
+	return e, replaced, nil
+}
+
+// Smoke runs every labeled run of cfg with default parameters and the
+// horizon capped at maxHorizon, without requiring workload completion —
+// the cheap "shipped configs can never rot" check CI applies to
+// examples/configs/.
+func Smoke(cfg *Config, seed int64, maxHorizon sim.Time) (exp.Result, error) {
+	return runConfig(cfg, seed, nil, maxHorizon)
+}
+
+// outcome is one executed run.
+type outcome struct {
+	label string
+	c     *compiled
+	stop  sim.Time
+}
+
+func reportStyle(cfg *Config) (string, error) {
+	switch cfg.Report.Style {
+	case "", "summary":
+		return "summary", nil
+	case "fct":
+		return "fct", nil
+	default:
+		return "", fmt.Errorf("topo: config %s: unknown report style %q (want summary or fct)", cfg.Name, cfg.Report.Style)
+	}
+}
+
+// runConfig compiles and executes every run, then renders the report.
+func runConfig(cfg *Config, seed int64, p exp.Params, maxHorizon sim.Time) (exp.Result, error) {
+	pv, err := cfg.paramValues(p)
+	if err != nil {
+		return exp.Result{}, err
+	}
+	style, err := reportStyle(cfg)
+	if err != nil {
+		return exp.Result{}, err
+	}
+	var outs []outcome
+	for _, r := range cfg.runList() {
+		c, cerr := compile(merged(cfg.Base, r), seed, pv)
+		if cerr != nil {
+			return exp.Result{}, fmt.Errorf("topo: config %s, run %q: %w", cfg.Name, r.Label, cerr)
+		}
+		if style == "fct" && len(c.webs) == 0 {
+			return exp.Result{}, fmt.Errorf("topo: config %s, run %q: fct report style needs a web workload in every run", cfg.Name, r.Label)
+		}
+		outs = append(outs, outcome{label: r.Label, c: c, stop: c.run(maxHorizon)})
+	}
+
+	header := cfg.Report.Header
+	if header == "" {
+		header = defaultHeader(cfg)
+	}
+	header, err = expand(header, pv)
+	if err != nil {
+		return exp.Result{}, fmt.Errorf("topo: config %s: report header: %w", cfg.Name, err)
+	}
+
+	if style == "fct" {
+		return fctResult(cfg, seed, p, header, outs), nil
+	}
+	return summaryResult(cfg, seed, p, header, outs), nil
+}
+
+func defaultHeader(cfg *Config) string {
+	if cfg.Desc != "" {
+		return cfg.Desc
+	}
+	return cfg.Name
+}
+
+// fctResult renders the shared FCT-comparison table (the Figures 9/14/15
+// format): one row per run from its first web workload. Byte-compatible
+// with the hand-coded figures — the same header string, rows, and metric
+// names produce the same Result JSON.
+func fctResult(cfg *Config, seed int64, p exp.Params, header string, outs []outcome) exp.Result {
+	var rows []scenario.Fig9Result
+	for _, o := range outs {
+		rows = append(rows, scenario.SummarizeFCT(o.label, o.c.webs[0].Rec))
+	}
+	var w strings.Builder
+	scenario.ReportHeader(&w, header)
+	scenario.WriteFCTRows(&w, rows)
+	res := exp.Result{Experiment: cfg.Name, Seed: seed, Params: p, Report: w.String()}
+	scenario.AddFCTRowMetrics(&res, rows)
+	return res
+}
+
+// summaryResult renders per-run, per-workload statistics.
+func summaryResult(cfg *Config, seed int64, p exp.Params, header string, outs []outcome) exp.Result {
+	var w strings.Builder
+	scenario.ReportHeader(&w, header)
+	res := exp.Result{Experiment: cfg.Name, Seed: seed, Params: p}
+	for _, o := range outs {
+		fmt.Fprintf(&w, "%s (ran %.0fs virtual):\n", o.label, o.stop.Seconds())
+		prefix := strings.ReplaceAll(o.label, " ", "_") + "/"
+		for _, web := range o.c.webs {
+			s := web.Rec.Slowdowns.Summarize()
+			fmt.Fprintf(&w, "  web  %-12s completed %d/%d, slowdown p50=%.2f p90=%.2f p99=%.2f\n",
+				web.Host, web.Rec.Completed, web.Requests, s.P50, s.P90, s.P99)
+			res.AddMetric(prefix+"web-"+web.Host+"/completed", float64(web.Rec.Completed), "requests")
+			res.AddMetric(prefix+"web-"+web.Host+"/median-slowdown", s.P50, "")
+			res.AddMetric(prefix+"web-"+web.Host+"/p99-slowdown", s.P99, "")
+		}
+		for _, bk := range o.c.bulks {
+			var acked int64
+			for _, snd := range bk.Senders {
+				acked += snd.Acked()
+			}
+			mbps := float64(acked) * 8 / o.stop.Seconds() / 1e6
+			fmt.Fprintf(&w, "  bulk %-12s %d flows, %.1f Mbit/s aggregate\n", bk.Host, len(bk.Senders), mbps)
+			res.AddMetric(prefix+"bulk-"+bk.Host+"/Mbps", mbps, "Mbps")
+		}
+		for _, pg := range o.c.pings {
+			r := pg.Client.RTTs
+			fmt.Fprintf(&w, "  ping %-12s rtt p50=%.1fms p90=%.1fms (n=%d)\n",
+				pg.Host, r.Quantile(0.5), r.Quantile(0.9), r.N())
+			res.AddMetric(prefix+"ping-"+pg.Host+"/p50-ms", r.Quantile(0.5), "ms")
+			res.AddMetric(prefix+"ping-"+pg.Host+"/p90-ms", r.Quantile(0.9), "ms")
+		}
+		for _, cb := range o.c.cbrs {
+			mbps := float64(cb.Sink.Count) * float64(cb.PktSize) * 8 / o.stop.Seconds() / 1e6
+			fmt.Fprintf(&w, "  cbr  %-12s offered %.1f, delivered %.1f Mbit/s\n", cb.Host, cb.RateBps/1e6, mbps)
+			res.AddMetric(prefix+"cbr-"+cb.Host+"/Mbps", mbps, "Mbps")
+		}
+	}
+	res.Report = w.String()
+	return res
+}

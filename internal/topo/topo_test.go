@@ -1,0 +1,408 @@
+package topo
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// configsDir is the shipped config-only scenario set; the tests here
+// treat it as part of the package's contract.
+const configsDir = "../../examples/configs"
+
+// TestRoundTrip pins the parse → emit → parse cycle on every shipped
+// config: emitting and re-parsing must reproduce the identical Config
+// (comments are the only thing lost), and a second emit must be
+// byte-stable.
+func TestRoundTrip(t *testing.T) {
+	for _, path := range exampleConfigs(t) {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			c1, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b1, err := c1.Emit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			c2, err := Parse(b1)
+			if err != nil {
+				t.Fatalf("re-parse emitted config: %v", err)
+			}
+			if !reflect.DeepEqual(c1, c2) {
+				t.Fatalf("round-trip changed the config:\n%s", b1)
+			}
+			b2, err := c2.Emit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(b1) != string(b2) {
+				t.Fatalf("emit is not byte-stable")
+			}
+		})
+	}
+}
+
+// TestValidateExamples dry-compiles every shipped config (cheap; the
+// full smoke run lives in TestExampleConfigsSmoke).
+func TestValidateExamples(t *testing.T) {
+	for _, path := range exampleConfigs(t) {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			cfg, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Validate(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func exampleConfigs(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(configsDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 4 {
+		t.Fatalf("expected ≥4 shipped configs in %s, found %d", configsDir, len(files))
+	}
+	return files
+}
+
+// minimal returns a valid single-run config that the rejection tests
+// mutate one field at a time.
+func minimal() string {
+	return `{
+	  "name": "t",
+	  "base": {
+	    "rtt": "50ms",
+	    "links": [{"name": "l1", "rate": "96e6", "delay": "25ms"}],
+	    "hosts": [{"name": "h"}],
+	    "workloads": [{"host": "h", "kind": "web", "load": "10e6", "requests": "100"}]
+	  }
+	}`
+}
+
+func TestMinimalIsValid(t *testing.T) {
+	cfg, err := Parse([]byte(minimal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRejections pins the error surface: every class of bad input a
+// config file can carry must fail Validate (or Parse) with a message
+// naming the problem, never panic or silently default.
+func TestRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string // error substring
+	}{
+		{
+			name: "bad qdisc name",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6","qdisc":"wfq"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "unknown scheduler",
+		},
+		{
+			name: "bad bundle scheduler",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"bundles":[{"host":"h","sched":"hfsc"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "unknown scheduler",
+		},
+		{
+			name: "dangling link endpoint",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6","to":"nowhere"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "unknown link \"nowhere\"",
+		},
+		{
+			name: "link cycle",
+			json: `{"name":"t","base":{"links":[
+				{"name":"a","rate":"96e6","to":"b"},
+				{"name":"b","rate":"96e6","to":"a"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "cycle",
+		},
+		{
+			name: "duplicate link",
+			json: `{"name":"t","base":{"links":[
+				{"name":"l1","rate":"96e6"},{"name":"l1","rate":"48e6"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "duplicate link",
+		},
+		{
+			name: "duplicate host",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"},{"name":"h"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "duplicate host",
+		},
+		{
+			name: "host attaches to unknown link",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h","attach":"l2"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "unknown link \"l2\"",
+		},
+		{
+			name: "bundle on unknown host",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"bundles":[{"host":"ghost"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "unknown host \"ghost\"",
+		},
+		{
+			name: "two bundles on one host",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"bundles":[{"host":"h"},{"host":"h","sched":"fifo"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "two bundles",
+		},
+		{
+			name: "workload on unknown host",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"ghost","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "unknown host \"ghost\"",
+		},
+		{
+			name: "unknown workload kind",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"torrent"}]}}`,
+			want: "unknown kind",
+		},
+		{
+			name: "bad inline CDF",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100",
+					"sizes":[100,1000],"probs":[0.5]}]}}`,
+			want: "matching size/prob points",
+		},
+		{
+			name: "unknown named dist",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100","dist":"zipf"}]}}`,
+			want: "unknown size distribution",
+		},
+		{
+			name: "undeclared parameter reference",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"$nope"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "undeclared parameter \"$nope\"",
+		},
+		{
+			name: "no horizon without web",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"bulk","flows":"2"}]}}`,
+			want: "explicit horizon",
+		},
+		{
+			name: "fct style without web workload",
+			json: `{"name":"t","report":{"style":"fct"},
+				"base":{"horizon":"10s","links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"bulk"}]}}`,
+			want: "fct report style needs a web workload",
+		},
+		{
+			name: "unknown report style",
+			json: `{"name":"t","report":{"style":"table"},
+				"base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "unknown report style",
+		},
+		{
+			name: "unparsable rate",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"fast"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "bad rate",
+		},
+		{
+			name: "rate below minimum",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"10"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "below the",
+		},
+		{
+			name: "buffer below one MTU",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6","buffer":"100"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "below one MTU",
+		},
+		{
+			name: "loss out of range",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6","loss":1.5}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "outside [0, 1]",
+		},
+		{
+			name: "repeat without trace",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6","repeat":"5s"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "repeat without a ratetrace",
+		},
+		{
+			name: "trace step beyond repeat period",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6",
+				"ratetrace":[{"at":"0s","rate":"96e6"},{"at":"6s","rate":"48e6"}],"repeat":"5s"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "beyond the",
+		},
+		{
+			name: "unsorted trace",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6",
+				"ratetrace":[{"at":"4s","rate":"96e6"},{"at":"2s","rate":"48e6"}]}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "sorted",
+		},
+		{
+			name: "unknown inner algorithm",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"bundles":[{"host":"h","alg":"vegas"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "unknown inner algorithm",
+		},
+		{
+			name: "unknown endhost cc",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100","cc":"dctcp"}]}}`,
+			want: "unknown endhost cc",
+		},
+		{
+			name: "unknown field",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6","qdsc":"fifo"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "unknown field",
+		},
+		{
+			name: "missing name",
+			json: `{"base":{"links":[{"name":"l1","rate":"96e6"}],"hosts":[{"name":"h"}]}}`,
+			want: "needs a name",
+		},
+		{
+			name: "typoed param in report header",
+			json: `{"name":"t","params":[{"name":"requests","default":"100"}],
+				"report":{"header":"FCT ($reqs requests)"},
+				"base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"$requests"}]}}`,
+			want: "undeclared parameter \"$reqs\"",
+		},
+		{
+			name: "trailing content after the config",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}
+				{"name":"t2"}`,
+			want: "trailing content",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, err := Parse([]byte(tc.json))
+			if err == nil {
+				err = Validate(cfg)
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got success", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got: %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// TestParamExpansion pins $name substitution: maximal-identifier
+// matching (so $ratehigh never reads as $rate + "high"), no re-expansion
+// of substituted values, the $$ escape, and undeclared-reference errors.
+func TestParamExpansion(t *testing.T) {
+	pv := map[string]string{"rate": "96e6", "ratehigh": "200e6", "n": "5", "tricky": "$rate"}
+	for _, tc := range []struct{ in, want string }{
+		{"$rate", "96e6"},
+		{"$ratehigh", "200e6"},
+		{"$n requests at $rate", "5 requests at 96e6"},
+		{"$tricky", "$rate"}, // substituted values are not re-expanded
+		{"costs $$5", "costs $5"},
+		{"plain", "plain"},
+	} {
+		got, err := expand(tc.in, pv)
+		if err != nil {
+			t.Fatalf("expand(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Fatalf("expand(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	if _, err := expand("$missing", pv); err == nil {
+		t.Fatal("want error for undeclared reference")
+	}
+	if _, err := expand("stray $ sign", pv); err == nil {
+		t.Fatal("want error for stray unescaped dollar sign")
+	}
+}
+
+// TestStripComments pins the comment stripper's string-awareness: a //
+// inside a JSON string (a URL, say) must survive.
+func TestStripComments(t *testing.T) {
+	in := `{"a": "http://x//y", // trailing comment
+	"b": 1} // end`
+	got := string(stripComments([]byte(in)))
+	want := "{\"a\": \"http://x//y\", \n\t\"b\": 1} "
+	if got != want {
+		t.Fatalf("stripComments = %q, want %q", got, want)
+	}
+}
+
+// TestMergedOverrides pins the run-override semantics: non-empty
+// sections replace, empty sections inherit.
+func TestMergedOverrides(t *testing.T) {
+	base := Scenario{
+		RTT:       "50ms",
+		Links:     []Link{{Name: "l1", Rate: "96e6"}},
+		Hosts:     []Host{{Name: "h"}},
+		Workloads: []Workload{{Host: "h", Kind: "web", Load: "10e6", Requests: "100"}},
+	}
+	r := Run{Label: "x", Scenario: Scenario{Bundles: []Bundle{{Host: "h"}}}}
+	m := merged(base, r)
+	if len(m.Bundles) != 1 || len(m.Links) != 1 || m.RTT != "50ms" {
+		t.Fatalf("merged override wrong: %+v", m)
+	}
+	r2 := Run{Label: "y", Scenario: Scenario{Links: []Link{{Name: "l1", Rate: "48e6"}}}}
+	m2 := merged(base, r2)
+	if m2.Links[0].Rate != "48e6" || len(m2.Bundles) != 0 {
+		t.Fatalf("merged replace wrong: %+v", m2)
+	}
+}

@@ -1,6 +1,8 @@
 // Package trace exports experiment measurements as CSV for external
 // plotting — the emulator-side equivalent of the paper's measurement dump
-// scripts. Writers accept the stats types the scenarios already produce.
+// scripts (the timeline and CDF figures of §2 and §7). Writers accept the
+// stats types the scenarios already produce; time columns are seconds of
+// virtual time, value columns keep the producing sample's unit.
 package trace
 
 import (

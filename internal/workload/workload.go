@@ -3,10 +3,13 @@
 // router (§7.1 — 97.6 % of requests ≤ 10 KB, the largest 0.002 % between
 // 5 MB and 100 MB), open-loop Poisson arrivals at a configured offered
 // load, and flow-completion-time bookkeeping with the paper's "slowdown"
-// metric (FCT divided by the unloaded completion time).
+// metric (FCT divided by the unloaded completion time). Flow sizes are
+// bytes, offered loads are bits/second, completion times are sim.Time
+// (recorded in milliseconds).
 package workload
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -24,20 +27,46 @@ type SizeDist struct {
 
 // NewSizeDist builds a distribution from (size, cumulative probability)
 // points. The first point's probability bounds the smallest sizes; the
-// last probability must be 1.
+// last probability must be 1. It panics on invalid points; code paths
+// fed by user-supplied config files use MakeSizeDist instead.
 func NewSizeDist(sizes, probs []float64) *SizeDist {
+	d, err := MakeSizeDist(sizes, probs)
+	if err != nil {
+		panic("workload: " + err.Error())
+	}
+	return d
+}
+
+// MakeSizeDist is NewSizeDist returning an error instead of panicking —
+// the entry point for internal/topo's declarative configs, where a bad
+// CDF is user input, not a programming error.
+func MakeSizeDist(sizes, probs []float64) (*SizeDist, error) {
 	if len(sizes) != len(probs) || len(sizes) < 2 {
-		panic("workload: need matching size/prob points")
+		return nil, fmt.Errorf("need matching size/prob points (got %d sizes, %d probs)", len(sizes), len(probs))
+	}
+	if sizes[0] <= 0 {
+		return nil, fmt.Errorf("sizes must be positive (got %g)", sizes[0])
 	}
 	for i := 1; i < len(sizes); i++ {
 		if sizes[i] <= sizes[i-1] || probs[i] <= probs[i-1] {
-			panic("workload: CDF points must be strictly increasing")
+			return nil, fmt.Errorf("CDF points must be strictly increasing (point %d)", i)
 		}
 	}
 	if probs[len(probs)-1] != 1 {
-		panic("workload: CDF must end at probability 1")
+		return nil, fmt.Errorf("CDF must end at probability 1 (got %g)", probs[len(probs)-1])
 	}
-	return &SizeDist{sizes: sizes, probs: probs}
+	return &SizeDist{sizes: sizes, probs: probs}, nil
+}
+
+// NamedDist returns a built-in size distribution: "web" (or "") is the
+// paper's §7.1 core-router request CDF.
+func NamedDist(name string) (*SizeDist, error) {
+	switch name {
+	case "", "web":
+		return PaperWebCDF(), nil
+	default:
+		return nil, fmt.Errorf("unknown size distribution %q (want \"web\" or inline sizes/probs)", name)
+	}
 }
 
 // PaperWebCDF reproduces the shape of the request-size CDF the paper draws

@@ -12,6 +12,7 @@
 //	bundler-bench -experiment fct -set mode=statusquo,rate=48e6
 //	bundler-bench -sweep -parallel 8 -out results.json
 //	bundler-bench -sweep -grid "rate=24e6,96e6;sched=sfq,fifo;requests=2000;seed=1,2"
+//	bundler-bench -sweep -store /tmp/rs -resume -out results.json   # checkpoint + resume
 package main
 
 import (
@@ -24,9 +25,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"bundler/internal/exp"
 	"bundler/internal/perf"
+	"bundler/internal/runstore"
 	_ "bundler/internal/scenario" // registers every experiment
 	"bundler/internal/topo"
 )
@@ -51,11 +54,17 @@ func main() {
 		parallel = flag.Int("parallel", runtime.NumCPU(), "sweep worker goroutines")
 		out      = flag.String("out", "", "sweep results file (.json or .csv); default: CSV to stdout")
 		benchOut = flag.String("bench-out", "",
-			"run the perf harness and write its JSON trajectory (e.g. BENCH_pr2.json), then exit")
+			"run the perf harness and write its JSON trajectory (e.g. BENCH_main.json), then exit")
 		benchFilter = flag.String("bench-filter", "",
 			"with -bench-out: regexp selecting which benchmarks to run (default all)")
 		config = flag.String("config", "",
 			"comma-separated declarative scenario files or directories (*.json) to load and register as experiments; a config named like a built-in shadows it")
+		store = flag.String("store", "",
+			"run store directory: completed sweep cells are checkpointed there as content-addressed manifests (default with -resume: $BUNDLER_RUNSTORE or the user cache dir)")
+		resume = flag.Bool("resume", false,
+			"load already-stored sweep cells from the run store instead of re-running them (only missing cells execute)")
+		storePrune = flag.Duration("store-prune", 0,
+			"evict run-store cells older than this age (e.g. 720h), then exit")
 	)
 	flag.Parse()
 
@@ -71,6 +80,10 @@ func main() {
 
 	loadConfigs(*config)
 
+	if *storePrune > 0 {
+		pruneStore(*store, *storePrune)
+		return
+	}
 	if *benchOut != "" {
 		runBench(*benchOut, *benchFilter)
 		return
@@ -82,8 +95,11 @@ func main() {
 	}
 
 	if *sweep {
-		runSweep(*sweepExp, *grid, *set, *seed, *parallel, *out)
+		runSweep(*sweepExp, *grid, *set, *seed, *parallel, *out, *store, *resume)
 		return
+	}
+	if *resume || *store != "" {
+		fatal("-store/-resume only apply with -sweep (single runs are cheap; the store exists to checkpoint grids)")
 	}
 
 	pairs, err := parseSet(*set)
@@ -174,7 +190,36 @@ func runOne(e exp.Experiment, seed int64, params exp.Params, dumpDir string) {
 	}
 }
 
-func runSweep(name, gridSpec, setSpec string, seed int64, parallel int, outPath string) {
+// openStore opens the run store for a sweep: at storeDir when given,
+// else (with -resume) at the default location. Returns nil when the
+// store is disabled.
+func openStore(storeDir string, resume bool) *runstore.Store {
+	if storeDir == "" {
+		if !resume {
+			return nil
+		}
+		storeDir = runstore.DefaultDir()
+	}
+	s, err := runstore.Open(storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	return s
+}
+
+func pruneStore(storeDir string, age time.Duration) {
+	s, err := runstore.Open(storeDir) // "" falls back to the default dir
+	if err != nil {
+		fatal(err)
+	}
+	removed, err := s.Prune(age)
+	if err != nil {
+		fatal("store-prune:", err)
+	}
+	fmt.Fprintf(os.Stderr, "store: evicted %d cells older than %s from %s\n", removed, age, s.Root())
+}
+
+func runSweep(name, gridSpec, setSpec string, seed int64, parallel int, outPath, storeDir string, resume bool) {
 	e, ok := exp.Lookup(name)
 	if !ok {
 		fatal("sweep: unknown experiment " + name)
@@ -213,15 +258,38 @@ func runSweep(name, gridSpec, setSpec string, seed int64, parallel int, outPath 
 		}
 		g.Axes = append(g.Axes, exp.Axis{Name: k, Values: []string{pairs[k]}})
 	}
+	st := openStore(storeDir, resume)
 	total := g.Size()
 	fmt.Fprintf(os.Stderr, "sweep: %s over %d points, %d workers\n", e.Name(), total, parallel)
-	results, err := exp.Sweep(e, g, parallel, func(done, total int) {
-		fmt.Fprintf(os.Stderr, "\r%d/%d points", done, total)
-	})
+	if st != nil {
+		mode := "checkpointing to"
+		if resume {
+			mode = "resuming from"
+		}
+		fmt.Fprintf(os.Stderr, "sweep: %s run store %s\n", mode, st.Root())
+	}
+	opt := exp.Options{
+		Parallel: parallel,
+		Resume:   resume,
+		Progress: func(done, total, cached int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d points (%d cached)", done, total, cached)
+		},
+	}
+	if st != nil {
+		opt.Cache = st
+	}
+	results, stats, err := exp.SweepOpts(e, g, opt)
 	if results == nil && err != nil {
 		fatal(err) // the grid itself was rejected; nothing ran
 	}
 	fmt.Fprintln(os.Stderr)
+	fmt.Fprintf(os.Stderr, "sweep: %d points: %d cached, %d executed\n",
+		stats.Total, stats.Cached, stats.Executed)
+	if st != nil {
+		if serr := st.Err(); serr != nil {
+			fmt.Fprintln(os.Stderr, "sweep: warning: run-store checkpointing incomplete:", serr)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep: some points failed:", err)
 	}
@@ -244,7 +312,7 @@ func runSweep(name, gridSpec, setSpec string, seed int64, parallel int, outPath 
 		if werr := emit(f, results); werr != nil {
 			fatal(werr)
 		}
-		fmt.Printf("wrote %d results to %s\n", len(results), outPath)
+		fmt.Fprintf(os.Stderr, "wrote %d results to %s\n", len(results), outPath)
 	}
 	if err != nil {
 		os.Exit(1)
@@ -253,6 +321,10 @@ func runSweep(name, gridSpec, setSpec string, seed int64, parallel int, outPath 
 
 // runBench executes the internal/perf suite and writes the trajectory
 // file (current measurements next to the frozen pre-pooling baseline).
+// Streams are strictly separated so CI log parsing is reliable: stdout
+// carries only the machine-parseable `go test -bench`-format result
+// lines, while progress, measurements-in-flight, and the "wrote ..."
+// confirmation all go to stderr.
 func runBench(outPath, filter string) {
 	var re *regexp.Regexp
 	if filter != "" {
@@ -270,6 +342,9 @@ func runBench(outPath, filter string) {
 	if len(records) == 0 {
 		fatal("-bench-filter matched no benchmarks")
 	}
+	for _, r := range records {
+		fmt.Println(r.GoBenchLine())
+	}
 	f, err := os.Create(outPath)
 	if err != nil {
 		fatal(err)
@@ -278,7 +353,7 @@ func runBench(outPath, filter string) {
 	if err := perf.WriteJSON(f, records); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %d benchmark records to %s\n", len(records), outPath)
+	fmt.Fprintf(os.Stderr, "wrote %d benchmark records to %s\n", len(records), outPath)
 }
 
 // loadConfigs registers every declarative scenario named by the -config

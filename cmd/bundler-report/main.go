@@ -1,0 +1,95 @@
+// Command bundler-report diffs two evaluation artifacts and gates on
+// regressions — the tool CI's hard gates are built from. It compares
+// either two sweep/run result files (JSON arrays from bundler-bench
+// -sweep -out or bundler-sim -json) or two benchmark trajectory files
+// (BENCH_*.json from bundler-bench -bench-out), auto-detecting which.
+//
+// Results mode matches cells on (experiment, seed, params) and fails on
+// metric or summary drift beyond -tol, missing cells/metrics, new
+// errors, and — in exact mode — golden-table drift of the rendered
+// report text. Bench mode fails when ns/op or allocs/op regresses more
+// than -ns-threshold / -alloc-threshold percent against the old file.
+//
+// Exit status: 0 clean, 1 regressions found, 2 usage or I/O error.
+//
+// Example:
+//
+//	bundler-report BENCH_main.json BENCH_new.json
+//	bundler-report -alloc-threshold 5 BENCH_main.json BENCH_new.json
+//	bundler-report baseline-sweep.json sweep.json          # exact
+//	bundler-report -tol 0.01 baseline-sweep.json sweep.json
+//	bundler-report -json report.json old.json new.json     # machine output too
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bundler/internal/report"
+)
+
+func main() {
+	var (
+		tol = flag.Float64("tol", 0,
+			"results mode: relative metric/summary tolerance (0 = exact; report-text drift only gates at 0)")
+		nsPct = flag.Float64("ns-threshold", 10,
+			"bench mode: fail when ns/op regresses more than this percent")
+		allocPct = flag.Float64("alloc-threshold", 10,
+			"bench mode: fail when allocs/op regresses more than this percent")
+		jsonOut = flag.String("json", "",
+			`also write the machine-readable report to this file ("-" for stdout, replacing the text)`)
+		quiet = flag.Bool("q", false, "suppress the text report (exit status still reflects the verdict)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bundler-report [flags] OLD NEW\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Diffs two result files or two BENCH_*.json trajectories (auto-detected).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	r, err := report.DiffFiles(flag.Arg(0), flag.Arg(1), report.Options{
+		MetricTol: *tol, NsPct: *nsPct, AllocPct: *allocPct,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *jsonOut == "-" {
+		if err := r.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		if !*quiet {
+			if err := r.WriteText(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			if err := r.WriteJSON(f); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+	}
+	if !r.OK {
+		os.Exit(1)
+	}
+}

@@ -14,6 +14,7 @@
 //	bundler-sim -mode statusquo -rate 48e6 -rtt 100ms
 //	bundler-sim -config examples/configs/cellular.json -set requests=2000
 //	bundler-sim -json            # structured result for scripting
+//	bundler-sim -out run.json    # save a baseline for bundler-report
 package main
 
 import (
@@ -44,6 +45,8 @@ func main() {
 		config   = flag.String("config", "", "run a declarative scenario file instead of the fct flags above")
 		set      = flag.String("set", "", "with -config: comma-separated k=v overrides of the config's declared params")
 		asJSON   = flag.Bool("json", false, "emit the structured result as JSON instead of text")
+		outPath  = flag.String("out", "",
+			"also write the structured result JSON to this file (a baseline/run file bundler-report can diff)")
 	)
 	flag.Parse()
 
@@ -51,14 +54,14 @@ func main() {
 		// The dedicated scenario flags describe the fct experiment, not a
 		// config; silently ignoring one the user set would make them
 		// believe they changed the run. Configs take overrides via -set.
-		allowed := map[string]bool{"config": true, "set": true, "seed": true, "json": true}
+		allowed := map[string]bool{"config": true, "set": true, "seed": true, "json": true, "out": true}
 		flag.Visit(func(f *flag.Flag) {
 			if !allowed[f.Name] {
 				fmt.Fprintf(os.Stderr, "-%s does not apply with -config; override the config's params with -set (see its \"params\" section)\n", f.Name)
 				os.Exit(1)
 			}
 		})
-		runConfig(*config, *set, *seed, *asJSON)
+		runConfig(*config, *set, *seed, *asJSON, *outPath)
 		return
 	}
 	if *set != "" {
@@ -90,14 +93,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "warning: only %d of %d requests completed before the horizon\n",
 			completed, *requests)
 	}
-	emit(res, *asJSON)
+	emit(res, *asJSON, *outPath)
 }
 
 // runConfig executes a declarative scenario file with -set param
 // overrides, through the same load-and-validate path bundler-bench
 // -config uses, so a broken file (or a broken later run) fails before
 // any simulation starts.
-func runConfig(path, set string, seed int64, asJSON bool) {
+func runConfig(path, set string, seed int64, asJSON bool, outPath string) {
 	e, _, err := topo.RegisterFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -128,10 +131,25 @@ func runConfig(path, set string, seed int64, asJSON bool) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	emit(res, asJSON)
+	emit(res, asJSON, outPath)
 }
 
-func emit(res exp.Result, asJSON bool) {
+func emit(res exp.Result, asJSON bool, outPath string) {
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = exp.WriteJSON(f, []exp.Result{res})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if asJSON {
 		if err := exp.WriteJSON(os.Stdout, []exp.Result{res}); err != nil {
 			fmt.Fprintln(os.Stderr, err)

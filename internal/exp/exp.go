@@ -162,6 +162,29 @@ func (m Metric) MarshalJSON() ([]byte, error) {
 	return json.Marshal(noMethods(m))
 }
 
+// UnmarshalJSON is the inverse of the NaN-as-null encoding: a null value
+// restores NaN, so a Result loaded from a run-store manifest re-emits
+// byte-identically to the fresh run that produced it. Without this, a
+// cached NaN metric would decode to 0 and a resumed sweep's output would
+// silently differ from an uninterrupted one.
+func (m *Metric) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Name  string   `json:"name"`
+		Value *float64 `json:"value"`
+		Unit  string   `json:"unit"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	m.Name, m.Unit = raw.Name, raw.Unit
+	if raw.Value == nil {
+		m.Value = math.NaN()
+	} else {
+		m.Value = *raw.Value
+	}
+	return nil
+}
+
 // Artifact is a named blob (CSV trace) an experiment produced. Data is
 // excluded from JSON results; the CLIs write it to the -dump directory.
 type Artifact struct {
@@ -209,4 +232,25 @@ type Experiment interface {
 	Desc() string
 	Params() []Param
 	Run(seed int64, p Params) (Result, error)
+}
+
+// SourceHasher is an optional Experiment extension: a stable content
+// hash of whatever defines the experiment's behavior outside the binary
+// (a declarative config's canonical bytes, say). Run stores key cells by
+// it, so editing a config invalidates exactly the cells it changes while
+// cosmetic edits — comments, key order, whitespace — keep the cache
+// warm. Experiments that don't implement it are keyed by the binary
+// fingerprint instead: any rebuild invalidates their cells.
+type SourceHasher interface {
+	// SourceHash returns a scheme-prefixed digest ("topo:<hex>"), or ""
+	// to fall back to the binary fingerprint.
+	SourceHash() string
+}
+
+// Metadater is an optional Experiment extension: extra key/value context
+// (paper section, source file, ...) recorded into run-store manifests
+// alongside the result. Purely informational — never part of the run
+// key.
+type Metadater interface {
+	Metadata() map[string]string
 }

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Axis is one swept parameter and its values.
@@ -122,6 +123,44 @@ func (g Grid) Points() []Point {
 	return out
 }
 
+// Cache persists completed sweep cells so an interrupted or repeated
+// sweep can skip the simulation entirely. internal/runstore implements
+// it with a content-addressed on-disk store; the interface lives here so
+// exp does not import the store (runstore imports exp for Result).
+//
+// Load reports a prior Result for the point (a hit must reproduce the
+// fresh run byte-for-byte once emitted — same metrics, same report,
+// same NaNs). Save records a successful result with its execution time;
+// it must be safe to call from multiple goroutines and must not fail
+// the sweep (persist errors are the Cache's to surface).
+type Cache interface {
+	Load(e Experiment, pt Point) (Result, bool)
+	Save(e Experiment, pt Point, res Result, dur time.Duration)
+}
+
+// Options configures SweepOpts beyond the experiment and grid.
+type Options struct {
+	// Parallel is the worker goroutine count (min 1).
+	Parallel int
+	// Cache, when non-nil, receives every successfully computed cell
+	// (checkpointing); failed cells are never cached.
+	Cache Cache
+	// Resume additionally loads cells from Cache instead of re-running
+	// them. Kept separate from Cache so a sweep can checkpoint without
+	// trusting prior contents (write-only mode recomputes everything).
+	Resume bool
+	// Progress, if set, is called after each finished point with the
+	// cumulative done/cached counts.
+	Progress func(done, total, cached int)
+}
+
+// Stats summarizes where a sweep's results came from.
+type Stats struct {
+	Total    int // grid points
+	Cached   int // loaded from the cache (zero simulation)
+	Executed int // actually simulated this run
+}
+
 // Sweep runs e at every grid point, fanning points across a pool of
 // `parallel` worker goroutines. Each Run builds its own sim.Engine, so
 // points are independent and the returned slice — ordered by Point.Index
@@ -130,10 +169,27 @@ func (g Grid) Points() []Point {
 // also returned after all points finish. progress (optional) is called
 // after each completed point.
 func Sweep(e Experiment, g Grid, parallel int, progress func(done, total int)) ([]Result, error) {
+	var p func(done, total, cached int)
+	if progress != nil {
+		p = func(done, total, _ int) { progress(done, total) }
+	}
+	results, _, err := SweepOpts(e, g, Options{Parallel: parallel, Progress: p})
+	return results, err
+}
+
+// SweepOpts is Sweep with store-backed caching and resume. With
+// opt.Resume and a warm opt.Cache, completed cells load instead of
+// executing — interrupting a 1000-cell grid loses only the cells in
+// flight, and an unchanged re-run simulates nothing. Cached and fresh
+// cells are indistinguishable in the returned slice, so the emitted
+// JSON/CSV is byte-identical regardless of how many cells were resumed.
+func SweepOpts(e Experiment, g Grid, opt Options) ([]Result, Stats, error) {
 	if err := g.validate(e); err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
 	points := g.Points()
+	st := Stats{Total: len(points)}
+	parallel := opt.Parallel
 	if parallel < 1 {
 		parallel = 1
 	}
@@ -153,12 +209,25 @@ func Sweep(e Experiment, g Grid, parallel int, progress func(done, total int)) (
 		go func() {
 			defer wg.Done()
 			for pt := range jobs {
-				res, err := runPoint(e, pt)
-				if err != nil {
-					res.Experiment = e.Name()
-					res.Seed = pt.Seed
-					res.Params = pt.Params
-					res.Err = err.Error()
+				var (
+					res    Result
+					err    error
+					cached bool
+				)
+				if opt.Cache != nil && opt.Resume {
+					res, cached = opt.Cache.Load(e, pt)
+				}
+				if !cached {
+					start := time.Now()
+					res, err = runPoint(e, pt)
+					if err != nil {
+						res.Experiment = e.Name()
+						res.Seed = pt.Seed
+						res.Params = pt.Params
+						res.Err = err.Error()
+					} else if opt.Cache != nil {
+						opt.Cache.Save(e, pt, res, time.Since(start))
+					}
 				}
 				results[pt.Index] = res
 				mu.Lock()
@@ -166,8 +235,13 @@ func Sweep(e Experiment, g Grid, parallel int, progress func(done, total int)) (
 					firstErr = fmt.Errorf("exp: point %d (seed %d): %w", pt.Index, pt.Seed, err)
 				}
 				done++
-				if progress != nil {
-					progress(done, len(points))
+				if cached {
+					st.Cached++
+				} else {
+					st.Executed++
+				}
+				if opt.Progress != nil {
+					opt.Progress(done, len(points), st.Cached)
 				}
 				mu.Unlock()
 			}
@@ -178,7 +252,7 @@ func Sweep(e Experiment, g Grid, parallel int, progress func(done, total int)) (
 	}
 	close(jobs)
 	wg.Wait()
-	return results, firstErr
+	return results, st, firstErr
 }
 
 // validate rejects grid axes the experiment does not declare: a typo'd

@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memCache is an in-memory Cache for exercising SweepOpts without disk.
+type memCache struct {
+	mu    sync.Mutex
+	cells map[string]Result
+	loads int
+	saves int
+}
+
+func (c *memCache) key(e Experiment, pt Point) string {
+	return fmt.Sprintf("%s/%d/%v", e.Name(), pt.Seed, pt.Params)
+}
+
+func (c *memCache) Load(e Experiment, pt Point) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.loads++
+	r, ok := c.cells[c.key(e, pt)]
+	return r, ok
+}
+
+func (c *memCache) Save(e Experiment, pt Point, res Result, _ time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.saves++
+	if c.cells == nil {
+		c.cells = map[string]Result{}
+	}
+	c.cells[c.key(e, pt)] = res
+}
+
+type countExp struct{ runs *int }
+
+func (countExp) Name() string    { return "count" }
+func (countExp) Desc() string    { return "counts runs" }
+func (countExp) Params() []Param { return []Param{{Name: "x", Default: "0"}} }
+func (e countExp) Run(seed int64, p Params) (Result, error) {
+	*e.runs++
+	res := Result{Experiment: "count", Seed: seed, Params: p}
+	res.AddMetric("seed", float64(seed), "")
+	return res, nil
+}
+
+// TestSweepWriteOnlyCache: a Cache without Resume checkpoints every
+// cell but never trusts prior contents — every cell still executes.
+func TestSweepWriteOnlyCache(t *testing.T) {
+	g, err := ParseGrid("x=1,2,3;seed=1,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &memCache{}
+	runs := 0
+	_, st, err := SweepOpts(countExp{&runs}, g, Options{Parallel: 3, Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != g.Size() || st.Executed != g.Size() || st.Cached != 0 {
+		t.Fatalf("write-only cache skipped cells: runs=%d stats=%+v", runs, st)
+	}
+	if c.saves != g.Size() || c.loads != 0 {
+		t.Fatalf("write-only cache: saves=%d loads=%d, want %d/0", c.saves, c.loads, g.Size())
+	}
+
+	// Second pass with Resume: everything loads, nothing executes, and
+	// results match the first pass cell for cell.
+	runs = 0
+	results, st2, err := SweepOpts(countExp{&runs}, g, Options{Parallel: 3, Cache: c, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 0 || st2.Cached != g.Size() {
+		t.Fatalf("resume pass executed cells: runs=%d stats=%+v", runs, st2)
+	}
+	for i, pt := range g.Points() {
+		if results[i].Seed != pt.Seed || results[i].Params["x"] != pt.Params["x"] {
+			t.Fatalf("cell %d out of order after resume: %+v vs point %+v", i, results[i], pt)
+		}
+	}
+}
+
+// TestSweepProgressCachedCounts: the progress callback's cached count
+// must be monotonic and end at the cached total (the CLIs print it).
+func TestSweepProgressCachedCounts(t *testing.T) {
+	g, err := ParseGrid("x=1,2;seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &memCache{}
+	runs := 0
+	if _, _, err := SweepOpts(countExp{&runs}, g, Options{Parallel: 1, Cache: c}); err != nil {
+		t.Fatal(err)
+	}
+	var lastDone, lastCached int
+	runs = 0
+	_, st, err := SweepOpts(countExp{&runs}, g, Options{
+		Parallel: 2, Cache: c, Resume: true,
+		Progress: func(done, total, cached int) {
+			if done < lastDone || cached < lastCached || total != g.Size() {
+				t.Errorf("progress went backwards: done=%d cached=%d total=%d", done, cached, total)
+			}
+			lastDone, lastCached = done, cached
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastDone != g.Size() || lastCached != st.Cached {
+		t.Fatalf("final progress %d/%d cached=%d, want %d cached=%d",
+			lastDone, g.Size(), lastCached, g.Size(), st.Cached)
+	}
+}

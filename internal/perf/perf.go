@@ -1,8 +1,9 @@
 // Package perf is the reproducible performance harness: it runs
 // registry experiments under the testing.Benchmark machinery, prices
 // them in ns and allocations per simulated packet (using the packet
-// pool's counters), and emits a JSON trajectory file (BENCH_pr2.json)
-// that future optimization PRs extend and compare against.
+// pool's counters), and emits a JSON trajectory file (the committed
+// BENCH_main.json baseline) that optimization PRs re-emit and that
+// cmd/bundler-report diffs against in CI's bench-gate job.
 //
 // Two entry points exist: the benchmarks in bench_test.go (so plain
 // `go test -bench` works, with b.ReportAllocs wired), and
@@ -14,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"regexp"
 	"sort"
 	"testing"
@@ -153,12 +155,35 @@ type File struct {
 	Current  []Record `json:"current"`
 }
 
+// ReadFile parses a trajectory file previously written by WriteJSON —
+// how cmd/bundler-report loads the committed baseline and a fresh
+// emission to diff them.
+func ReadFile(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, fmt.Errorf("perf: %w", err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return File{}, fmt.Errorf("perf: parse %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// GoBenchLine renders the record in `go test -bench` result format, the
+// machine-parseable line -bench-out prints to stdout (logs and progress
+// stay on stderr, so CI can parse stdout alone).
+func (r Record) GoBenchLine() string {
+	return fmt.Sprintf("%s\t%8d ns/op\t%8d B/op\t%8d allocs/op",
+		r.Name, int64(r.NsPerOp), int64(r.BytesPerOp), int64(r.AllocsPerOp))
+}
+
 // WriteJSON emits the trajectory file for the given current records,
 // sorted by name for deterministic output.
 func WriteJSON(w io.Writer, current []Record) error {
 	f := File{
 		Note: "simulation hot-path benchmarks; baseline = pre-pooling (PR 2 start), " +
-			"regenerate with: go run ./cmd/bundler-bench -bench-out BENCH_pr2.json",
+			"regenerate with: go run ./cmd/bundler-bench -bench-out BENCH_main.json",
 		Baseline: append([]Record(nil), Baseline...),
 		Current:  append([]Record(nil), current...),
 	}

@@ -1,0 +1,439 @@
+// Package report is the regression-diff engine behind cmd/bundler-report:
+// it compares two sweep result files (or a run against a committed
+// baseline) cell by cell with metric tolerances and golden-table drift
+// detection, and two benchmark trajectory files record by record with
+// percentage thresholds on ns/op and allocs/op. CI's bench-gate and
+// sweep jobs turn its verdict into a hard build gate; the same engine
+// renders both human text and machine JSON.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bundler/internal/exp"
+	"bundler/internal/perf"
+)
+
+// Kind says which diff ran.
+type Kind string
+
+const (
+	// KindBench compares perf trajectory files (BENCH_*.json).
+	KindBench Kind = "bench"
+	// KindResults compares sweep/run result files ([]exp.Result JSON).
+	KindResults Kind = "results"
+)
+
+// Options are the comparison thresholds.
+type Options struct {
+	// MetricTol is the relative tolerance for results-mode metric and
+	// summary comparisons (0 = exact). With a nonzero tolerance,
+	// report-text drift downgrades from failure to information: the
+	// rendered tables print the very values the tolerance admits.
+	MetricTol float64
+	// NsPct fails a benchmark whose ns/op regressed by more than this
+	// percentage (default 10 in the CLI).
+	NsPct float64
+	// AllocPct fails a benchmark whose allocs/op regressed by more than
+	// this percentage (default 10 in the CLI).
+	AllocPct float64
+}
+
+// Finding is one comparison outcome worth reporting.
+type Finding struct {
+	// Severity is "fail" (gates the build) or "info".
+	Severity string `json:"severity"`
+	// Cell names the compared unit: a benchmark name, or
+	// "experiment seed=N k=v ..." for a results cell.
+	Cell string `json:"cell"`
+	// Metric is the compared quantity ("ns/op", "fct-p99", "report").
+	Metric string `json:"metric,omitempty"`
+	// Old and New are the compared values (absent for text drift).
+	Old *float64 `json:"old,omitempty"`
+	New *float64 `json:"new,omitempty"`
+	// DeltaPct is the percentage change new vs old when defined.
+	DeltaPct *float64 `json:"delta_pct,omitempty"`
+	// Detail is the human explanation.
+	Detail string `json:"detail"`
+}
+
+// Report is a full diff outcome. OK is false iff any finding failed.
+type Report struct {
+	Kind     Kind      `json:"kind"`
+	Old      string    `json:"old"`
+	New      string    `json:"new"`
+	OK       bool      `json:"ok"`
+	Compared int       `json:"compared"`
+	Failures int       `json:"failures"`
+	Findings []Finding `json:"findings"`
+}
+
+func (r *Report) add(f Finding) {
+	r.Findings = append(r.Findings, f)
+	if f.Severity == "fail" {
+		r.Failures++
+	}
+}
+
+func ptr(v float64) *float64 { return &v }
+
+func pct(old, new float64) *float64 {
+	if old == 0 {
+		return nil
+	}
+	return ptr((new - old) / math.Abs(old) * 100)
+}
+
+// DetectKind sniffs a file's diff kind: a perf trajectory is a JSON
+// object, a results file is a JSON array.
+func DetectKind(data []byte) (Kind, error) {
+	for _, c := range data {
+		switch c {
+		case ' ', '\t', '\r', '\n':
+			continue
+		case '{':
+			return KindBench, nil
+		case '[':
+			return KindResults, nil
+		default:
+			return "", fmt.Errorf("report: unrecognized file (want a BENCH_*.json object or a results array, got %q...)", string(c))
+		}
+	}
+	return "", fmt.Errorf("report: empty file")
+}
+
+// DiffFiles loads old and new, sniffs their kind (which must match),
+// and runs the corresponding diff.
+func DiffFiles(oldPath, newPath string, opt Options) (*Report, error) {
+	oldData, err := os.ReadFile(oldPath)
+	if err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	newData, err := os.ReadFile(newPath)
+	if err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	oldKind, err := DetectKind(oldData)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, oldPath)
+	}
+	newKind, err := DetectKind(newData)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, newPath)
+	}
+	if oldKind != newKind {
+		return nil, fmt.Errorf("report: cannot diff a %s file against a %s file", oldKind, newKind)
+	}
+	var r *Report
+	switch oldKind {
+	case KindBench:
+		var of, nf perf.File
+		if err := json.Unmarshal(oldData, &of); err != nil {
+			return nil, fmt.Errorf("report: parse %s: %w", oldPath, err)
+		}
+		if err := json.Unmarshal(newData, &nf); err != nil {
+			return nil, fmt.Errorf("report: parse %s: %w", newPath, err)
+		}
+		r = DiffBench(of, nf, opt)
+	case KindResults:
+		var or, nr []exp.Result
+		if err := json.Unmarshal(oldData, &or); err != nil {
+			return nil, fmt.Errorf("report: parse %s: %w", oldPath, err)
+		}
+		if err := json.Unmarshal(newData, &nr); err != nil {
+			return nil, fmt.Errorf("report: parse %s: %w", newPath, err)
+		}
+		r = DiffResults(or, nr, opt)
+	}
+	r.Old, r.New = oldPath, newPath
+	return r, nil
+}
+
+// DiffBench compares two benchmark trajectories' Current records by
+// name: ns/op and allocs/op regressions beyond their thresholds fail;
+// improvements beyond the same thresholds, bytes/op movement, and
+// added benchmarks are informational; a benchmark missing from new
+// fails (lost coverage reads as a pass otherwise).
+func DiffBench(old, new perf.File, opt Options) *Report {
+	r := &Report{Kind: KindBench, Findings: []Finding{}}
+	newByName := map[string]perf.Record{}
+	for _, rec := range new.Current {
+		newByName[rec.Name] = rec
+	}
+	oldNames := make([]string, 0, len(old.Current))
+	oldByName := map[string]perf.Record{}
+	for _, rec := range old.Current {
+		oldNames = append(oldNames, rec.Name)
+		oldByName[rec.Name] = rec
+	}
+	sort.Strings(oldNames)
+	for _, name := range oldNames {
+		o := oldByName[name]
+		n, ok := newByName[name]
+		if !ok {
+			r.add(Finding{Severity: "fail", Cell: name,
+				Detail: "benchmark missing from new trajectory (lost coverage)"})
+			continue
+		}
+		r.Compared++
+		r.diffStat(name, "ns/op", o.NsPerOp, n.NsPerOp, opt.NsPct)
+		r.diffStat(name, "allocs/op", o.AllocsPerOp, n.AllocsPerOp, opt.AllocPct)
+		// bytes/op is informational: the gated quantities are the
+		// issue-specified ns/op and allocs/op.
+		if d := pct(o.BytesPerOp, n.BytesPerOp); d != nil && math.Abs(*d) > opt.AllocPct {
+			r.add(Finding{Severity: "info", Cell: name, Metric: "B/op",
+				Old: ptr(o.BytesPerOp), New: ptr(n.BytesPerOp), DeltaPct: d,
+				Detail: fmt.Sprintf("bytes/op changed %+.1f%% (not gated)", *d)})
+		}
+	}
+	newNames := make([]string, 0, len(newByName))
+	for name := range newByName {
+		if _, ok := oldByName[name]; !ok {
+			newNames = append(newNames, name)
+		}
+	}
+	sort.Strings(newNames)
+	for _, name := range newNames {
+		r.add(Finding{Severity: "info", Cell: name, Detail: "new benchmark (no baseline yet)"})
+	}
+	r.OK = r.Failures == 0
+	return r
+}
+
+// diffStat gates one per-op statistic with a percentage threshold.
+func (r *Report) diffStat(name, metric string, old, new, threshold float64) {
+	if old == 0 {
+		if new != 0 {
+			r.add(Finding{Severity: "fail", Cell: name, Metric: metric,
+				Old: ptr(old), New: ptr(new),
+				Detail: fmt.Sprintf("%s regressed from zero to %.0f", metric, new)})
+		}
+		return
+	}
+	d := *pct(old, new)
+	switch {
+	case d > threshold:
+		r.add(Finding{Severity: "fail", Cell: name, Metric: metric,
+			Old: ptr(old), New: ptr(new), DeltaPct: ptr(d),
+			Detail: fmt.Sprintf("%s regressed %.0f -> %.0f (%+.1f%%, threshold %.0f%%)",
+				metric, old, new, d, threshold)})
+	case d < -threshold:
+		r.add(Finding{Severity: "info", Cell: name, Metric: metric,
+			Old: ptr(old), New: ptr(new), DeltaPct: ptr(d),
+			Detail: fmt.Sprintf("%s improved %.0f -> %.0f (%+.1f%%) — consider re-committing the baseline",
+				metric, old, new, d)})
+	}
+}
+
+// cellID names a results cell: experiment, seed, and sorted params.
+// Values containing the serialization's own delimiters are quoted, so
+// two distinct cells can never collide on one ID (the same guarantee
+// runstore.Key.Hash makes for store keys).
+func cellID(res exp.Result) string {
+	quote := func(s string) string {
+		if strings.ContainsAny(s, " =\"\n\t") {
+			return strconv.Quote(s)
+		}
+		return s
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s seed=%d", quote(res.Experiment), res.Seed)
+	keys := make([]string, 0, len(res.Params))
+	for k := range res.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%s", quote(k), quote(res.Params[k]))
+	}
+	return b.String()
+}
+
+// DiffResults compares two result sets cell by cell (matched on
+// experiment + seed + params). Metric and summary drift beyond
+// MetricTol fails, as do cells or metrics missing from new, and cells
+// that now error. Report-text drift ("golden-table drift") fails in
+// exact mode (MetricTol == 0) and is informational otherwise — with a
+// tolerance, the table prints the very values the tolerance admits.
+func DiffResults(old, new []exp.Result, opt Options) *Report {
+	r := &Report{Kind: KindResults, Findings: []Finding{}}
+	newByID := map[string]exp.Result{}
+	newOrder := make([]string, 0, len(new))
+	for _, res := range new {
+		id := cellID(res)
+		newByID[id] = res
+		newOrder = append(newOrder, id)
+	}
+	seen := map[string]bool{}
+	for _, o := range old {
+		id := cellID(o)
+		seen[id] = true
+		n, ok := newByID[id]
+		if !ok {
+			r.add(Finding{Severity: "fail", Cell: id, Detail: "cell missing from new run (lost coverage)"})
+			continue
+		}
+		r.Compared++
+		r.diffCell(id, o, n, opt)
+	}
+	for _, id := range newOrder {
+		if !seen[id] {
+			r.add(Finding{Severity: "info", Cell: id, Detail: "new cell (no baseline yet)"})
+		}
+	}
+	r.OK = r.Failures == 0
+	return r
+}
+
+func (r *Report) diffCell(id string, o, n exp.Result, opt Options) {
+	if o.Err == "" && n.Err != "" {
+		r.add(Finding{Severity: "fail", Cell: id, Detail: "cell now fails: " + n.Err})
+		return
+	}
+	if o.Err != "" {
+		if n.Err != o.Err {
+			r.add(Finding{Severity: "info", Cell: id,
+				Detail: fmt.Sprintf("error changed: %q -> %q", o.Err, n.Err)})
+		}
+		return
+	}
+	// Metrics by name, order-insensitively: insertion order is part of
+	// the emitted bytes but not of the semantics.
+	nVals := map[string]float64{}
+	for _, m := range n.Metrics {
+		nVals[m.Name] = m.Value
+	}
+	for _, m := range o.Metrics {
+		nv, ok := nVals[m.Name]
+		if !ok {
+			r.add(Finding{Severity: "fail", Cell: id, Metric: m.Name,
+				Detail: "metric missing from new run"})
+			continue
+		}
+		r.diffValue(id, m.Name, m.Value, nv, opt.MetricTol)
+	}
+	oNames := map[string]bool{}
+	for _, m := range o.Metrics {
+		oNames[m.Name] = true
+	}
+	for _, m := range n.Metrics {
+		if !oNames[m.Name] {
+			r.add(Finding{Severity: "info", Cell: id, Metric: m.Name, Detail: "new metric (no baseline yet)"})
+		}
+	}
+	// Summaries: N exactly, quantile fields within tolerance.
+	for name, os := range o.Summaries {
+		ns, ok := n.Summaries[name]
+		if !ok {
+			r.add(Finding{Severity: "fail", Cell: id, Metric: name, Detail: "summary missing from new run"})
+			continue
+		}
+		if os.N != ns.N {
+			r.add(Finding{Severity: "fail", Cell: id, Metric: name + ".n",
+				Old: ptr(float64(os.N)), New: ptr(float64(ns.N)),
+				Detail: fmt.Sprintf("summary count drifted %d -> %d", os.N, ns.N)})
+		}
+		for _, q := range [...]struct {
+			suffix   string
+			old, new float64
+		}{
+			{"mean", os.Mean, ns.Mean}, {"p10", os.P10, ns.P10}, {"p25", os.P25, ns.P25},
+			{"p50", os.P50, ns.P50}, {"p75", os.P75, ns.P75}, {"p90", os.P90, ns.P90},
+			{"p99", os.P99, ns.P99}, {"min", os.Min, ns.Min}, {"max", os.Max, ns.Max},
+		} {
+			r.diffValue(id, name+"."+q.suffix, q.old, q.new, opt.MetricTol)
+		}
+	}
+	if o.Report != n.Report {
+		sev := "fail"
+		if opt.MetricTol > 0 {
+			sev = "info"
+		}
+		r.add(Finding{Severity: sev, Cell: id, Metric: "report",
+			Detail: "golden-table drift: " + firstDiffLine(o.Report, n.Report)})
+	}
+}
+
+// diffValue compares one scalar with a relative tolerance. NaN equals
+// NaN (an empty sample is a stable outcome); NaN vs a value fails.
+func (r *Report) diffValue(id, metric string, old, new, tol float64) {
+	oNaN, nNaN := math.IsNaN(old), math.IsNaN(new)
+	if oNaN && nNaN {
+		return
+	}
+	if oNaN != nNaN {
+		r.add(Finding{Severity: "fail", Cell: id, Metric: metric,
+			Detail: fmt.Sprintf("value drifted %v -> %v (NaN mismatch)", old, new)})
+		return
+	}
+	if old == new {
+		return
+	}
+	denom := math.Abs(old)
+	if denom == 0 {
+		denom = 1
+	}
+	rel := math.Abs(new-old) / denom
+	if rel > tol {
+		r.add(Finding{Severity: "fail", Cell: id, Metric: metric,
+			Old: ptr(old), New: ptr(new), DeltaPct: pct(old, new),
+			Detail: fmt.Sprintf("value drifted %g -> %g (rel %.2e, tolerance %.2e)", old, new, rel, tol)})
+	}
+}
+
+// firstDiffLine locates the first line where two reports diverge.
+func firstDiffLine(old, new string) string {
+	ol := strings.Split(old, "\n")
+	nl := strings.Split(new, "\n")
+	for i := 0; i < len(ol) || i < len(nl); i++ {
+		var o, n string
+		if i < len(ol) {
+			o = ol[i]
+		}
+		if i < len(nl) {
+			n = nl[i]
+		}
+		if o != n {
+			return fmt.Sprintf("line %d: %q -> %q", i+1, o, n)
+		}
+	}
+	return "reports differ"
+}
+
+// WriteText renders the human report.
+func (r *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "bundler-report: %s diff  old=%s  new=%s\n", r.Kind, r.Old, r.New); err != nil {
+		return err
+	}
+	for _, f := range r.Findings {
+		tag := "info"
+		if f.Severity == "fail" {
+			tag = "FAIL"
+		}
+		if _, err := fmt.Fprintf(w, "  %s  %-40s %s\n", tag, f.Cell, f.Detail); err != nil {
+			return err
+		}
+	}
+	verdict := "OK"
+	if !r.OK {
+		verdict = "FAIL"
+	}
+	_, err := fmt.Fprintf(w, "RESULT: %s (%d compared, %d failures, %d findings)\n",
+		verdict, r.Compared, r.Failures, len(r.Findings))
+	return err
+}
+
+// WriteJSON renders the machine report (stable field order, indented).
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(r)
+}

@@ -1,0 +1,255 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"bundler/internal/exp"
+	"bundler/internal/perf"
+	"bundler/internal/stats"
+)
+
+func benchFile(records ...perf.Record) perf.File {
+	return perf.File{Note: "test", Current: records}
+}
+
+var opt10 = Options{NsPct: 10, AllocPct: 10}
+
+// TestBenchGateSyntheticAllocRegression is the acceptance criterion for
+// CI's bench-gate: a 20% allocs/op regression against the committed
+// baseline must fail, while the unchanged file and sub-threshold noise
+// must pass.
+func TestBenchGateSyntheticAllocRegression(t *testing.T) {
+	base := benchFile(
+		perf.Record{Name: "BenchmarkFig09FCT", NsPerOp: 3.7e9, BytesPerOp: 7.8e7, AllocsPerOp: 821403},
+		perf.Record{Name: "BenchmarkFig10CrossTraffic", NsPerOp: 5.0e9, BytesPerOp: 2.8e8, AllocsPerOp: 2701636},
+	)
+
+	if r := DiffBench(base, base, opt10); !r.OK || r.Compared != 2 {
+		t.Fatalf("identical trajectories must pass: %+v", r)
+	}
+
+	regressed := benchFile(
+		perf.Record{Name: "BenchmarkFig09FCT", NsPerOp: 3.7e9, BytesPerOp: 7.8e7, AllocsPerOp: 821403 * 1.2},
+		base.Current[1],
+	)
+	r := DiffBench(base, regressed, opt10)
+	if r.OK {
+		t.Fatal("20% allocs/op regression passed the 10% gate")
+	}
+	if len(r.Findings) != 1 || r.Findings[0].Metric != "allocs/op" || r.Findings[0].Severity != "fail" {
+		t.Fatalf("unexpected findings: %+v", r.Findings)
+	}
+	if d := r.Findings[0].DeltaPct; d == nil || math.Abs(*d-20) > 0.01 {
+		t.Fatalf("delta not reported as +20%%: %+v", r.Findings[0])
+	}
+
+	noisy := benchFile(
+		perf.Record{Name: "BenchmarkFig09FCT", NsPerOp: 3.7e9 * 1.08, BytesPerOp: 7.8e7, AllocsPerOp: 821403 * 1.05},
+		base.Current[1],
+	)
+	if r := DiffBench(base, noisy, opt10); !r.OK {
+		t.Fatalf("sub-threshold drift must pass: %+v", r.Findings)
+	}
+}
+
+func TestBenchNsRegressionAndImprovement(t *testing.T) {
+	base := benchFile(perf.Record{Name: "B", NsPerOp: 1e9, AllocsPerOp: 100})
+	slow := benchFile(perf.Record{Name: "B", NsPerOp: 1.2e9, AllocsPerOp: 100})
+	r := DiffBench(base, slow, opt10)
+	if r.OK || r.Findings[0].Metric != "ns/op" {
+		t.Fatalf("ns/op regression not gated: %+v", r)
+	}
+	fast := benchFile(perf.Record{Name: "B", NsPerOp: 0.5e9, AllocsPerOp: 100})
+	r = DiffBench(base, fast, opt10)
+	if !r.OK {
+		t.Fatalf("improvement failed the gate: %+v", r.Findings)
+	}
+	if len(r.Findings) != 1 || r.Findings[0].Severity != "info" {
+		t.Fatalf("improvement should surface as info: %+v", r.Findings)
+	}
+}
+
+func TestBenchMissingAndAddedRecords(t *testing.T) {
+	base := benchFile(
+		perf.Record{Name: "A", NsPerOp: 1, AllocsPerOp: 1},
+		perf.Record{Name: "B", NsPerOp: 1, AllocsPerOp: 1},
+	)
+	missing := benchFile(base.Current[0], perf.Record{Name: "C", NsPerOp: 1, AllocsPerOp: 1})
+	r := DiffBench(base, missing, opt10)
+	if r.OK {
+		t.Fatal("lost benchmark coverage passed the gate")
+	}
+	var failCells, infoCells []string
+	for _, f := range r.Findings {
+		if f.Severity == "fail" {
+			failCells = append(failCells, f.Cell)
+		} else {
+			infoCells = append(infoCells, f.Cell)
+		}
+	}
+	if len(failCells) != 1 || failCells[0] != "B" || len(infoCells) != 1 || infoCells[0] != "C" {
+		t.Fatalf("missing=B should fail, added=C should inform: %+v", r.Findings)
+	}
+}
+
+// TestBenchRegressionFromZero: allocs/op going 0 -> nonzero has no
+// percentage, but is the regression the alloc-free hot path exists to
+// prevent.
+func TestBenchRegressionFromZero(t *testing.T) {
+	base := benchFile(perf.Record{Name: "B", NsPerOp: 1e9, AllocsPerOp: 0})
+	r := DiffBench(base, benchFile(perf.Record{Name: "B", NsPerOp: 1e9, AllocsPerOp: 5}), opt10)
+	if r.OK {
+		t.Fatal("allocs regressed from zero and passed")
+	}
+}
+
+func cell(name string, seed int64, params exp.Params, metrics map[string]float64, report string) exp.Result {
+	r := exp.Result{Experiment: name, Seed: seed, Params: params, Report: report}
+	for _, k := range []string{"completed", "fct-p99", "nan-probe"} {
+		if v, ok := metrics[k]; ok {
+			r.AddMetric(k, v, "")
+		}
+	}
+	return r
+}
+
+func TestResultsIdenticalOK(t *testing.T) {
+	a := []exp.Result{
+		cell("fct", 1, exp.Params{"rate": "24e6"}, map[string]float64{"completed": 300, "fct-p99": 81.5, "nan-probe": math.NaN()}, "tbl\n"),
+		cell("fct", 2, exp.Params{"rate": "48e6"}, map[string]float64{"completed": 300, "fct-p99": 44.0}, "tbl2\n"),
+	}
+	r := DiffResults(a, a, Options{})
+	if !r.OK || r.Compared != 2 || len(r.Findings) != 0 {
+		t.Fatalf("identical results (including NaN==NaN) must pass: %+v", r)
+	}
+}
+
+func TestResultsMetricDriftAndTolerance(t *testing.T) {
+	old := []exp.Result{cell("fct", 1, nil, map[string]float64{"fct-p99": 100}, "p99=100\n")}
+	drifted := []exp.Result{cell("fct", 1, nil, map[string]float64{"fct-p99": 100.5}, "p99=100.5\n")}
+
+	if r := DiffResults(old, drifted, Options{}); r.OK {
+		t.Fatal("exact mode admitted metric drift")
+	}
+	r := DiffResults(old, drifted, Options{MetricTol: 0.01})
+	if !r.OK {
+		t.Fatalf("0.5%% drift failed a 1%% tolerance: %+v", r.Findings)
+	}
+	// Within tolerance, the inevitable rendered-table drift downgrades
+	// to info rather than failing.
+	for _, f := range r.Findings {
+		if f.Severity != "info" {
+			t.Fatalf("tolerated drift produced a failure: %+v", f)
+		}
+	}
+	if r := DiffResults(old, drifted, Options{MetricTol: 0.001}); r.OK {
+		t.Fatal("0.5% drift passed a 0.1% tolerance")
+	}
+}
+
+func TestResultsGoldenTableDrift(t *testing.T) {
+	old := []exp.Result{cell("fig9", 1, nil, map[string]float64{"completed": 5}, "row A\nrow B\n")}
+	changed := []exp.Result{cell("fig9", 1, nil, map[string]float64{"completed": 5}, "row A\nrow B'\n")}
+	r := DiffResults(old, changed, Options{})
+	if r.OK {
+		t.Fatal("golden-table drift passed exact mode")
+	}
+	f := r.Findings[0]
+	if f.Metric != "report" || !strings.Contains(f.Detail, "line 2") {
+		t.Fatalf("drift not located: %+v", f)
+	}
+}
+
+func TestResultsMissingCellAndNaNMismatch(t *testing.T) {
+	old := []exp.Result{
+		cell("fct", 1, exp.Params{"rate": "24e6"}, map[string]float64{"completed": 1}, ""),
+		cell("fct", 1, exp.Params{"rate": "48e6"}, map[string]float64{"nan-probe": math.NaN()}, ""),
+	}
+	missing := []exp.Result{old[1]}
+	if r := DiffResults(old, missing, Options{}); r.OK {
+		t.Fatal("missing cell passed")
+	}
+	nanGone := []exp.Result{
+		old[0],
+		cell("fct", 1, exp.Params{"rate": "48e6"}, map[string]float64{"nan-probe": 3.0}, ""),
+	}
+	if r := DiffResults(old, nanGone, Options{}); r.OK {
+		t.Fatal("NaN -> value mismatch passed")
+	}
+}
+
+func TestResultsNewError(t *testing.T) {
+	old := []exp.Result{cell("fct", 1, nil, map[string]float64{"completed": 1}, "")}
+	broke := []exp.Result{{Experiment: "fct", Seed: 1, Err: "boom"}}
+	r := DiffResults(old, broke, Options{})
+	if r.OK || !strings.Contains(r.Findings[0].Detail, "boom") {
+		t.Fatalf("newly-erroring cell must fail: %+v", r)
+	}
+}
+
+func TestResultsSummaryDrift(t *testing.T) {
+	mk := func(p99 float64) []exp.Result {
+		r := exp.Result{Experiment: "fct", Seed: 1,
+			Summaries: map[string]stats.Summary{"slowdown": {N: 10, Mean: 1, P50: 1, P99: p99}}}
+		return []exp.Result{r}
+	}
+	if r := DiffResults(mk(4.0), mk(4.2), Options{}); r.OK {
+		t.Fatal("summary drift passed exact mode")
+	}
+	if r := DiffResults(mk(4.0), mk(4.2), Options{MetricTol: 0.1}); !r.OK {
+		t.Fatalf("5%% summary drift failed a 10%% tolerance: %+v", r.Findings)
+	}
+}
+
+// TestCellIDNoDelimiterCollision mirrors the runstore key guarantee: a
+// param value containing the ID's own delimiters must not make two
+// distinct cells compare as one.
+func TestCellIDNoDelimiterCollision(t *testing.T) {
+	smuggled := exp.Result{Experiment: "fct", Seed: 1, Params: exp.Params{"a": "1 b=2"}}
+	plain := exp.Result{Experiment: "fct", Seed: 1, Params: exp.Params{"a": "1", "b": "2"}}
+	if cellID(smuggled) == cellID(plain) {
+		t.Fatalf("distinct cells collided on %q", cellID(plain))
+	}
+	// Matching still works across files for the quoted form.
+	r := DiffResults([]exp.Result{smuggled}, []exp.Result{smuggled}, Options{})
+	if !r.OK || r.Compared != 1 {
+		t.Fatalf("quoted cell failed to match itself: %+v", r)
+	}
+}
+
+func TestDetectKind(t *testing.T) {
+	if k, _ := DetectKind([]byte("  {\"note\":1}")); k != KindBench {
+		t.Fatal("object not detected as bench file")
+	}
+	if k, _ := DetectKind([]byte("\n[ ]")); k != KindResults {
+		t.Fatal("array not detected as results file")
+	}
+	if _, err := DetectKind([]byte("xyz")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := DetectKind([]byte("  ")); err == nil {
+		t.Fatal("empty file accepted")
+	}
+}
+
+// TestWriters smoke-checks both renderers are well-formed.
+func TestWriters(t *testing.T) {
+	base := benchFile(perf.Record{Name: "B", NsPerOp: 1e9, AllocsPerOp: 100})
+	r := DiffBench(base, benchFile(perf.Record{Name: "B", NsPerOp: 1.5e9, AllocsPerOp: 100}), opt10)
+	var text, js bytes.Buffer
+	if err := r.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "RESULT: FAIL") {
+		t.Fatalf("text verdict missing:\n%s", text.String())
+	}
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"ok": false`) {
+		t.Fatalf("JSON verdict missing:\n%s", js.String())
+	}
+}

@@ -1,0 +1,371 @@
+// Package runstore is the content-addressed, on-disk store of
+// experiment results the sweep engine checkpoints into and resumes
+// from. Every completed grid cell is written as a manifest — inputs,
+// seed, execution time, metadata, and the full exp.Result — under a key
+// that is a stable hash of (experiment name, point params, seed, source
+// identity), where source identity is either a declarative config's
+// canonical content hash (exp.SourceHasher, so a config edit
+// invalidates exactly the cells it changes) or the running binary's
+// fingerprint (so a rebuild invalidates code-defined experiments).
+//
+// The store is safe for concurrent writers (atomic rename per cell) and
+// for interruption at any instant: a killed 1000-cell sweep keeps every
+// completed cell, and the next `-resume` run loads them instead of
+// re-simulating. Loaded cells are byte-identical to fresh ones once
+// emitted — Metric and stats.Summary restore NaN from the null
+// encoding, and artifact data is carried in the manifest even though
+// exp.Result excludes it from plain JSON.
+//
+// Layout: <root>/<hh>/<hash>.json, one manifest per cell, where hh is
+// the first two hex digits of the key hash. The default root is
+// $BUNDLER_RUNSTORE, falling back to <user cache dir>/bundler/runstore.
+// Eviction is age-based via Prune (the CLIs expose -store-prune); the
+// store is only ever a cache, so `rm -rf` of the root is always safe.
+package runstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"bundler/internal/exp"
+)
+
+// keyScheme versions the key serialization. Bumping it invalidates
+// every stored cell — the escape hatch if the hashed inputs ever gain
+// or change meaning.
+const keyScheme = "bundler-runstore-key/v1"
+
+// Key identifies one sweep cell: everything that determines its Result.
+// Hash() is a pure function of the exported fields with a canonical
+// serialization (sorted params, quoted values), so the same cell hashes
+// identically across processes, field orderings, and map iteration
+// orders.
+type Key struct {
+	// Experiment is the registry name the cell runs.
+	Experiment string `json:"experiment"`
+	// Seed is the cell's simulation seed.
+	Seed int64 `json:"seed"`
+	// Params are the point's explicitly-set parameters (defaults an
+	// experiment fills in itself are covered by Source).
+	Params map[string]string `json:"params,omitempty"`
+	// Source is the experiment's content identity: "topo:<hex>" for a
+	// declarative config (exp.SourceHasher), else "code:<fingerprint>"
+	// for a compiled-in experiment.
+	Source string `json:"source"`
+}
+
+// KeyFor derives the store key for one sweep point of e.
+func KeyFor(e exp.Experiment, pt exp.Point) Key {
+	source := ""
+	if sh, ok := e.(exp.SourceHasher); ok {
+		source = sh.SourceHash()
+	}
+	if source == "" {
+		source = "code:" + Fingerprint()
+	}
+	return Key{Experiment: e.Name(), Seed: pt.Seed, Params: pt.Params, Source: source}
+}
+
+// Hash returns the key's content address: a SHA-256 hex digest of the
+// canonical serialization. Pinned by TestKeyHashGolden — changing the
+// serialization is a deliberate store-invalidating event.
+func (k Key) Hash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n", keyScheme)
+	fmt.Fprintf(h, "experiment=%q\n", k.Experiment)
+	fmt.Fprintf(h, "seed=%d\n", k.Seed)
+	fmt.Fprintf(h, "source=%q\n", k.Source)
+	names := make([]string, 0, len(k.Params))
+	for name := range k.Params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(h, "param.%q=%q\n", name, k.Params[name])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Artifact carries an experiment artifact with its data — exp.Artifact
+// excludes Data from JSON, but a cached cell must restore it.
+type Artifact struct {
+	Name string `json:"name"`
+	Data string `json:"data"`
+}
+
+// Manifest is the per-cell record: the key (inputs), provenance, and
+// the full result.
+type Manifest struct {
+	Key        Key               `json:"key"`
+	Hash       string            `json:"hash"`
+	Created    time.Time         `json:"created"`
+	DurationMS float64           `json:"duration_ms"`
+	Meta       map[string]string `json:"meta,omitempty"`
+	Result     exp.Result        `json:"result"`
+	Artifacts  []Artifact        `json:"artifacts,omitempty"`
+}
+
+// Store implements exp.Cache for the sweep engine.
+var _ exp.Cache = (*Store)(nil)
+
+// Store is a content-addressed directory of manifests.
+type Store struct {
+	root string
+
+	mu      sync.Mutex
+	saveErr error // first persist failure, surfaced via Err
+}
+
+// DefaultDir returns the store root the CLIs use when -store is given
+// without a path: $BUNDLER_RUNSTORE, else <user cache dir>/bundler/
+// runstore, else .bundler-runstore in the working directory.
+func DefaultDir() string {
+	if dir := os.Getenv("BUNDLER_RUNSTORE"); dir != "" {
+		return dir
+	}
+	if cache, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(cache, "bundler", "runstore")
+	}
+	return ".bundler-runstore"
+}
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		dir = DefaultDir()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runstore: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's directory.
+func (s *Store) Root() string { return s.root }
+
+// Err reports the first persist failure since Open (nil if none): Save
+// never fails a sweep, so the CLIs check Err afterwards to warn that
+// checkpoints are incomplete.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.saveErr
+}
+
+func (s *Store) path(hash string) string {
+	return filepath.Join(s.root, hash[:2], hash+".json")
+}
+
+// Get loads the manifest stored under key, reporting whether it exists.
+// A corrupt or mismatched manifest reads as a miss — the store is a
+// cache, and recomputing beats failing.
+func (s *Store) Get(key Key) (*Manifest, bool) {
+	hash := key.Hash()
+	data, err := os.ReadFile(s.path(hash))
+	if err != nil {
+		return nil, false
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil || m.Hash != hash {
+		return nil, false
+	}
+	return &m, true
+}
+
+// Put writes the manifest for key atomically (temp file + rename), so a
+// concurrent reader never sees a partial cell and an interrupt never
+// corrupts the store.
+func (s *Store) Put(key Key, m *Manifest) error {
+	m.Key = key
+	m.Hash = key.Hash()
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runstore: encode %s: %w", m.Hash, err)
+	}
+	dir := filepath.Dir(s.path(m.Hash))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "."+m.Hash+".tmp*")
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runstore: write %s: %w", m.Hash, errFirst(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), s.path(m.Hash)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runstore: %w", err)
+	}
+	return nil
+}
+
+func errFirst(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load implements exp.Cache: a hit returns the cached cell's Result
+// with artifact data restored.
+func (s *Store) Load(e exp.Experiment, pt exp.Point) (exp.Result, bool) {
+	m, ok := s.Get(KeyFor(e, pt))
+	if !ok {
+		return exp.Result{}, false
+	}
+	res := m.Result
+	if len(m.Artifacts) > 0 {
+		res.Artifacts = make([]exp.Artifact, len(m.Artifacts))
+		for i, a := range m.Artifacts {
+			res.Artifacts[i] = exp.Artifact{Name: a.Name, Data: a.Data}
+		}
+	}
+	return res, true
+}
+
+// Save implements exp.Cache: the completed cell is checkpointed with
+// its key, execution time, and the experiment's metadata. Persist
+// failures never fail the sweep; the first one is latched for Err.
+func (s *Store) Save(e exp.Experiment, pt exp.Point, res exp.Result, dur time.Duration) {
+	meta := map[string]string{"desc": e.Desc()}
+	if md, ok := e.(exp.Metadater); ok {
+		for k, v := range md.Metadata() {
+			meta[k] = v
+		}
+	}
+	m := &Manifest{
+		Created:    time.Now().UTC(),
+		DurationMS: float64(dur.Nanoseconds()) / 1e6,
+		Meta:       meta,
+		Result:     res,
+	}
+	for _, a := range res.Artifacts {
+		m.Artifacts = append(m.Artifacts, Artifact{Name: a.Name, Data: a.Data})
+	}
+	if err := s.Put(KeyFor(e, pt), m); err != nil {
+		s.mu.Lock()
+		if s.saveErr == nil {
+			s.saveErr = err
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Prune removes manifests older than maxAge (by Created stamp, falling
+// back to file mtime for unreadable or corrupt ones) plus any orphaned
+// temp files an interrupted Put left behind, returning how many files
+// were evicted. The CLIs expose it as -store-prune; the store is a pure
+// cache, so pruning can never lose information that a re-run cannot
+// recompute.
+func (s *Store) Prune(maxAge time.Duration) (int, error) {
+	cutoff := time.Now().Add(-maxAge)
+	removed := 0
+	mtimeBefore := func(d os.DirEntry) bool {
+		info, err := d.Info()
+		return err == nil && info.ModTime().Before(cutoff)
+	}
+	err := filepath.WalkDir(s.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		// Orphaned ".<hash>.tmp*" files (a kill between CreateTemp and
+		// Rename) would otherwise accumulate forever: no extension, no
+		// reader, evicted purely by age.
+		isTmp := strings.Contains(d.Name(), ".tmp")
+		if filepath.Ext(path) != ".json" && !isTmp {
+			return nil
+		}
+		stale := isTmp && mtimeBefore(d)
+		if !isTmp {
+			if data, rerr := os.ReadFile(path); rerr == nil {
+				var m Manifest
+				if json.Unmarshal(data, &m) == nil && !m.Created.IsZero() {
+					stale = m.Created.Before(cutoff)
+				} else {
+					stale = mtimeBefore(d)
+				}
+			} else {
+				stale = mtimeBefore(d)
+			}
+		}
+		if stale {
+			if rerr := os.Remove(path); rerr == nil {
+				removed++
+			}
+		}
+		return nil
+	})
+	return removed, err
+}
+
+// Len counts the stored cells (test and tooling helper).
+func (s *Store) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(s.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+			return err
+		}
+		n++
+		return nil
+	})
+	return n, err
+}
+
+// --- code fingerprint ---
+
+var (
+	fpOnce sync.Once
+	fpVal  string
+)
+
+// Fingerprint identifies the running binary's code: a SHA-256 digest of
+// the executable file, truncated to 16 hex digits. Experiments without
+// a SourceHash are keyed by it, so any rebuild conservatively
+// invalidates their cached cells (the simulation's behavior lives in
+// the code). $BUNDLER_FINGERPRINT overrides it — for dev loops that
+// want a cache to survive recompiles, and for tests pinning keys.
+//
+// When the executable cannot be hashed (unlinked binary, restricted
+// /proc), the fallback fails closed: a per-process value that no other
+// process can reproduce, so checkpoints still work within the run but
+// a later -resume misses and recomputes rather than trusting cells a
+// different (possibly different-code) binary produced.
+func Fingerprint() string {
+	fpOnce.Do(func() {
+		if v := os.Getenv("BUNDLER_FINGERPRINT"); v != "" {
+			fpVal = v
+			return
+		}
+		fpVal = fmt.Sprintf("unhashed-%d-%d", os.Getpid(), time.Now().UnixNano())
+		exe, err := os.Executable()
+		if err != nil {
+			return
+		}
+		f, err := os.Open(exe)
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			return
+		}
+		fpVal = hex.EncodeToString(h.Sum(nil))[:16]
+	})
+	return fpVal
+}

@@ -420,6 +420,12 @@ func (fctExp) Params() []exp.Param {
 	}
 }
 
+// Metadata implements exp.Metadater: run-store manifests for swept fct
+// cells record which part of the paper the cell reproduces.
+func (fctExp) Metadata() map[string]string {
+	return map[string]string{"paper": "§7.1", "figure": "9 (single point)"}
+}
+
 func (fctExp) Run(seed int64, p exp.Params) (exp.Result, error) {
 	b := exp.Bind(p)
 	var (
@@ -483,6 +489,11 @@ func (fig9Exp) Desc() string {
 	return "Figure 9: FCT slowdowns — status quo vs Bundler (SFQ/FIFO) vs in-network FQ"
 }
 func (fig9Exp) Params() []exp.Param { return []exp.Param{requestsParam("15000")} }
+
+// Metadata implements exp.Metadater for run-store manifests.
+func (fig9Exp) Metadata() map[string]string {
+	return map[string]string{"paper": "§7.1", "figure": "9"}
+}
 
 func (fig9Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
 	b := exp.Bind(p)

@@ -184,6 +184,34 @@ func (s Summary) MarshalJSON() ([]byte, error) {
 	}{s.N, opt(s.Mean), opt(s.P10), opt(s.P25), opt(s.P50), opt(s.P75), opt(s.P90), opt(s.P99), opt(s.Min), opt(s.Max)})
 }
 
+// UnmarshalJSON inverts the NaN-as-null encoding: null quantiles decode
+// back to NaN, so a Summary that round-trips through a run-store
+// manifest re-marshals byte-identically (a plain decode would turn the
+// nulls into zeroes and corrupt resumed sweep output).
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		N                       int
+		Mean                    *float64
+		P10, P25, P50, P75, P90 *float64
+		P99                     *float64
+		Min, Max                *float64
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	val := func(p *float64) float64 {
+		if p == nil {
+			return math.NaN()
+		}
+		return *p
+	}
+	*s = Summary{N: raw.N, Mean: val(raw.Mean),
+		P10: val(raw.P10), P25: val(raw.P25), P50: val(raw.P50),
+		P75: val(raw.P75), P90: val(raw.P90), P99: val(raw.P99),
+		Min: val(raw.Min), Max: val(raw.Max)}
+	return nil
+}
+
 func (s Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.3f p10=%.3f p50=%.3f p90=%.3f p99=%.3f",
 		s.N, s.Mean, s.P10, s.P50, s.P90, s.P99)

@@ -3,6 +3,7 @@ package topo
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"bundler/internal/exp"
 	"bundler/internal/scenario"
@@ -12,21 +13,25 @@ import (
 // configExp adapts a Config to the exp.Experiment interface, making a
 // loaded file indistinguishable from a hand-coded experiment: runnable
 // by name, listable, and sweepable over its declared params.
-type configExp struct{ cfg *Config }
+type configExp struct {
+	cfg      *Config
+	hashOnce sync.Once
+	hash     string
+}
 
 // Experiment wraps a parsed config as an exp.Experiment.
-func Experiment(cfg *Config) exp.Experiment { return configExp{cfg} }
+func Experiment(cfg *Config) exp.Experiment { return &configExp{cfg: cfg} }
 
-func (e configExp) Name() string { return e.cfg.Name }
+func (e *configExp) Name() string { return e.cfg.Name }
 
-func (e configExp) Desc() string {
+func (e *configExp) Desc() string {
 	if e.cfg.Desc != "" {
 		return e.cfg.Desc
 	}
 	return "declarative scenario (config-defined)"
 }
 
-func (e configExp) Params() []exp.Param {
+func (e *configExp) Params() []exp.Param {
 	out := make([]exp.Param, len(e.cfg.Params))
 	for i, d := range e.cfg.Params {
 		out[i] = exp.Param{Name: d.Name, Default: d.Default, Help: d.Help}
@@ -34,8 +39,31 @@ func (e configExp) Params() []exp.Param {
 	return out
 }
 
-func (e configExp) Run(seed int64, p exp.Params) (exp.Result, error) {
+func (e *configExp) Run(seed int64, p exp.Params) (exp.Result, error) {
 	return runConfig(e.cfg, seed, p, 0)
+}
+
+// SourceHash implements exp.SourceHasher: config experiments are keyed
+// in the run store by the config's canonical content, not the binary,
+// so a rebuild keeps their cache warm while a semantic config edit
+// invalidates exactly the cells it changes. An unhashable config (never
+// the case for one that validated) falls back to the binary fingerprint
+// by returning "".
+func (e *configExp) SourceHash() string {
+	e.hashOnce.Do(func() {
+		h, err := e.cfg.CanonicalHash()
+		if err != nil {
+			return
+		}
+		e.hash = "topo:" + h
+	})
+	return e.hash
+}
+
+// Metadata implements exp.Metadater: run-store manifests record which
+// declarative file shape produced the cell.
+func (e *configExp) Metadata() map[string]string {
+	return map[string]string{"kind": "topo-config", "runs": fmt.Sprintf("%d", len(e.cfg.runList()))}
 }
 
 // Validate dry-compiles every run of cfg with default parameters,

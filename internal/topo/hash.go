@@ -1,0 +1,28 @@
+package topo
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// CanonicalHash digests the config's semantic content: the canonical
+// Emit bytes, where struct field order is fixed, comments are stripped,
+// and whitespace is normalized. Two files that parse to the same Config
+// — reordered keys, different comments, different formatting — hash
+// identically, while any semantic edit (a rate, a param default, a run
+// label) produces a new hash. The run store keys a config experiment's
+// cells by this digest, so editing a config invalidates exactly the
+// cells it changes and nothing else.
+//
+// The scheme is pinned by a golden test (TestCanonicalHashGolden):
+// changing Emit's encoding or the Config struct shape is a deliberate,
+// cache-invalidating event, not an accident.
+func (c *Config) CanonicalHash() (string, error) {
+	b, err := c.Emit()
+	if err != nil {
+		return "", fmt.Errorf("topo: hash config %s: %w", c.Name, err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

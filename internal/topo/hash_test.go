@@ -1,0 +1,158 @@
+package topo
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCanonicalHashGolden pins the canonical serialization scheme with
+// an inline config: the run store keys cells by this digest across
+// processes, so an accidental change to Emit's encoding (or the Config
+// struct shape) must fail loudly here rather than silently invalidating
+// every stored sweep.
+func TestCanonicalHashGolden(t *testing.T) {
+	cfg, err := Parse([]byte(`{
+		"name": "golden",
+		"desc": "hash-scheme pin",
+		"params": [{"name": "rate", "default": "96e6"}],
+		"base": {
+			"rtt": "50ms",
+			"links": [{"name": "bn", "rate": "$rate", "qdisc": "sfq"}],
+			"hosts": [{"name": "site"}],
+			"workloads": [{"host": "site", "kind": "web", "load": "84e6", "requests": "100"}]
+		},
+		"runs": [{"label": "status quo"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cfg.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "28256fd1627ae253433efecc28b613be853d9216cdb92fa5e7d766e7861b0c65"
+	if got != want {
+		t.Fatalf("canonical hash scheme changed: got %s want %s\n"+
+			"(a deliberate change invalidates every run store — update this golden knowingly)", got, want)
+	}
+}
+
+// reorderJSON rewrites a config file's JSON with every object's keys in
+// a different (sorted) order, preserving semantics: decoding into
+// map[string]any and re-marshaling sorts keys alphabetically, whereas
+// the files are written in struct order.
+func reorderJSON(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var v map[string]any
+	if err := json.Unmarshal(stripComments(data), &v); err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRunKeyStabilityExamples is the run-key stability table test over
+// every shipped config: the canonical hash must be invariant under
+// reparsing, comment stripping, whitespace, and JSON key order — the
+// cosmetic edits that must keep a run store warm — while each semantic
+// mutation must change it, because a stale cache hit after a real
+// config change would silently report the wrong experiment.
+func TestRunKeyStabilityExamples(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "configs", "*.json"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no example configs found: %v", err)
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg, err := Parse(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := cfg.CanonicalHash()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Stability: reparse, canonical re-emit, and key reordering
+			// all preserve the hash.
+			again, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h, _ := again.CanonicalHash(); h != base {
+				t.Fatal("reloading the same file changed the hash")
+			}
+			emitted, err := cfg.Emit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			roundTrip, err := Parse(emitted)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h, _ := roundTrip.CanonicalHash(); h != base {
+				t.Fatal("canonical re-emit round trip changed the hash")
+			}
+			reordered, err := Parse(reorderJSON(t, data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h, _ := reordered.CanonicalHash(); h != base {
+				t.Fatal("JSON key reordering changed the hash (field order must be canonicalized)")
+			}
+
+			// Sensitivity: each semantic mutation must move the hash.
+			mutations := map[string]func(c *Config){
+				"name":          func(c *Config) { c.Name += "-mut" },
+				"desc":          func(c *Config) { c.Desc += " (edited)" },
+				"rtt":           func(c *Config) { c.Base.RTT = "123ms" },
+				"new param":     func(c *Config) { c.Params = append(c.Params, ParamDecl{Name: "zz_mut", Default: "1"}) },
+				"link rate":     func(c *Config) { c.Base.Links[0].Rate = "1e6" },
+				"link qdisc":    func(c *Config) { c.Base.Links[0].Qdisc = "fifo2" },
+				"workload kind": func(c *Config) { c.Base.Workloads[0].Kind += "x" },
+				"report style":  func(c *Config) { c.Report.Style = "summary2" },
+			}
+			if len(cfg.Runs) > 0 {
+				mutations["run label"] = func(c *Config) { c.Runs[0].Label += "!" }
+			}
+			if len(cfg.Params) > 0 {
+				mutations["param default"] = func(c *Config) { c.Params[0].Default += "0" }
+			}
+			for what, mutate := range mutations {
+				fresh, err := Parse(data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mutate(fresh)
+				h, err := fresh.CanonicalHash()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if h == base {
+					t.Errorf("semantic change (%s) did not change the canonical hash", what)
+				}
+			}
+
+			// The registered experiment advertises the hash to the run
+			// store through exp.SourceHasher.
+			e := Experiment(cfg)
+			type sourceHasher interface{ SourceHash() string }
+			sh, ok := e.(sourceHasher)
+			if !ok {
+				t.Fatal("config experiment does not implement SourceHash")
+			}
+			if sh.SourceHash() != "topo:"+base {
+				t.Fatalf("SourceHash %q does not carry the canonical hash", sh.SourceHash())
+			}
+		})
+	}
+}

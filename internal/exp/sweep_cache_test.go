@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -37,13 +38,16 @@ func (c *memCache) Save(e Experiment, pt Point, res Result, _ time.Duration) {
 	c.cells[c.key(e, pt)] = res
 }
 
-type countExp struct{ runs *int }
+// countExp counts executions. The counter is atomic because SweepOpts
+// invokes Run from Parallel worker goroutines concurrently — a plain
+// int here is a data race under the race detector (and undercounts).
+type countExp struct{ runs *atomic.Int64 }
 
 func (countExp) Name() string    { return "count" }
 func (countExp) Desc() string    { return "counts runs" }
 func (countExp) Params() []Param { return []Param{{Name: "x", Default: "0"}} }
 func (e countExp) Run(seed int64, p Params) (Result, error) {
-	*e.runs++
+	e.runs.Add(1)
 	res := Result{Experiment: "count", Seed: seed, Params: p}
 	res.AddMetric("seed", float64(seed), "")
 	return res, nil
@@ -57,13 +61,13 @@ func TestSweepWriteOnlyCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := &memCache{}
-	runs := 0
+	var runs atomic.Int64
 	_, st, err := SweepOpts(countExp{&runs}, g, Options{Parallel: 3, Cache: c})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if runs != g.Size() || st.Executed != g.Size() || st.Cached != 0 {
-		t.Fatalf("write-only cache skipped cells: runs=%d stats=%+v", runs, st)
+	if runs.Load() != int64(g.Size()) || st.Executed != g.Size() || st.Cached != 0 {
+		t.Fatalf("write-only cache skipped cells: runs=%d stats=%+v", runs.Load(), st)
 	}
 	if c.saves != g.Size() || c.loads != 0 {
 		t.Fatalf("write-only cache: saves=%d loads=%d, want %d/0", c.saves, c.loads, g.Size())
@@ -71,13 +75,13 @@ func TestSweepWriteOnlyCache(t *testing.T) {
 
 	// Second pass with Resume: everything loads, nothing executes, and
 	// results match the first pass cell for cell.
-	runs = 0
+	runs.Store(0)
 	results, st2, err := SweepOpts(countExp{&runs}, g, Options{Parallel: 3, Cache: c, Resume: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if runs != 0 || st2.Cached != g.Size() {
-		t.Fatalf("resume pass executed cells: runs=%d stats=%+v", runs, st2)
+	if runs.Load() != 0 || st2.Cached != g.Size() {
+		t.Fatalf("resume pass executed cells: runs=%d stats=%+v", runs.Load(), st2)
 	}
 	for i, pt := range g.Points() {
 		if results[i].Seed != pt.Seed || results[i].Params["x"] != pt.Params["x"] {
@@ -94,12 +98,12 @@ func TestSweepProgressCachedCounts(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := &memCache{}
-	runs := 0
+	var runs atomic.Int64
 	if _, _, err := SweepOpts(countExp{&runs}, g, Options{Parallel: 1, Cache: c}); err != nil {
 		t.Fatal(err)
 	}
 	var lastDone, lastCached int
-	runs = 0
+	runs.Store(0)
 	_, st, err := SweepOpts(countExp{&runs}, g, Options{
 		Parallel: 2, Cache: c, Resume: true,
 		Progress: func(done, total, cached int) {

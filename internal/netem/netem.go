@@ -54,6 +54,12 @@ type Link struct {
 	dst   Receiver
 
 	busy bool
+	// txCarry accumulates the sub-nanosecond fraction of each packet's
+	// serialization time. Truncating it per packet would run the link
+	// faster than configured — at 3.7 Mbit/s the bias is ~0.4 ns/packet,
+	// which over millions of packets delivers measurably more than the
+	// configured rate and skews every throughput-accuracy claim.
+	txCarry float64
 
 	// Stats.
 	delivered     int
@@ -114,9 +120,15 @@ func (l *Link) transmitNext() {
 	if l.onDequeue != nil {
 		l.onDequeue(p, l.eng.Now()-p.EnqueuedAt)
 	}
-	tx := sim.Time(float64(p.Size*8) / l.rate * float64(sim.Second))
+	ideal := float64(p.Size*8)/l.rate*float64(sim.Second) + l.txCarry
+	tx := sim.Time(ideal)
 	if tx < 1 {
+		// Sub-nanosecond serialization rounds up to the clock tick; the
+		// carry resets so the (conservative) excess is not paid back.
 		tx = 1
+		l.txCarry = 0
+	} else {
+		l.txCarry = ideal - float64(tx)
 	}
 	l.eng.CallAfter(tx, linkTransmitted, l, p)
 }
@@ -174,9 +186,10 @@ func (l *Link) Delay() sim.Time { return l.delay }
 func (l *Link) Queue() qdisc.Qdisc { return l.q }
 
 // QueueDelay estimates the queueing delay a packet arriving now would
-// experience: backlog divided by drain rate.
+// experience: backlog divided by drain rate, rounded to the nearest tick
+// (truncation would systematically under-report the backlog).
 func (l *Link) QueueDelay() sim.Time {
-	return sim.Time(float64(l.q.Bytes()*8) / l.rate * float64(sim.Second))
+	return sim.Time(float64(l.q.Bytes()*8)/l.rate*float64(sim.Second) + 0.5)
 }
 
 // Delivered reports packets fully serialized.
@@ -351,14 +364,20 @@ func (l *Lossy) Receive(p *pkt.Packet) {
 // of the downstream path — reverse-path delay variation for measurement
 // robustness tests. Note that jitter larger than the inter-packet spacing
 // reorders packets, which Bundler's out-of-order heuristic will (by
-// design) notice.
+// design) notice. An order-preserving variant (NewOrderedJitter) clamps
+// each delivery to no earlier than the previous one, modeling delay
+// variation on a FIFO in-path element — real queues jitter latency
+// without reordering, and an emulated element that invents reordering
+// falsely trips the §5.2 multipath detector.
 type Jitter struct {
-	eng *sim.Engine
-	max sim.Time
-	dst Receiver
+	eng     *sim.Engine
+	max     sim.Time
+	dst     Receiver
+	ordered bool
+	lastDue sim.Time // latest scheduled delivery (ordered mode)
 }
 
-// NewJitter builds a uniform-jitter element.
+// NewJitter builds a uniform-jitter element that may reorder.
 func NewJitter(eng *sim.Engine, max sim.Time, dst Receiver) *Jitter {
 	if max < 0 {
 		panic("netem: negative jitter")
@@ -366,11 +385,31 @@ func NewJitter(eng *sim.Engine, max sim.Time, dst Receiver) *Jitter {
 	return &Jitter{eng: eng, max: max, dst: dst}
 }
 
+// NewOrderedJitter builds a uniform-jitter element that preserves arrival
+// order: a packet drawn an earlier delivery time than an already-scheduled
+// predecessor is held until the predecessor leaves (the engine dispatches
+// equal timestamps FIFO). Per-packet draws consume the engine RNG exactly
+// as NewJitter does, so swapping modes changes scheduling, not the random
+// stream.
+func NewOrderedJitter(eng *sim.Engine, max sim.Time, dst Receiver) *Jitter {
+	j := NewJitter(eng, max, dst)
+	j.ordered = true
+	return j
+}
+
 // Receive implements Receiver.
 func (j *Jitter) Receive(p *pkt.Packet) {
 	d := sim.Time(0)
 	if j.max > 0 {
 		d = sim.Time(j.eng.Rand().Int63n(int64(j.max)))
+	}
+	if j.ordered {
+		due := j.eng.Now() + d
+		if due < j.lastDue {
+			due = j.lastDue
+		}
+		j.lastDue = due
+		d = due - j.eng.Now()
 	}
 	j.eng.CallAfter(d, jitterDeliver, j, p)
 }

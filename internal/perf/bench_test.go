@@ -33,6 +33,10 @@ func benchCase(b *testing.B, name string) {
 func BenchmarkFig09FCT(b *testing.B)          { benchCase(b, "BenchmarkFig09FCT") }
 func BenchmarkFig05RateAccuracy(b *testing.B) { benchCase(b, "BenchmarkFig05RateAccuracy") }
 func BenchmarkFig10CrossTraffic(b *testing.B) { benchCase(b, "BenchmarkFig10CrossTraffic") }
+func BenchmarkMesh02Sites(b *testing.B)       { benchCase(b, "BenchmarkMesh02Sites") }
+func BenchmarkMesh04Sites(b *testing.B)       { benchCase(b, "BenchmarkMesh04Sites") }
+func BenchmarkMesh08Sites(b *testing.B)       { benchCase(b, "BenchmarkMesh08Sites") }
+func BenchmarkMesh16Sites(b *testing.B)       { benchCase(b, "BenchmarkMesh16Sites") }
 
 // TestBaselineMatchesSuite pins the baseline table to the suite: every
 // baseline entry must name a live case (a renamed benchmark would

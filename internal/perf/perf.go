@@ -38,12 +38,24 @@ type Case struct {
 	Params exp.Params
 }
 
-// Cases returns the benchmark suite in a fixed order.
+// Cases returns the benchmark suite in a fixed order. The mesh cases are
+// the scale-out axis: total request count is held near-constant (~3360
+// flows per variant) while the site count doubles, so ns/op prices the
+// same workload against a quadratically growing bundle population —
+// per-site overhead shows up directly, and allocs/op growing
+// sub-linearly in site count is the pooled hot path's contract.
 func Cases() []Case {
+	meshParams := func(sites, requests string) exp.Params {
+		return exp.Params{"sites": sites, "requests": requests, "perturb": "500ms"}
+	}
 	return []Case{
 		{Name: "BenchmarkFig09FCT", Exp: "fig9", Seed: 1, Params: exp.Params{"requests": "15000"}},
 		{Name: "BenchmarkFig05RateAccuracy", Exp: "fig56", Seed: 1, Params: exp.Params{"dur": "20s"}},
 		{Name: "BenchmarkFig10CrossTraffic", Exp: "fig10", Seed: 1, Params: nil},
+		{Name: "BenchmarkMesh02Sites", Exp: "mesh", Seed: 1, Params: meshParams("2", "1680")},
+		{Name: "BenchmarkMesh04Sites", Exp: "mesh", Seed: 1, Params: meshParams("4", "280")},
+		{Name: "BenchmarkMesh08Sites", Exp: "mesh", Seed: 1, Params: meshParams("8", "60")},
+		{Name: "BenchmarkMesh16Sites", Exp: "mesh", Seed: 1, Params: meshParams("16", "14")},
 	}
 }
 

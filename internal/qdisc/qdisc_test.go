@@ -18,6 +18,62 @@ func mkpkt(flow int, size int) *pkt.Packet {
 	}
 }
 
+// TestSFQRekeyPreservesFlowOrder catches the re-key reordering bug:
+// SetPerturbation changes the flow-hash keying, and packets already
+// queued under the old key must be rehashed into their new buckets. Left
+// in place, one flow's packets would sit in two round-robin buckets at
+// once and dequeue interleaved — in-bundle reordering, which Bundler's
+// design promises not to introduce (§5.2 even treats reordering as a
+// multipath-imbalance signal).
+func TestSFQRekeyPreservesFlowOrder(t *testing.T) {
+	const nb = 8
+	s := NewSFQ(nb, 100)
+	flow := func(seq int64) *pkt.Packet {
+		p := mkpkt(1, 1000)
+		p.Seq = seq
+		return p
+	}
+	// Find a perturbation that actually moves the flow's bucket.
+	sample := mkpkt(1, 1000)
+	base := pkt.FlowHash(sample, 0) % nb
+	var perturb uint64
+	for p := uint64(1); ; p++ {
+		if pkt.FlowHash(sample, p)%nb != base {
+			perturb = p
+			break
+		}
+	}
+	for seq := int64(0); seq < 3; seq++ {
+		if !s.Enqueue(flow(seq)) {
+			t.Fatalf("enqueue %d rejected", seq)
+		}
+	}
+	s.SetPerturbation(perturb)
+	if s.Len() != 3 || s.Bytes() != 3000 {
+		t.Fatalf("re-key broke accounting: %d pkts, %d bytes", s.Len(), s.Bytes())
+	}
+	for seq := int64(3); seq < 6; seq++ {
+		if !s.Enqueue(flow(seq)) {
+			t.Fatalf("enqueue %d rejected", seq)
+		}
+	}
+	var got []int64
+	for p := s.Dequeue(); p != nil; p = s.Dequeue() {
+		got = append(got, p.Seq)
+	}
+	if len(got) != 6 {
+		t.Fatalf("dequeued %d packets, want 6", len(got))
+	}
+	for i, seq := range got {
+		if seq != int64(i) {
+			t.Fatalf("intra-flow order violated after re-key: got %v", got)
+		}
+	}
+	if s.Len() != 0 || s.Bytes() != 0 {
+		t.Fatalf("drained queue reports %d pkts, %d bytes", s.Len(), s.Bytes())
+	}
+}
+
 func TestFIFOOrderAndAccounting(t *testing.T) {
 	f := NewFIFO(10000)
 	for i := 0; i < 5; i++ {

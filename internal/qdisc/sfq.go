@@ -9,6 +9,10 @@ import "bundler/internal/pkt"
 // Linux implementation effectively provides with its allotments).
 type SFQ struct {
 	buckets []sfqBucket
+	// spare is the retired bucket table from the last re-key, kept so
+	// periodic perturbation swaps between two tables (reusing their
+	// packet slices) instead of allocating on every re-key.
+	spare   []sfqBucket
 	active  []int // round-robin list of non-empty bucket indices
 	cursor  int
 	quantum int
@@ -41,8 +45,47 @@ func NewSFQ(nbuckets, limitPackets int) *SFQ {
 }
 
 // SetPerturbation re-keys the flow hash, as Linux SFQ does periodically to
-// break unlucky collisions.
-func (s *SFQ) SetPerturbation(p uint64) { s.perturb = p }
+// break unlucky collisions. Packets already queued are rehashed into the
+// buckets the new key selects: left under the old key, a flow caught
+// mid-queue would occupy two round-robin buckets at once and dequeue
+// interleaved — in-bundle reordering, which Bundler must never introduce
+// (its own §5.2 heuristic reads reordering as a multipath signal).
+// Re-keying resets the round-robin cursor and per-bucket deficits; byte
+// and packet counts are preserved exactly.
+func (s *SFQ) SetPerturbation(p uint64) {
+	if p == s.perturb {
+		return
+	}
+	s.perturb = p
+	if s.count == 0 {
+		return
+	}
+	old := s.buckets
+	if s.spare == nil {
+		s.spare = make([]sfqBucket, len(old))
+	}
+	s.buckets = s.spare
+	s.active = s.active[:0]
+	s.cursor = 0
+	s.count, s.bytes = 0, 0
+	for bi := range old {
+		b := &old[bi]
+		for i := b.head; i < len(b.q); i++ {
+			s.push(s.bucketOf(b.q[i]), b.q[i])
+		}
+	}
+	// Retire the old table as the next re-key's spare: clear packet
+	// references (a retained pointer would pin pooled packets) and reset
+	// per-bucket state so the table comes back clean.
+	for bi := range old {
+		b := &old[bi]
+		for i := range b.q {
+			b.q[i] = nil
+		}
+		*b = sfqBucket{q: b.q[:0]}
+	}
+	s.spare = old
+}
 
 func (s *SFQ) bucketOf(p *pkt.Packet) int {
 	return int(pkt.FlowHash(p, s.perturb) % uint64(len(s.buckets)))
@@ -61,6 +104,15 @@ func (s *SFQ) Enqueue(p *pkt.Packet) bool {
 		}
 		s.dropHead(fattest)
 	}
+	s.push(bi, p)
+	return true
+}
+
+// push appends p to bucket bi (the one the current key selects),
+// maintaining byte, packet, and active-list accounting. It is the common
+// tail of Enqueue and of the SetPerturbation rehash (whose packets were
+// already admitted, so no limit check belongs here).
+func (s *SFQ) push(bi int, p *pkt.Packet) {
 	b := &s.buckets[bi]
 	b.q = append(b.q, p)
 	b.bytes += p.Size
@@ -71,7 +123,6 @@ func (s *SFQ) Enqueue(p *pkt.Packet) bool {
 		b.deficit = s.quantum
 		s.active = append(s.active, bi)
 	}
-	return true
 }
 
 func (s *SFQ) fattestBucket() int {

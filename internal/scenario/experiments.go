@@ -34,6 +34,7 @@ func init() {
 	exp.Register(sec76Exp{})
 	exp.Register(policiesExp{})
 	exp.Register(hierExp{})
+	exp.Register(meshExp{})
 	exp.RegisterHidden(fctExp{})
 }
 

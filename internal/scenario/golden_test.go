@@ -35,6 +35,11 @@ var goldenCases = []struct {
 	{name: "fig9", exp: "fig9", seed: 1, params: exp.Params{"requests": "2000"}},
 	{name: "fig5", exp: "fig5", seed: 1, params: exp.Params{"dur": "5s"}},
 	{name: "fig10", exp: "fig10", seed: 1, slow: true},
+	// The smallest mesh, with SFQ re-keying fast enough to fire several
+	// times during the run: pins the multibundle fan-out and the
+	// rehash-on-perturbation behavior byte for byte.
+	{name: "mesh2", exp: "mesh", seed: 1, params: exp.Params{
+		"sites": "2", "requests": "400", "perturb": "250ms"}},
 }
 
 // TestGolden asserts that experiment output is byte-identical to the

@@ -1,0 +1,402 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bundler/internal/bundle"
+	"bundler/internal/exp"
+	"bundler/internal/netem"
+	"bundler/internal/pkt"
+	"bundler/internal/qdisc"
+	"bundler/internal/sim"
+	"bundler/internal/workload"
+)
+
+// This file is the N-site mesh scenario family: the paper's site-to-site
+// deployment story (§9) at scale, instead of the single dumbbell pair
+// every other experiment runs. N sites exchange traffic pairwise; each
+// ordered site pair is one bundle (its own sendbox/receivebox pair and
+// inner loop), and each source site's N-1 per-destination sendboxes sit
+// behind one physical box — a MultiSendbox — feeding the site's shared
+// access bottleneck. Cross-pair contention happens at that access link
+// (and, in hub mode, again at the shared core), which is precisely the
+// per-site rate-allocation regime §9 discusses.
+//
+// The mesh is also the stress harness for the in-bundle ordering fixes:
+// its sendbox SFQs re-key periodically (the Linux perturbation path that
+// used to split in-flight flows across buckets), and its in-path jitter
+// elements run in order-preserving mode (plain jitter would fake the
+// §5.2 multipath reordering signal on a single-path mesh).
+
+// MeshOptions parameterizes one mesh run.
+type MeshOptions struct {
+	Seed int64
+	// Sites is the site count N (≥ 2); the mesh carries N·(N-1) ordered
+	// site pairs, each its own bundle.
+	Sites int
+	// Mode is "hub" (default: per-site access links feed one shared core
+	// link) or "pairwise" (access links deliver directly; each source
+	// site's access link is its pairs' only shared bottleneck).
+	Mode string
+	// AccessRate is the per-site access link rate in bits/s (default
+	// 96e6, the dumbbell experiments' bottleneck).
+	AccessRate float64
+	// CoreRate is the hub-mode core rate (default Sites·AccessRate/2:
+	// statistically multiplexed, so the core congests under load skew).
+	CoreRate float64
+	// RTT is the end-to-end propagation round trip (default 50 ms).
+	RTT sim.Time
+	// Bundled interposes a Bundler pair per ordered site pair; false is
+	// the status-quo baseline.
+	Bundled bool
+	// SendboxQueuePackets is the per-bundle SFQ depth (default 1000).
+	SendboxQueuePackets int
+	// PerturbPeriod re-keys every sendbox SFQ this often (0 disables) —
+	// the Linux perturbation path the re-key regression fix covers.
+	PerturbPeriod sim.Time
+	// JitterMax adds uniform in-path delay variation in [0, JitterMax)
+	// after each access link (0 disables); JitterOrdered selects the
+	// order-preserving element (a FIFO path element that varies latency
+	// without reordering).
+	JitterMax     sim.Time
+	JitterOrdered bool
+	// Requests is the web request count per ordered pair (default 300).
+	Requests int
+	// OfferedBps is the per-pair offered load (default 70 % of the
+	// access rate split across the site's N-1 destinations).
+	OfferedBps float64
+	// Horizon bounds the run (default: the FCT experiments' load-scaled
+	// rule over the total request count).
+	Horizon sim.Time
+}
+
+func (o *MeshOptions) fill() {
+	if o.Sites == 0 {
+		o.Sites = 4
+	}
+	if o.Mode == "" {
+		o.Mode = "hub"
+	}
+	if o.AccessRate == 0 {
+		o.AccessRate = 96e6
+	}
+	if o.CoreRate == 0 {
+		o.CoreRate = float64(o.Sites) * o.AccessRate / 2
+	}
+	if o.RTT == 0 {
+		o.RTT = 50 * sim.Millisecond
+	}
+	if o.SendboxQueuePackets == 0 {
+		o.SendboxQueuePackets = 1000
+	}
+	if o.Requests == 0 {
+		o.Requests = 300
+	}
+	if o.OfferedBps == 0 {
+		o.OfferedBps = 0.7 * o.AccessRate / float64(o.Sites-1)
+	}
+	if o.Horizon == 0 {
+		total := o.Requests * o.Sites * (o.Sites - 1)
+		o.Horizon = 10 * sim.Time(total) * sim.Millisecond
+		if o.Horizon < 120*sim.Second {
+			o.Horizon = 120 * sim.Second
+		}
+	}
+}
+
+// Validate reports whether the options (after defaulting) describe a
+// buildable mesh. NewMesh panics on exactly these conditions — direct
+// callers are programmers — while the topo compiler and the registered
+// experiment, whose inputs are user-supplied, surface them as errors.
+func (o MeshOptions) Validate() error {
+	c := o
+	c.fill()
+	if c.Sites < 2 || c.Sites > 64 {
+		return fmt.Errorf("mesh sites %d outside [2, 64]", c.Sites)
+	}
+	if c.Mode != "hub" && c.Mode != "pairwise" {
+		return fmt.Errorf("mesh mode %q unknown (want hub or pairwise)", c.Mode)
+	}
+	if c.AccessRate < netem.MinRate {
+		return fmt.Errorf("mesh access rate %.0f below the %.0f bits/s minimum", c.AccessRate, netem.MinRate)
+	}
+	if c.CoreRate < netem.MinRate {
+		return fmt.Errorf("mesh core rate %.0f below the %.0f bits/s minimum", c.CoreRate, netem.MinRate)
+	}
+	if o.Requests < 0 || o.OfferedBps < 0 || o.PerturbPeriod < 0 || o.JitterMax < 0 {
+		return fmt.Errorf("mesh requests, load, perturb, and jitter must be non-negative")
+	}
+	return nil
+}
+
+// MeshPair is one ordered site pair: one bundle, one open-loop web
+// workload, one recorder.
+type MeshPair struct {
+	Src, Dst int
+	Site     *Site
+	Rec      *workload.Recorder
+}
+
+// Mesh is one instantiated N-site mesh on a private engine.
+type Mesh struct {
+	Opt    MeshOptions
+	Fab    *Fabric
+	Access []*netem.Link
+	// Core is the hub-mode shared link (nil in pairwise mode).
+	Core *netem.Link
+	// Pairs lists the ordered site pairs in (src, dst) lexicographic
+	// order: (0,1), (0,2), ..., (1,0), ...
+	Pairs []*MeshPair
+	// Multis holds each source site's physical box (nil when unbundled).
+	Multis []*bundle.MultiSendbox
+
+	sfqs    []*qdisc.SFQ
+	perturb *sim.Ticker
+}
+
+// NewMesh builds the mesh and schedules its workloads; drive it with Run.
+func NewMesh(o MeshOptions) *Mesh {
+	o.fill()
+	if err := o.Validate(); err != nil {
+		panic("scenario: " + err.Error())
+	}
+	eng := sim.NewEngine(o.Seed)
+	fab := NewFabric(eng)
+	fab.Reverse = netem.NewLink(eng, "reverse", 10e9, o.RTT/2, qdisc.NewFIFO(1<<26), fab.MuxA)
+	fab.OracleRTT = o.RTT
+	fab.OracleRate = o.AccessRate
+
+	m := &Mesh{Opt: o, Fab: fab}
+
+	// Forward path: access links (one per site), converging either on a
+	// shared core (hub) or directly on the destination demux (pairwise).
+	// Propagation splits so forward delay is RTT/2 either way.
+	var coreEntry netem.Receiver = fab.Demux
+	accessDelay := o.RTT / 2
+	if o.Mode == "hub" {
+		if o.CoreRate < o.AccessRate {
+			fab.OracleRate = o.CoreRate
+		}
+		coreBuf := 2 * int(o.CoreRate/8*o.RTT.Seconds())
+		m.Core = netem.NewLink(eng, "core", o.CoreRate, o.RTT/4, qdisc.NewFIFO(coreBuf), fab.Demux)
+		coreEntry = m.Core
+		accessDelay = o.RTT / 4
+	}
+	accessBuf := 2 * int(o.AccessRate/8*o.RTT.Seconds())
+	for i := 0; i < o.Sites; i++ {
+		dst := coreEntry
+		if o.JitterMax > 0 {
+			// In-path delay variation between access and core. Ordered
+			// mode is the physically honest choice for a FIFO element;
+			// plain mode deliberately fakes reordering.
+			if o.JitterOrdered {
+				dst = netem.NewOrderedJitter(eng, o.JitterMax, coreEntry)
+			} else {
+				dst = netem.NewJitter(eng, o.JitterMax, coreEntry)
+			}
+		}
+		m.Access = append(m.Access, netem.NewLink(eng, fmt.Sprintf("access%d", i),
+			o.AccessRate, accessDelay, qdisc.NewFIFO(accessBuf), dst))
+	}
+
+	// Sites and bundles: each ordered pair (i, j) is one bundle whose
+	// sendbox egress is site i's access link. A bundled source site then
+	// fronts its N-1 sendboxes with one MultiSendbox — the physical box —
+	// classified by destination host, learned as flow addresses are
+	// allocated (Site.onNewDst).
+	for i := 0; i < o.Sites; i++ {
+		var boxes []*bundle.Sendbox
+		classify := make(map[uint32]int)
+		for j := 0; j < o.Sites; j++ {
+			if j == i {
+				continue
+			}
+			var bcfg *bundle.Config
+			var sfq *qdisc.SFQ
+			if o.Bundled {
+				sfq = qdisc.NewSFQ(1024, o.SendboxQueuePackets)
+				bcfg = &bundle.Config{Algorithm: "copa", Scheduler: sfq}
+			}
+			site := fab.AddSiteAt(m.Access[i], bcfg)
+			if o.Bundled {
+				m.sfqs = append(m.sfqs, sfq)
+				box := len(boxes)
+				boxes = append(boxes, site.SB)
+				site.onNewDst = func(host uint32) { classify[host] = box }
+			}
+			m.Pairs = append(m.Pairs, &MeshPair{Src: i, Dst: j, Site: site})
+		}
+		if o.Bundled {
+			multi := bundle.NewMultiSendbox(func(p *pkt.Packet) int {
+				if b, ok := classify[p.Dst.Host]; ok {
+					return b
+				}
+				return -1 // counted as misrouted; the leak tests assert zero
+			}, boxes...)
+			m.Multis = append(m.Multis, multi)
+			// Route the site's egress through the physical box: every
+			// data packet must pass the classifier to reach its bundle.
+			for _, pr := range m.Pairs[len(m.Pairs)-len(boxes):] {
+				pr.Site.egress = multi
+			}
+		}
+	}
+
+	// Workloads: one open-loop web workload per ordered pair.
+	for _, pr := range m.Pairs {
+		pr.Rec = pr.Site.RunOpenLoop(Traffic{OfferedBps: o.OfferedBps, Requests: o.Requests})
+	}
+
+	// Periodic SFQ re-keying (Linux's perturbation), the path the re-key
+	// reordering fix covers: without the queued-packet rehash this would
+	// reorder in-flight flows inside every mesh bundle.
+	if o.Bundled && o.PerturbPeriod > 0 && len(m.sfqs) > 0 {
+		m.perturb = sim.Tick(eng, o.PerturbPeriod, func() {
+			for _, q := range m.sfqs {
+				q.SetPerturbation(eng.Rand().Uint64())
+			}
+		})
+	}
+	return m
+}
+
+// Run advances the mesh until every pair completes its requests (or the
+// horizon passes), then stops the control planes. It returns the virtual
+// stop time.
+func (m *Mesh) Run() sim.Time {
+	stop := m.Fab.RunUntilDone(m.Opt.Horizon, func() bool {
+		for _, pr := range m.Pairs {
+			if pr.Rec.Completed < m.Opt.Requests {
+				return false
+			}
+		}
+		return true
+	})
+	m.Stop()
+	return stop
+}
+
+// Stop halts every bundle's control loop and the perturbation ticker.
+func (m *Mesh) Stop() {
+	for _, pr := range m.Pairs {
+		if pr.Site.SB != nil {
+			pr.Site.SB.Stop()
+		}
+	}
+	if m.perturb != nil {
+		m.perturb.Stop()
+		m.perturb = nil
+	}
+}
+
+// Aggregate merges every pair's recorder into one site-to-site view —
+// the row the mesh FCT table reports per variant.
+func (m *Mesh) Aggregate() *workload.Recorder {
+	agg := workload.NewRecorder(m.Fab.OracleRate, m.Fab.OracleRTT)
+	for _, pr := range m.Pairs {
+		agg.Merge(pr.Rec)
+	}
+	return agg
+}
+
+// Misrouted sums the MultiSendbox misclassification counters: any
+// nonzero value means a packet crossed bundles inside a physical box.
+func (m *Mesh) Misrouted() int {
+	total := 0
+	for _, mb := range m.Multis {
+		total += mb.Misrouted
+	}
+	return total
+}
+
+// RunMesh executes the status-quo and Bundler variants of one mesh
+// configuration and returns the shared FCT-comparison rows.
+func RunMesh(o MeshOptions) []Fig9Result {
+	var rows []Fig9Result
+	for _, v := range []struct {
+		label   string
+		bundled bool
+	}{
+		{"Status Quo", false},
+		{"Bundler (SFQ)", true},
+	} {
+		vo := o
+		vo.Bundled = v.bundled
+		mesh := NewMesh(vo)
+		mesh.Run()
+		rows = append(rows, SummarizeFCT(v.label, mesh.Aggregate()))
+	}
+	return rows
+}
+
+// meshExp is the registered mesh experiment: the scale-out scenario
+// family (2..N sites), sweepable over site count, mode, and load.
+type meshExp struct{}
+
+func (meshExp) Name() string { return "mesh" }
+func (meshExp) Desc() string {
+	return "N-site mesh (§9 scale-out): per-pair bundles behind shared access bottlenecks, status quo vs Bundler"
+}
+
+func (meshExp) Params() []exp.Param {
+	return []exp.Param{
+		{Name: "sites", Default: "4", Help: "site count N (N·(N-1) ordered pairs, one bundle each)"},
+		{Name: "mode", Default: "hub", Help: `"hub" (shared core link) or "pairwise" (access links only)`},
+		{Name: "requests", Default: "300", Help: "web requests per ordered site pair"},
+		{Name: "rate", Default: "96e6", Help: "per-site access link rate, bits/s"},
+		{Name: "load", Default: "0", Help: "per-pair offered load, bits/s (0 = 70% of access rate split across destinations)"},
+		{Name: "perturb", Default: "2s", Help: "sendbox SFQ re-key period (0s disables)"},
+		{Name: "jitter", Default: "0s", Help: "in-path delay variation bound after each access link"},
+		{Name: "jitterordered", Default: "true", Help: "order-preserving jitter (false fakes multipath reordering)"},
+	}
+}
+
+// Metadata implements exp.Metadater for run-store manifests.
+func (meshExp) Metadata() map[string]string {
+	return map[string]string{"paper": "§9", "figure": "mesh scale-out (extension)"}
+}
+
+func (meshExp) Run(seed int64, p exp.Params) (exp.Result, error) {
+	b := exp.Bind(p)
+	var (
+		sites    = b.Int("sites", 4)
+		mode     = b.String("mode", "hub")
+		requests = b.Int("requests", 300)
+		rate     = b.Float("rate", 96e6)
+		load     = b.Float("load", 0)
+		perturb  = b.Duration("perturb", 2*time.Second)
+		jitter   = b.Duration("jitter", 0)
+		ordered  = b.Bool("jitterordered", true)
+	)
+	if err := b.Err(); err != nil {
+		return exp.Result{}, err
+	}
+	o := MeshOptions{
+		Seed:          seed,
+		Sites:         sites,
+		Mode:          mode,
+		AccessRate:    rate,
+		Requests:      requests,
+		OfferedBps:    load,
+		PerturbPeriod: sim.FromSeconds(perturb.Seconds()),
+		JitterMax:     sim.FromSeconds(jitter.Seconds()),
+		JitterOrdered: ordered,
+	}
+	if err := o.Validate(); err != nil {
+		return exp.Result{}, err
+	}
+	rows := RunMesh(o)
+	var w strings.Builder
+	ReportHeader(&w, fmt.Sprintf("Mesh: %d sites (%d bundles, %s), %d requests/pair",
+		sites, sites*(sites-1), mode, requests))
+	WriteFCTRows(&w, rows)
+	res := exp.Result{Experiment: "mesh", Seed: seed, Params: p, Report: w.String()}
+	AddFCTRowMetrics(&res, rows)
+	for _, r := range rows {
+		label := strings.ReplaceAll(r.Label, " ", "_")
+		res.AddMetric(label+"/completed", float64(r.Rec.Completed), "requests")
+	}
+	return res, nil
+}

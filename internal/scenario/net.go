@@ -108,6 +108,10 @@ type Site struct {
 	MuxB    *tcp.Mux
 	ingress netem.Receiver
 	egress  netem.Receiver
+	// onNewDst observes every destination host allocated for this site's
+	// flows. The mesh fabric uses it to teach each source site's
+	// MultiSendbox classifier which bundle a destination belongs to.
+	onNewDst func(host uint32)
 }
 
 // AddSite creates a site pairing whose egress is the dumbbell's
@@ -149,6 +153,9 @@ func (s *Site) addrs(dstPort uint16) (src, dst pkt.Addr) {
 	dst = pkt.Addr{Host: n.nextHost, Port: dstPort}
 	n.nextHost++
 	n.Demux.Route(dst.Host, s.ingress)
+	if s.onNewDst != nil {
+		s.onNewDst(dst.Host)
+	}
 	return src, dst
 }
 

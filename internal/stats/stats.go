@@ -38,6 +38,14 @@ func (s *Sample) Reserve(n int) {
 	s.vals = vals
 }
 
+// AddSample appends every observation of o — the aggregation step the
+// mesh experiments use to report one row over many per-pair recorders.
+// o is left untouched.
+func (s *Sample) AddSample(o *Sample) {
+	s.vals = append(s.vals, o.vals...)
+	s.sorted = false
+}
+
 // Reset discards all observations but keeps the buffer, so a Sample can
 // be reused across runs without reallocating.
 func (s *Sample) Reset() {

@@ -92,6 +92,20 @@ func (b *binder) count(field, s string, def int) int {
 	return n
 }
 
+// boolean parses a true/false value; absent means def.
+func (b *binder) boolean(field, s string, def bool) bool {
+	v := b.str(field, s)
+	if v == "" {
+		return def
+	}
+	t, err := strconv.ParseBool(v)
+	if err != nil {
+		b.fail(field, v, "bool", err)
+		return def
+	}
+	return t
+}
+
 // bytes parses a byte count in float syntax ("1e12", "1200000").
 func (b *binder) bytes(field, s string, def int64) int64 {
 	v := b.str(field, s)
@@ -140,6 +154,7 @@ type compiled struct {
 	fab     *scenario.Fabric
 	links   map[string]*netem.Link
 	sites   []*scenario.Site // host declaration order
+	mesh    *scenario.Mesh   // set for mesh scenarios (sites then empty)
 	horizon sim.Time
 
 	webs  []webOut
@@ -159,6 +174,13 @@ func compile(sc Scenario, seed int64, pv map[string]string) (*compiled, error) {
 	rtt := b.dur("rtt", sc.RTT, 50*sim.Millisecond)
 	if b.err != nil {
 		return nil, b.err
+	}
+
+	if sc.Mesh != nil {
+		if len(sc.Links) > 0 || len(sc.Hosts) > 0 || len(sc.Bundles) > 0 || len(sc.Workloads) > 0 {
+			return nil, fmt.Errorf("a mesh scenario generates its own links/hosts/bundles/workloads; remove the explicit sections")
+		}
+		return compileMesh(sc, seed, b, rtt)
 	}
 
 	if len(sc.Links) == 0 {
@@ -408,6 +430,65 @@ func compile(sc Scenario, seed int64, pv map[string]string) (*compiled, error) {
 	return c, nil
 }
 
+// compileMesh instantiates a mesh scenario through scenario.NewMesh —
+// the same fabric the registered mesh experiment drives — and adapts its
+// per-pair recorders into the compiled form the report renderers expect
+// (one web workload named "s<i>-s<j>" per ordered site pair).
+func compileMesh(sc Scenario, seed int64, b *binder, rtt sim.Time) (*compiled, error) {
+	d := sc.Mesh
+	sites := b.count("mesh sites", d.Sites, 0)
+	mode := b.str("mesh mode", d.Mode)
+	access := b.rate("mesh accessrate", d.AccessRate, 96e6)
+	core := b.rate("mesh corerate", d.CoreRate, 0)
+	bundled := b.boolean("mesh bundled", d.Bundled, false)
+	queue := b.count("mesh queue", d.Queue, 1000)
+	perturb := b.dur("mesh perturb", d.Perturb, 0)
+	jitter := b.dur("mesh jitter", d.Jitter, 0)
+	ordered := b.boolean("mesh jitterordered", d.JitterOrdered, true)
+	requests := b.count("mesh requests", d.Requests, 300)
+	load := b.rate("mesh load", d.Load, 0)
+	if b.err != nil {
+		return nil, b.err
+	}
+	if d.Sites == "" {
+		return nil, fmt.Errorf("mesh needs a sites count")
+	}
+	opt := scenario.MeshOptions{
+		Seed:                seed,
+		Sites:               sites,
+		Mode:                mode,
+		AccessRate:          access,
+		CoreRate:            core,
+		RTT:                 rtt,
+		Bundled:             bundled,
+		SendboxQueuePackets: queue,
+		PerturbPeriod:       perturb,
+		JitterMax:           jitter,
+		JitterOrdered:       ordered,
+		Requests:            requests,
+		OfferedBps:          load,
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	m := scenario.NewMesh(opt)
+	c := &compiled{fab: m.Fab, mesh: m, horizon: m.Opt.Horizon}
+	for _, pr := range m.Pairs {
+		c.webs = append(c.webs, webOut{
+			Host: fmt.Sprintf("s%d-s%d", pr.Src, pr.Dst), Requests: requests, Rec: pr.Rec})
+	}
+	if sc.Horizon != "" {
+		c.horizon = b.dur("horizon", sc.Horizon, 0)
+		if b.err != nil {
+			return nil, b.err
+		}
+		if c.horizon <= 0 {
+			return nil, fmt.Errorf("horizon must be positive")
+		}
+	}
+	return c, nil
+}
+
 // linkTo resolves a link's downstream name ("dst" default).
 func linkTo(l Link) string {
 	if l.To == "" {
@@ -438,6 +519,23 @@ func buildLink(b *binder, eng *sim.Engine, l Link, rtt sim.Time, dst netem.Recei
 	q, err := linkQdisc(b, eng, l, int(bufBytes))
 	if err != nil {
 		return nil, nil, err
+	}
+	// Exit-side delay variation: the jitter element sits between the
+	// link and its downstream receiver.
+	jmax := b.dur("link "+l.Name+" jitter", l.Jitter, 0)
+	ordered := b.boolean("link "+l.Name+" jitterordered", l.JitterOrdered, false)
+	if b.err != nil {
+		return nil, nil, b.err
+	}
+	if ordered && l.Jitter == "" {
+		return nil, nil, fmt.Errorf("link %q: jitterordered without a jitter bound", l.Name)
+	}
+	if jmax > 0 {
+		if ordered {
+			dst = netem.NewOrderedJitter(eng, jmax, dst)
+		} else {
+			dst = netem.NewJitter(eng, jmax, dst)
+		}
 	}
 	link := netem.NewLink(eng, l.Name, rate, delay, q, dst)
 	entry := netem.Receiver(link)
@@ -582,6 +680,9 @@ func (c *compiled) run(maxHorizon sim.Time) sim.Time {
 		if s.SB != nil {
 			s.SB.Stop()
 		}
+	}
+	if c.mesh != nil {
+		c.mesh.Stop()
 	}
 	for _, cb := range c.cbrs {
 		cb.Stream.Stop()

@@ -72,12 +72,57 @@ type Link struct {
 	// schedule starting at t=0. Repeat (a duration) loops the trace.
 	RateTrace []TraceStep `json:"ratetrace,omitempty"`
 	Repeat    string      `json:"repeat,omitempty"`
+	// Jitter adds uniform per-packet delay variation in [0, Jitter) at
+	// the link's exit ("5ms"; default off). JitterOrdered ("true") opts
+	// into the order-preserving element: delivery clamps to the previous
+	// packet's, so latency varies but FIFO order holds — without it,
+	// jitter larger than the packet spacing reorders, which Bundler's
+	// §5.2 heuristic reads as multipath imbalance. A string like every
+	// other knob, so "$param" references make it a sweep axis.
+	Jitter        string `json:"jitter,omitempty"`
+	JitterOrdered string `json:"jitterordered,omitempty"`
 }
 
 // TraceStep is one point of a link's rate trace.
 type TraceStep struct {
 	At   string `json:"at"`
 	Rate string `json:"rate"`
+}
+
+// MeshDecl declares an N-site mesh generated from a handful of knobs
+// instead of enumerated links and hosts: N sites exchange traffic
+// pairwise, each ordered site pair is one bundle, and each source site's
+// per-destination sendboxes share one physical box behind the site's
+// access bottleneck (the §9 scale-out family; see scenario.NewMesh). A
+// scenario with a mesh section generates its own links, hosts, bundles,
+// and workloads — declaring those sections alongside it is an error.
+type MeshDecl struct {
+	// Sites is the site count N (≥ 2); the mesh carries N·(N-1) ordered
+	// pairs. "$param" references make it a sweep axis.
+	Sites string `json:"sites"`
+	// Mode is "hub" (default: access links feed one shared core link) or
+	// "pairwise" (access links deliver directly).
+	Mode string `json:"mode,omitempty"`
+	// AccessRate is the per-site access link rate in bits/s (default
+	// 96e6); CoreRate the hub core rate (default sites·accessrate/2).
+	AccessRate string `json:"accessrate,omitempty"`
+	CoreRate   string `json:"corerate,omitempty"`
+	// Bundled interposes a Bundler pair per site pair (default false).
+	Bundled string `json:"bundled,omitempty"`
+	// Queue is the per-bundle sendbox SFQ depth in packets (default 1000).
+	Queue string `json:"queue,omitempty"`
+	// Perturb re-keys every sendbox SFQ this often ("2s"; default off).
+	Perturb string `json:"perturb,omitempty"`
+	// Jitter bounds uniform in-path delay variation after each access
+	// link (default off); JitterOrdered selects the order-preserving
+	// element (default true — plain jitter fakes multipath reordering).
+	Jitter        string `json:"jitter,omitempty"`
+	JitterOrdered string `json:"jitterordered,omitempty"`
+	// Requests is the web request count per ordered pair (default 300);
+	// Load the per-pair offered bits/s (default 70 % of the access rate
+	// split across the site's destinations).
+	Requests string `json:"requests,omitempty"`
+	Load     string `json:"load,omitempty"`
 }
 
 // Host declares one source-site/destination-site pairing (a
@@ -167,6 +212,9 @@ type Scenario struct {
 	Hosts     []Host     `json:"hosts,omitempty"`
 	Bundles   []Bundle   `json:"bundles,omitempty"`
 	Workloads []Workload `json:"workloads,omitempty"`
+	// Mesh generates an N-site mesh topology instead of the explicit
+	// sections above (which must then be absent).
+	Mesh *MeshDecl `json:"mesh,omitempty"`
 }
 
 // Run is one labeled variant of the config's scenario: its sections
@@ -356,6 +404,9 @@ func merged(base Scenario, r Run) Scenario {
 	}
 	if len(r.Workloads) > 0 {
 		sc.Workloads = r.Workloads
+	}
+	if r.Mesh != nil {
+		sc.Mesh = r.Mesh
 	}
 	return sc
 }

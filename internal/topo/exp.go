@@ -189,13 +189,20 @@ func defaultHeader(cfg *Config) string {
 }
 
 // fctResult renders the shared FCT-comparison table (the Figures 9/14/15
-// format): one row per run from its first web workload. Byte-compatible
-// with the hand-coded figures — the same header string, rows, and metric
-// names produce the same Result JSON.
+// format): one row per run from its first web workload — or, for a mesh
+// run, from the aggregate over every ordered site pair (one pair alone
+// would silently misrepresent the whole mesh as its first pair, unlike
+// the registered mesh experiment). Byte-compatible with the hand-coded
+// figures — the same header string, rows, and metric names produce the
+// same Result JSON.
 func fctResult(cfg *Config, seed int64, p exp.Params, header string, outs []outcome) exp.Result {
 	var rows []scenario.Fig9Result
 	for _, o := range outs {
-		rows = append(rows, scenario.SummarizeFCT(o.label, o.c.webs[0].Rec))
+		rec := o.c.webs[0].Rec
+		if o.c.mesh != nil {
+			rec = o.c.mesh.Aggregate()
+		}
+		rows = append(rows, scenario.SummarizeFCT(o.label, rec))
 	}
 	var w strings.Builder
 	scenario.ReportHeader(&w, header)

@@ -111,15 +111,25 @@ func TestRunKeyStabilityExamples(t *testing.T) {
 			}
 
 			// Sensitivity: each semantic mutation must move the hash.
+			// Section-specific mutations apply only where the config
+			// declares the section (a mesh config has no links).
 			mutations := map[string]func(c *Config){
-				"name":          func(c *Config) { c.Name += "-mut" },
-				"desc":          func(c *Config) { c.Desc += " (edited)" },
-				"rtt":           func(c *Config) { c.Base.RTT = "123ms" },
-				"new param":     func(c *Config) { c.Params = append(c.Params, ParamDecl{Name: "zz_mut", Default: "1"}) },
-				"link rate":     func(c *Config) { c.Base.Links[0].Rate = "1e6" },
-				"link qdisc":    func(c *Config) { c.Base.Links[0].Qdisc = "fifo2" },
-				"workload kind": func(c *Config) { c.Base.Workloads[0].Kind += "x" },
-				"report style":  func(c *Config) { c.Report.Style = "summary2" },
+				"name":         func(c *Config) { c.Name += "-mut" },
+				"desc":         func(c *Config) { c.Desc += " (edited)" },
+				"rtt":          func(c *Config) { c.Base.RTT = "123ms" },
+				"new param":    func(c *Config) { c.Params = append(c.Params, ParamDecl{Name: "zz_mut", Default: "1"}) },
+				"report style": func(c *Config) { c.Report.Style = "summary2" },
+			}
+			if len(cfg.Base.Links) > 0 {
+				mutations["link rate"] = func(c *Config) { c.Base.Links[0].Rate = "1e6" }
+				mutations["link qdisc"] = func(c *Config) { c.Base.Links[0].Qdisc = "fifo2" }
+			}
+			if len(cfg.Base.Workloads) > 0 {
+				mutations["workload kind"] = func(c *Config) { c.Base.Workloads[0].Kind += "x" }
+			}
+			if cfg.Base.Mesh != nil {
+				mutations["mesh sites"] = func(c *Config) { c.Base.Mesh.Sites += "0" }
+				mutations["mesh bundled"] = func(c *Config) { c.Base.Mesh.Bundled = "maybe" }
 			}
 			if len(cfg.Runs) > 0 {
 				mutations["run label"] = func(c *Config) { c.Runs[0].Label += "!" }

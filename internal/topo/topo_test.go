@@ -106,6 +106,51 @@ func TestRejections(t *testing.T) {
 		want string // error substring
 	}{
 		{
+			name: "mesh with explicit links",
+			json: `{"name":"t","base":{"mesh":{"sites":"4"},
+				"links":[{"name":"l1","rate":"96e6"}]}}`,
+			want: "generates its own links",
+		},
+		{
+			name: "mesh too few sites",
+			json: `{"name":"t","base":{"mesh":{"sites":"1"}}}`,
+			want: "sites 1 outside",
+		},
+		{
+			name: "mesh too many sites",
+			json: `{"name":"t","base":{"mesh":{"sites":"65"}}}`,
+			want: "sites 65 outside",
+		},
+		{
+			name: "mesh bad mode",
+			json: `{"name":"t","base":{"mesh":{"sites":"4","mode":"ring"}}}`,
+			want: "mesh mode",
+		},
+		{
+			name: "mesh bad bundled flag",
+			json: `{"name":"t","base":{"mesh":{"sites":"4","bundled":"maybe"}}}`,
+			want: "bad bool",
+		},
+		{
+			name: "mesh access rate below minimum",
+			json: `{"name":"t","base":{"mesh":{"sites":"4","accessrate":"10"}}}`,
+			want: "below the",
+		},
+		{
+			name: "jitterordered without jitter",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6","jitterordered":"true"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "jitterordered without a jitter bound",
+		},
+		{
+			name: "bad link jitter",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6","jitter":"-3ms"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "bad duration",
+		},
+		{
 			name: "bad qdisc name",
 			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6","qdisc":"wfq"}],
 				"hosts":[{"name":"h"}],

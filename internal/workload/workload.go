@@ -240,3 +240,18 @@ func (r *Recorder) Record(size int64, fct sim.Time) {
 	r.Completed++
 	r.Bytes += size
 }
+
+// Merge folds another recorder's completed-flow statistics into r — how
+// the mesh experiments aggregate per-destination-pair recorders into one
+// site-to-site table row. Both recorders' samples are already normalized
+// slowdowns/times, so merging is pure concatenation; o is left untouched.
+func (r *Recorder) Merge(o *Recorder) {
+	r.Slowdowns.AddSample(&o.Slowdowns)
+	r.FCTms.AddSample(&o.FCTms)
+	for c := range r.ByClass {
+		r.ByClass[c].AddSample(&o.ByClass[c])
+		r.FCTByClass[c].AddSample(&o.FCTByClass[c])
+	}
+	r.Completed += o.Completed
+	r.Bytes += o.Bytes
+}

@@ -22,6 +22,8 @@ import (
 	"path/filepath"
 	"regexp"
 	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"sort"
 	"strconv"
 	"strings"
@@ -65,8 +67,13 @@ func main() {
 			"load already-stored sweep cells from the run store instead of re-running them (only missing cells execute)")
 		storePrune = flag.Duration("store-prune", 0,
 			"evict run-store cells older than this age (e.g. 720h), then exit")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
+		tracePath  = flag.String("trace", "", "write a runtime execution trace to this file (go tool trace)")
 	)
 	flag.Parse()
+	stopProfiles = startProfiles(*cpuProfile, *memProfile, *tracePath)
+	defer stopProfiles()
 
 	// Distinguish "-requests 15000" from the flag's default: experiments
 	// (and loaded configs in particular) declare their own defaults, and
@@ -315,6 +322,7 @@ func runSweep(name, gridSpec, setSpec string, seed int64, parallel int, outPath,
 		fmt.Fprintf(os.Stderr, "wrote %d results to %s\n", len(results), outPath)
 	}
 	if err != nil {
+		stopProfiles() // os.Exit skips the deferred flush
 		os.Exit(1)
 	}
 }
@@ -444,7 +452,62 @@ func dumpArtifact(dir string, a exp.Artifact) {
 	fmt.Printf("wrote %s\n", path)
 }
 
+// stopProfiles finalizes any active -cpuprofile/-memprofile/-trace
+// captures. It is a package variable so the os.Exit paths (fatal, the
+// sweep's failure exit) can flush profiles too — os.Exit skips defers,
+// and a profile of a failing run is exactly the one worth keeping.
+var stopProfiles = func() {}
+
+// startProfiles begins the requested captures and returns the (idempotent)
+// finisher: stop the CPU profile and trace, then snapshot the heap.
+func startProfiles(cpuPath, memPath, tracePath string) func() {
+	create := func(path string) *os.File {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		return f
+	}
+	var cpuF, traceF *os.File
+	if cpuPath != "" {
+		cpuF = create(cpuPath)
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			fatal("cpuprofile:", err)
+		}
+	}
+	if tracePath != "" {
+		traceF = create(tracePath)
+		if err := trace.Start(traceF); err != nil {
+			fatal("trace:", err)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if traceF != nil {
+			trace.Stop()
+			traceF.Close()
+		}
+		if memPath != "" {
+			f := create(memPath)
+			runtime.GC() // up-to-date live-object statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal("memprofile:", err)
+			}
+			f.Close()
+		}
+	}
+}
+
 func fatal(args ...any) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, args...)
 	os.Exit(1)
 }

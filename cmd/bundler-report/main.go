@@ -7,8 +7,9 @@
 // Results mode matches cells on (experiment, seed, params) and fails on
 // metric or summary drift beyond -tol, missing cells/metrics, new
 // errors, and — in exact mode — golden-table drift of the rendered
-// report text. Bench mode fails when ns/op or allocs/op regresses more
-// than -ns-threshold / -alloc-threshold percent against the old file.
+// report text. Bench mode fails when ns/op, allocs/op, or ns/packet
+// regresses more than -ns-threshold / -alloc-threshold / -nspkt-threshold
+// percent against the old file.
 //
 // Exit status: 0 clean, 1 regressions found, 2 usage or I/O error.
 //
@@ -37,6 +38,8 @@ func main() {
 			"bench mode: fail when ns/op regresses more than this percent")
 		allocPct = flag.Float64("alloc-threshold", 10,
 			"bench mode: fail when allocs/op regresses more than this percent")
+		nsPktPct = flag.Float64("nspkt-threshold", 10,
+			"bench mode: fail when ns/packet regresses more than this percent (records without per-packet figures are skipped)")
 		jsonOut = flag.String("json", "",
 			`also write the machine-readable report to this file ("-" for stdout, replacing the text)`)
 		quiet = flag.Bool("q", false, "suppress the text report (exit status still reflects the verdict)")
@@ -53,7 +56,7 @@ func main() {
 	}
 
 	r, err := report.DiffFiles(flag.Arg(0), flag.Arg(1), report.Options{
-		MetricTol: *tol, NsPct: *nsPct, AllocPct: *allocPct,
+		MetricTol: *tol, NsPct: *nsPct, AllocPct: *allocPct, NsPktPct: *nsPktPct,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -116,6 +116,14 @@ type Config struct {
 	// spacing, no hash collisions, no IP-ID dependence — at the cost of
 	// per-packet overhead and the loss of transparent fail-open.
 	TunnelMode bool
+	// DisableTelemetry stops the box from recording its trace series
+	// (RTTEstimates, RateEstimates, ModeTrace, RateTrace, QueueTrace).
+	// The traces grow by a few points per control tick for the whole
+	// run; scenarios that never read them — the N-site mesh runs
+	// thousands of boxes and reports only flow-level summaries — avoid
+	// O(ticks × boxes) retained memory by opting out. Recording only:
+	// control decisions are identical either way.
+	DisableTelemetry bool
 }
 
 func (c *Config) fillDefaults(eng *sim.Engine) {
@@ -241,6 +249,7 @@ type Sendbox struct {
 	ipid          uint16
 	ticker        *sim.Ticker
 	bFree         []*boundary // boundary record free list
+	pool          *pkt.Pool
 
 	// OnEpochSample, when set, observes every matched epoch measurement
 	// (the Figure 5/6 microbenchmark pairs these against per-packet
@@ -285,6 +294,10 @@ func NewSendbox(eng *sim.Engine, cfg Config, downstream netem.Receiver, ctlAddr,
 	s.ticker = sim.Tick(eng, cfg.ControlInterval, s.controlTick)
 	return s
 }
+
+// SetPool makes the box mint control packets from a partition-local
+// pool (nil keeps the shared global pool).
+func (s *Sendbox) SetPool(pl *pkt.Pool) { s.pool = pl }
 
 // Receive implements netem.Receiver. Control messages addressed to the
 // box are consumed (and released); everything else enters the bundle's
@@ -418,7 +431,9 @@ func (s *Sendbox) onCtlAck(ack *CtlAck) {
 		s.minRTT = rtt
 	}
 	s.latestRTT = rtt
-	s.RTTEstimates.Add(now, rtt.Millis())
+	if !s.cfg.DisableTelemetry {
+		s.RTTEstimates.Add(now, rtt.Millis())
+	}
 	if s.OnEpochSample != nil {
 		s.OnEpochSample(ack.Hash, rtt, now)
 	}
@@ -429,7 +444,9 @@ func (s *Sendbox) onCtlAck(ack *CtlAck) {
 		recvRate := float64(ack.BytesRcvd-s.lastBytesRcvd) * 8 / (now - s.lastAckArrival).Seconds()
 		if recvRate >= 0 && sendRate >= 0 {
 			s.window = append(s.window, epochMeasurement{at: now, rtt: rtt, sendRate: sendRate, recvRate: recvRate})
-			s.RateEstimates.Add(now, recvRate/1e6)
+			if !s.cfg.DisableTelemetry {
+				s.RateEstimates.Add(now, recvRate/1e6)
+			}
 			// Capacity samples span several epochs: a single inter-ACK
 			// gap is at the mercy of reverse-path jitter (a compressed
 			// gap reads as a rate far above the line rate, and a
@@ -529,7 +546,7 @@ func (s *Sendbox) maybeUpdateEpochSize() {
 // from bundled traffic) and enter the WAN path directly.
 func (s *Sendbox) sendEpochUpdate(n uint64) {
 	s.ipid++
-	p := pkt.Get()
+	p := s.pool.Get()
 	p.IPID = s.ipid
 	p.Src = s.ctlAddr
 	p.Dst = s.peerCtl
@@ -651,9 +668,11 @@ func (s *Sendbox) controlTick() {
 		rate = 100e3
 	}
 	s.link.SetRate(rate)
-	s.RateTrace.Add(now, s.link.Rate()/1e6)
-	s.ModeTrace.Add(now, float64(s.mode))
-	s.QueueTrace.Add(now, s.QueueDelay().Millis())
+	if !s.cfg.DisableTelemetry {
+		s.RateTrace.Add(now, s.link.Rate()/1e6)
+		s.ModeTrace.Add(now, float64(s.mode))
+		s.QueueTrace.Add(now, s.QueueDelay().Millis())
+	}
 }
 
 // pulsesActive decides whether the Nimbus pulses are worth their
@@ -873,6 +892,7 @@ type Receivebox struct {
 	bytesRcvd int64
 	pktsRcvd  int64
 	ipid      uint16
+	pool      *pkt.Pool
 
 	// AcksSent counts congestion ACKs emitted.
 	AcksSent int
@@ -888,6 +908,10 @@ func NewReceivebox(eng *sim.Engine, out netem.Receiver, addr, peerCtl pkt.Addr, 
 	}
 	return &Receivebox{eng: eng, out: out, addr: addr, peerCtl: peerCtl, epochN: initialEpochN}
 }
+
+// SetPool makes the box mint congestion ACKs from a partition-local
+// pool (nil keeps the shared global pool).
+func (r *Receivebox) SetPool(pl *pkt.Pool) { r.pool = pl }
 
 // Observe is the datapath tap: count bundle bytes and emit a congestion
 // ACK for each epoch boundary. Control packets are not bundle traffic and
@@ -918,7 +942,7 @@ func (r *Receivebox) Observe(p *pkt.Packet) {
 	}
 	r.ipid++
 	r.AcksSent++
-	ack := pkt.Get()
+	ack := r.pool.Get()
 	ack.IPID = r.ipid
 	ack.Src = r.addr
 	ack.Dst = r.peerCtl

@@ -455,7 +455,6 @@ func NewDetector(pulseHz, sampleHz float64) *Detector {
 	return &Detector{
 		pulseHz:   pulseHz,
 		sampleHz:  sampleHz,
-		buf:       make([]float64, DetectorWindow),
 		Threshold: 3.0,
 		// Aggregate send rates swing more than a single Nimbus flow's, and
 		// pulses leak into the cross-traffic estimate whenever the
@@ -468,11 +467,34 @@ func NewDetector(pulseHz, sampleHz float64) *Detector {
 // AddSample appends one cross-traffic rate estimate (bits/s), sampled at
 // the detector's sample rate.
 func (d *Detector) AddSample(z float64) {
+	// The buffer grows toward the full window instead of being sized for
+	// it up front: it is only ever read once filled, and a window takes
+	// DetectorWindow/sampleHz (≈ 5 s at the 100 Hz control tick) to
+	// accumulate — a short-lived bundle, e.g. a mesh pair torn down when
+	// its requests complete, never pays for samples it never records.
+	if !d.filled && len(d.buf) < DetectorWindow {
+		if len(d.buf) == cap(d.buf) {
+			ncap := 4 * cap(d.buf)
+			if ncap == 0 {
+				ncap = 32
+			}
+			if ncap > DetectorWindow {
+				ncap = DetectorWindow
+			}
+			nb := make([]float64, len(d.buf), ncap)
+			copy(nb, d.buf)
+			d.buf = nb
+		}
+		d.buf = append(d.buf, z)
+		if len(d.buf) == DetectorWindow {
+			d.filled = true
+		}
+		return
+	}
 	d.buf[d.next] = z
 	d.next++
 	if d.next == len(d.buf) {
 		d.next = 0
-		d.filled = true
 	}
 }
 

@@ -2,9 +2,11 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -197,6 +199,8 @@ func SweepOpts(e Experiment, g Grid, opt Options) ([]Result, Stats, error) {
 		parallel = len(points)
 	}
 	results := make([]Result, len(points))
+	activeWorkers.Add(int64(parallel))
+	defer activeWorkers.Add(-int64(parallel))
 	jobs := make(chan Point)
 	var (
 		wg       sync.WaitGroup
@@ -253,6 +257,29 @@ func SweepOpts(e Experiment, g Grid, opt Options) ([]Result, Stats, error) {
 	close(jobs)
 	wg.Wait()
 	return results, st, firstErr
+}
+
+// activeWorkers counts sweep worker goroutines currently running, across
+// every concurrent SweepOpts call in the process. Sharded scenarios
+// budget their own parallelism against it so sweep workers × engine
+// shards never oversubscribes GOMAXPROCS.
+var activeWorkers atomic.Int64
+
+// ShardBudget reports how many engine shards a scenario running inside
+// (or outside) a sweep should use by default: GOMAXPROCS divided by the
+// active sweep worker count, floored at 1. Outside any sweep the full
+// GOMAXPROCS is available. Scenarios use it only for auto (shards=0)
+// mode — an explicit shards setting is a user decision and is honored.
+func ShardBudget() int {
+	workers := activeWorkers.Load()
+	if workers < 1 {
+		workers = 1
+	}
+	budget := runtime.GOMAXPROCS(0) / int(workers)
+	if budget < 1 {
+		budget = 1
+	}
+	return budget
 }
 
 // validate rejects grid axes the experiment does not declare: a typo'd

@@ -1,0 +1,87 @@
+package netem
+
+import (
+	"testing"
+
+	"bundler/internal/pkt"
+	"bundler/internal/qdisc"
+	"bundler/internal/sim"
+)
+
+// boundaryRec records ReceiveAt calls — a stand-in for a shard port.
+type boundaryRec struct {
+	pkts []*pkt.Packet
+	at   []sim.Time
+}
+
+func (b *boundaryRec) Receive(p *pkt.Packet) { b.ReceiveAt(p, -1) }
+func (b *boundaryRec) ReceiveAt(p *pkt.Packet, arrive sim.Time) {
+	b.pkts = append(b.pkts, p)
+	b.at = append(b.at, arrive)
+}
+
+// TestLinkBoundaryFastPath checks a link terminating on a BoundaryPort
+// hands packets over at transmission end with the propagation delay
+// folded into the declared arrival time, instead of scheduling delivery
+// locally: the delay belongs to the remote shard's clock.
+func TestLinkBoundaryFastPath(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rec := &boundaryRec{}
+	// 12 Mbit/s: a 1500-byte packet serializes in exactly 1 ms.
+	l := NewLink(eng, "l", 12e6, 10*sim.Millisecond, qdisc.NewFIFO(1<<20), rec)
+	l.Receive(newpkt(1500))
+	l.Receive(newpkt(1500))
+	eng.Run()
+	if len(rec.pkts) != 2 {
+		t.Fatalf("handed off %d packets, want 2", len(rec.pkts))
+	}
+	// Hand-off happens at serialization end (1 ms, 2 ms); the declared
+	// arrival adds the 10 ms propagation.
+	if eng.Now() != 2*sim.Millisecond {
+		t.Errorf("local engine advanced to %v, want 2ms (no local propagation events)", eng.Now())
+	}
+	for i, want := range []sim.Time{11 * sim.Millisecond, 12 * sim.Millisecond} {
+		if rec.at[i] != want {
+			t.Errorf("packet %d declared arrival %v, want %v", i, rec.at[i], want)
+		}
+	}
+}
+
+// TestLinkBoundarySkipsDeliveryHook pins the documented hook contract:
+// OnDelivery does not fire on the boundary path (delivery is the remote
+// shard's event), while OnTransmitted still does.
+func TestLinkBoundarySkipsDeliveryHook(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rec := &boundaryRec{}
+	l := NewLink(eng, "l", 12e6, 5*sim.Millisecond, qdisc.NewFIFO(1<<20), rec)
+	var transmitted, delivered int
+	l.OnTransmitted(func(p *pkt.Packet) { transmitted++ })
+	l.OnDelivery(func(p *pkt.Packet) { delivered++ })
+	l.Receive(newpkt(1500))
+	eng.Run()
+	if transmitted != 1 {
+		t.Errorf("OnTransmitted fired %d times, want 1", transmitted)
+	}
+	if delivered != 0 {
+		t.Errorf("OnDelivery fired %d times on the boundary path, want 0", delivered)
+	}
+}
+
+// TestLinkNonBoundaryUnchanged guards the ordinary path: a plain
+// Receiver destination must still see scheduled delivery after
+// serialization + propagation, with OnDelivery firing.
+func TestLinkNonBoundaryUnchanged(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rec := &recorder{eng: eng}
+	l := NewLink(eng, "l", 12e6, 10*sim.Millisecond, qdisc.NewFIFO(1<<20), rec)
+	delivered := 0
+	l.OnDelivery(func(p *pkt.Packet) { delivered++ })
+	l.Receive(newpkt(1500))
+	eng.Run()
+	if len(rec.pkts) != 1 || rec.at[0] != 11*sim.Millisecond {
+		t.Fatalf("delivery %v, want one packet at 11ms", rec.at)
+	}
+	if delivered != 1 {
+		t.Errorf("OnDelivery fired %d times, want 1", delivered)
+	}
+}

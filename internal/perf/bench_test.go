@@ -37,6 +37,12 @@ func BenchmarkMesh02Sites(b *testing.B)       { benchCase(b, "BenchmarkMesh02Sit
 func BenchmarkMesh04Sites(b *testing.B)       { benchCase(b, "BenchmarkMesh04Sites") }
 func BenchmarkMesh08Sites(b *testing.B)       { benchCase(b, "BenchmarkMesh08Sites") }
 func BenchmarkMesh16Sites(b *testing.B)       { benchCase(b, "BenchmarkMesh16Sites") }
+func BenchmarkMesh32Sites(b *testing.B)       { benchCase(b, "BenchmarkMesh32Sites") }
+func BenchmarkMesh64Sites(b *testing.B)       { benchCase(b, "BenchmarkMesh64Sites") }
+
+func BenchmarkMesh16SitesShardsAuto(b *testing.B) { benchCase(b, "BenchmarkMesh16SitesShardsAuto") }
+func BenchmarkMesh32SitesShardsAuto(b *testing.B) { benchCase(b, "BenchmarkMesh32SitesShardsAuto") }
+func BenchmarkMesh64SitesShardsAuto(b *testing.B) { benchCase(b, "BenchmarkMesh64SitesShardsAuto") }
 
 // TestBaselineMatchesSuite pins the baseline table to the suite: every
 // baseline entry must name a live case (a renamed benchmark would

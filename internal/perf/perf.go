@@ -13,11 +13,14 @@ package perf
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
 	"regexp"
+	"runtime/debug"
 	"sort"
+	"sync"
 	"testing"
 
 	"bundler/internal/exp"
@@ -43,19 +46,32 @@ type Case struct {
 // flows per variant) while the site count doubles, so ns/op prices the
 // same workload against a quadratically growing bundle population —
 // per-site overhead shows up directly, and allocs/op growing
-// sub-linearly in site count is the pooled hot path's contract.
+// sub-linearly in site count is the pooled hot path's contract. Each
+// scale runs twice on the shards axis: pinned to one shard (the serial
+// reference, comparable across PRs regardless of host core count) and
+// at shards=auto (= GOMAXPROCS outside a sweep), where ns/packet
+// staying flat or falling 16→64 sites is the sharded engine's contract.
 func Cases() []Case {
-	meshParams := func(sites, requests string) exp.Params {
-		return exp.Params{"sites": sites, "requests": requests, "perturb": "500ms"}
+	meshParams := func(sites, requests, shards string) exp.Params {
+		return exp.Params{"sites": sites, "requests": requests, "perturb": "500ms", "shards": shards}
 	}
 	return []Case{
 		{Name: "BenchmarkFig09FCT", Exp: "fig9", Seed: 1, Params: exp.Params{"requests": "15000"}},
 		{Name: "BenchmarkFig05RateAccuracy", Exp: "fig56", Seed: 1, Params: exp.Params{"dur": "20s"}},
 		{Name: "BenchmarkFig10CrossTraffic", Exp: "fig10", Seed: 1, Params: nil},
-		{Name: "BenchmarkMesh02Sites", Exp: "mesh", Seed: 1, Params: meshParams("2", "1680")},
-		{Name: "BenchmarkMesh04Sites", Exp: "mesh", Seed: 1, Params: meshParams("4", "280")},
-		{Name: "BenchmarkMesh08Sites", Exp: "mesh", Seed: 1, Params: meshParams("8", "60")},
-		{Name: "BenchmarkMesh16Sites", Exp: "mesh", Seed: 1, Params: meshParams("16", "14")},
+		{Name: "BenchmarkMesh02Sites", Exp: "mesh", Seed: 1, Params: meshParams("2", "1680", "1")},
+		{Name: "BenchmarkMesh04Sites", Exp: "mesh", Seed: 1, Params: meshParams("4", "280", "1")},
+		{Name: "BenchmarkMesh08Sites", Exp: "mesh", Seed: 1, Params: meshParams("8", "60", "1")},
+		// Each scale's serial reference and shards=auto run are adjacent,
+		// so slow measurement drift over a long suite run (heap growth,
+		// thermal state) lands on both sides of the pinned-vs-auto
+		// comparison rather than on one.
+		{Name: "BenchmarkMesh16Sites", Exp: "mesh", Seed: 1, Params: meshParams("16", "14", "1")},
+		{Name: "BenchmarkMesh16SitesShardsAuto", Exp: "mesh", Seed: 1, Params: meshParams("16", "14", "0")},
+		{Name: "BenchmarkMesh32Sites", Exp: "mesh", Seed: 1, Params: meshParams("32", "3", "1")},
+		{Name: "BenchmarkMesh32SitesShardsAuto", Exp: "mesh", Seed: 1, Params: meshParams("32", "3", "0")},
+		{Name: "BenchmarkMesh64Sites", Exp: "mesh", Seed: 1, Params: meshParams("64", "1", "1")},
+		{Name: "BenchmarkMesh64SitesShardsAuto", Exp: "mesh", Seed: 1, Params: meshParams("64", "1", "0")},
 	}
 }
 
@@ -98,39 +114,78 @@ var Baseline = []Record{
 	{Name: "BenchmarkFig10CrossTraffic", NsPerOp: 7990156867, BytesPerOp: 1516990256, AllocsPerOp: 29317809},
 }
 
+// benchInit raises the benchmark target time for Measure's
+// testing.Benchmark runs from the 1s default to 2s, so each repetition
+// averages over more iterations (GC cycles land mid-iteration instead
+// of deciding a whole measurement). It only applies when the testing
+// flags are not already registered — i.e. in cmd/bundler-bench; inside
+// a `go test` binary the user's own -benchtime stays in charge.
+var benchInit sync.Once
+
+func setBenchTime() {
+	if flag.Lookup("test.benchtime") != nil {
+		return
+	}
+	testing.Init()
+	flag.Set("test.benchtime", "2s")
+}
+
+// measureReps is how many independent testing.Benchmark repetitions
+// Measure takes per case. The fastest repetition is reported: the
+// simulation is deterministic, so allocation figures are identical
+// across repetitions and wall time differs only by GC phase and OS
+// scheduling noise — the minimum is the standard low-variance
+// estimator of the true cost (what benchstat's documentation calls
+// out for -count runs).
+const measureReps = 3
+
 // Measure benchmarks one case with the testing machinery (which
 // handles iteration count and alloc accounting) and derives the
-// per-packet figures.
+// per-packet figures. It repeats the measurement measureReps times and
+// keeps the fastest, so the committed trajectory compares costs rather
+// than scheduler luck.
 func Measure(c Case) (Record, error) {
-	var packets int64
-	var runErr error
-	res := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		packets = 0
-		for i := 0; i < b.N; i++ {
-			n, err := c.Run()
-			if err != nil {
-				runErr = err
-				b.Fatal(err)
+	benchInit.Do(setBenchTime)
+	var best Record
+	for rep := 0; rep < measureReps; rep++ {
+		// Start every repetition from a collected, OS-returned heap:
+		// without this, a case's wall time depends on how much garbage
+		// the *previous* cases left behind (suite-order bias — the last
+		// benchmarks in a long run read systematically slow).
+		debug.FreeOSMemory()
+		var packets int64
+		var runErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			packets = 0
+			for i := 0; i < b.N; i++ {
+				n, err := c.Run()
+				if err != nil {
+					runErr = err
+					b.Fatal(err)
+				}
+				packets += n
 			}
-			packets += n
+		})
+		if runErr != nil {
+			return Record{}, fmt.Errorf("%s: %w", c.Name, runErr)
 		}
-	})
-	if runErr != nil {
-		return Record{}, fmt.Errorf("%s: %w", c.Name, runErr)
+		r := Record{
+			Name:        c.Name,
+			NsPerOp:     float64(res.NsPerOp()),
+			BytesPerOp:  float64(res.AllocedBytesPerOp()),
+			AllocsPerOp: float64(res.AllocsPerOp()),
+		}
+		if res.N > 0 && packets > 0 {
+			r.Packets = float64(packets) / float64(res.N)
+			r.NsPerPacket = float64(res.T.Nanoseconds()) / float64(packets)
+			r.AllocsPerPacket = float64(res.MemAllocs) / float64(packets)
+		}
+		if rep == 0 || r.NsPerOp < best.NsPerOp {
+			best = r
+		}
 	}
-	r := Record{
-		Name:        c.Name,
-		NsPerOp:     float64(res.NsPerOp()),
-		BytesPerOp:  float64(res.AllocedBytesPerOp()),
-		AllocsPerOp: float64(res.AllocsPerOp()),
-	}
-	if res.N > 0 && packets > 0 {
-		r.Packets = float64(packets) / float64(res.N)
-		r.NsPerPacket = float64(res.T.Nanoseconds()) / float64(packets)
-		r.AllocsPerPacket = float64(res.MemAllocs) / float64(packets)
-	}
-	return r, nil
+	return best, nil
 }
 
 // MeasureAll benchmarks every case whose name matches filter (nil

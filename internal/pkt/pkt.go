@@ -124,6 +124,12 @@ type Packet struct {
 	// it to catch double releases (a lifecycle bug that would otherwise
 	// surface as impossible-to-debug field corruption two flows away).
 	pooled bool
+
+	// owner is the single-owner Pool the packet's storage belongs to (nil:
+	// the shared global pool). It survives the reset in Put so releases
+	// route back to the owning partition, and it changes only through
+	// Transfer at a shard barrier — never mid-flight.
+	owner *Pool
 }
 
 // Pool bookkeeping. Counters are global (sweeps run engines on many
@@ -173,17 +179,111 @@ func Get() *Packet {
 	return new(Packet)
 }
 
-// Put releases a packet back to the pool. Only the packet's current
-// owner may call it, exactly once; releasing a packet twice panics.
-// Packets built with plain &Packet{} (tests do this) may be released
-// too — the pool adopts them.
+// Put releases a packet back to the pool it belongs to: the per-shard
+// Pool that issued it, or the shared global pool. Only the packet's
+// current owner may call it, exactly once; releasing a packet twice
+// panics. Packets built with plain &Packet{} (tests do this) may be
+// released too — the global pool adopts them.
 func Put(p *Packet) {
+	if pl := p.owner; pl != nil {
+		pl.Put(p)
+		return
+	}
 	if p.pooled {
 		panic("pkt: packet released twice")
 	}
 	*p = Packet{pooled: true}
 	putCount.Add(1)
 	pool.Put(p)
+}
+
+// Pool is a single-owner packet free list for one event-engine shard.
+// Unlike the global pool it is not safe for concurrent use: exactly one
+// goroutine (the shard's worker for the current window) may call Get/Put
+// at a time. Packets remember their issuing Pool and Put routes them
+// back to it even when released by package-level pkt.Put, so code that
+// consumes packets never needs to know which shard minted them. Packets
+// that physically cross a shard boundary are re-tagged with Transfer at
+// the window barrier, where the sharded runner is single-threaded.
+//
+// The global Gets/Puts/News counters still tick for pool-issued packets:
+// the perf harness prices runs by differencing Stats() and must see
+// per-shard traffic too.
+type Pool struct {
+	free []*Packet
+
+	// Per-pool counters mirror the global ones (same meanings), plus the
+	// barrier hand-off tallies. Not atomic: Gets/Puts/News are touched
+	// only by the owning shard's worker, XferIn/XferOut only at the
+	// single-threaded barrier.
+	gets, puts, news int64
+	xferIn, xferOut  int64
+}
+
+// Get returns a zeroed packet owned by this pool. A nil receiver
+// delegates to the shared global pool, so components can hold an
+// optional *Pool and call Get unconditionally.
+func (pl *Pool) Get() *Packet {
+	if pl == nil {
+		return Get()
+	}
+	getCount.Add(1)
+	pl.gets++
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		p.pooled = false
+		return p
+	}
+	newCount.Add(1)
+	pl.news++
+	return &Packet{owner: pl}
+}
+
+// Put releases a packet to this pool. The packet must currently be
+// tagged with pl as its owner — releasing a foreign packet here would
+// silently migrate storage between shards, so it panics instead.
+func (pl *Pool) Put(p *Packet) {
+	if p.owner != pl {
+		panic("pkt: packet released to a pool that does not own it")
+	}
+	if p.pooled {
+		panic("pkt: packet released twice")
+	}
+	*p = Packet{pooled: true, owner: pl}
+	putCount.Add(1)
+	pl.puts++
+	pl.free = append(pl.free, p)
+}
+
+// Transfer moves ownership of an in-flight packet to dst (nil: the
+// global pool), so its eventual Put returns storage to the shard that
+// will actually release it. Callers must hold exclusive access to both
+// pools — in practice the sharded runner's window barrier, which is
+// single-threaded.
+func Transfer(p *Packet, dst *Pool) {
+	if p.pooled {
+		panic("pkt: transfer of a released packet")
+	}
+	if p.owner == dst {
+		return
+	}
+	if p.owner != nil {
+		p.owner.xferOut++
+	}
+	if dst != nil {
+		dst.xferIn++
+	}
+	p.owner = dst
+}
+
+// Stats returns this pool's counter snapshot. TransferredIn/Out count
+// packets whose ownership moved into/out of the pool at shard barriers;
+// conservation across a run is Gets + TransferredIn ≥ Puts + TransferredOut
+// (the slack is packets still in flight).
+func (pl *Pool) Stats() (s PoolStats, xferIn, xferOut int64) {
+	return PoolStats{Gets: pl.gets, Puts: pl.puts, News: pl.news}, pl.xferIn, pl.xferOut
 }
 
 // HeaderBytes is the emulator's fixed per-packet header overhead

@@ -8,20 +8,37 @@ import "bundler/internal/pkt"
 // round-robin, one quantum of bytes per turn (deficit round robin, as the
 // Linux implementation effectively provides with its allotments).
 type SFQ struct {
-	buckets []sfqBucket
-	// spare is the retired bucket table from the last re-key, kept so
+	// groups is the hash-indexed slot table, two-level so an SFQ's
+	// footprint is proportional to the flows it has actually seen, not
+	// to the table size: bucket index bi lives at
+	// groups[bi>>sfqGroupShift][bi&sfqGroupMask], and both the 16-slot
+	// group and the bucket struct are allocated on first use. Scenarios
+	// with thousands of mostly-narrow SFQs (the N-site mesh: one per
+	// ordered site pair) would otherwise pay the full table in zeroed,
+	// GC-scanned memory each — quadratic in site count.
+	groups []*sfqGroup
+	// spare is the retired group table from the last re-key, kept so
 	// periodic perturbation swaps between two tables (reusing their
-	// packet slices) instead of allocating on every re-key.
-	spare   []sfqBucket
-	active  []int // round-robin list of non-empty bucket indices
-	cursor  int
-	quantum int
-	perturb uint64
-	limit   int // total packet cap
-	count   int
-	bytes   int
-	drops   int
+	// groups, bucket structs, and packet slices) instead of allocating
+	// on every re-key.
+	spare    []*sfqGroup
+	nbuckets int
+	active   []int // round-robin list of non-empty bucket indices
+	cursor   int
+	quantum  int
+	perturb  uint64
+	limit    int // total packet cap
+	count    int
+	bytes    int
+	drops    int
 }
+
+const (
+	sfqGroupShift = 4
+	sfqGroupMask  = 1<<sfqGroupShift - 1
+)
+
+type sfqGroup [1 << sfqGroupShift]*sfqBucket
 
 type sfqBucket struct {
 	q       []*pkt.Packet
@@ -38,10 +55,21 @@ func NewSFQ(nbuckets, limitPackets int) *SFQ {
 		panic("qdisc: SFQ sizes must be positive")
 	}
 	return &SFQ{
-		buckets: make([]sfqBucket, nbuckets),
-		quantum: pkt.MTU,
-		limit:   limitPackets,
+		groups:   make([]*sfqGroup, (nbuckets+sfqGroupMask)>>sfqGroupShift),
+		nbuckets: nbuckets,
+		quantum:  pkt.MTU,
+		limit:    limitPackets,
 	}
+}
+
+// bucketAt returns the bucket at slot bi, or nil if it has never held a
+// packet.
+func (s *SFQ) bucketAt(bi int) *sfqBucket {
+	g := s.groups[bi>>sfqGroupShift]
+	if g == nil {
+		return nil
+	}
+	return g[bi&sfqGroupMask]
 }
 
 // SetPerturbation re-keys the flow hash, as Linux SFQ does periodically to
@@ -60,35 +88,55 @@ func (s *SFQ) SetPerturbation(p uint64) {
 	if s.count == 0 {
 		return
 	}
-	old := s.buckets
+	old := s.groups
 	if s.spare == nil {
-		s.spare = make([]sfqBucket, len(old))
+		s.spare = make([]*sfqGroup, len(old))
 	}
-	s.buckets = s.spare
+	s.groups = s.spare
 	s.active = s.active[:0]
 	s.cursor = 0
 	s.count, s.bytes = 0, 0
-	for bi := range old {
-		b := &old[bi]
-		for i := b.head; i < len(b.q); i++ {
-			s.push(s.bucketOf(b.q[i]), b.q[i])
+	// Drain the old table in slot order (the order the flat table used),
+	// so the rehash admits packets in exactly the legacy sequence.
+	for gi := range old {
+		g := old[gi]
+		if g == nil {
+			continue
+		}
+		for si := range g {
+			b := g[si]
+			if b == nil {
+				continue
+			}
+			for i := b.head; i < len(b.q); i++ {
+				s.push(s.bucketOf(b.q[i]), b.q[i])
+			}
 		}
 	}
 	// Retire the old table as the next re-key's spare: clear packet
 	// references (a retained pointer would pin pooled packets) and reset
 	// per-bucket state so the table comes back clean.
-	for bi := range old {
-		b := &old[bi]
-		for i := range b.q {
-			b.q[i] = nil
+	for gi := range old {
+		g := old[gi]
+		if g == nil {
+			continue
 		}
-		*b = sfqBucket{q: b.q[:0]}
+		for si := range g {
+			b := g[si]
+			if b == nil {
+				continue
+			}
+			for i := range b.q {
+				b.q[i] = nil
+			}
+			*b = sfqBucket{q: b.q[:0]}
+		}
 	}
 	s.spare = old
 }
 
 func (s *SFQ) bucketOf(p *pkt.Packet) int {
-	return int(pkt.FlowHash(p, s.perturb) % uint64(len(s.buckets)))
+	return int(pkt.FlowHash(p, s.perturb) % uint64(s.nbuckets))
 }
 
 // Enqueue implements Qdisc. When the total limit is exceeded it drops a
@@ -113,7 +161,16 @@ func (s *SFQ) Enqueue(p *pkt.Packet) bool {
 // tail of Enqueue and of the SetPerturbation rehash (whose packets were
 // already admitted, so no limit check belongs here).
 func (s *SFQ) push(bi int, p *pkt.Packet) {
-	b := &s.buckets[bi]
+	g := s.groups[bi>>sfqGroupShift]
+	if g == nil {
+		g = &sfqGroup{}
+		s.groups[bi>>sfqGroupShift] = g
+	}
+	b := g[bi&sfqGroupMask]
+	if b == nil {
+		b = &sfqBucket{}
+		g[bi&sfqGroupMask] = b
+	}
 	b.q = append(b.q, p)
 	b.bytes += p.Size
 	s.count++
@@ -128,7 +185,9 @@ func (s *SFQ) push(bi int, p *pkt.Packet) {
 func (s *SFQ) fattestBucket() int {
 	best, bestLen := -1, 0
 	for _, bi := range s.active {
-		if l := s.buckets[bi].len(); l > bestLen {
+		// Buckets on the active list are always allocated (push put them
+		// there).
+		if l := s.bucketAt(bi).len(); l > bestLen {
 			best, bestLen = bi, l
 		}
 	}
@@ -153,7 +212,7 @@ func (b *sfqBucket) pop() *pkt.Packet {
 }
 
 func (s *SFQ) dropHead(bi int) {
-	b := &s.buckets[bi]
+	b := s.bucketAt(bi)
 	p := b.pop()
 	s.count--
 	s.bytes -= p.Size
@@ -168,7 +227,7 @@ func (s *SFQ) Dequeue() *pkt.Packet {
 			s.cursor = 0
 		}
 		bi := s.active[s.cursor]
-		b := &s.buckets[bi]
+		b := s.bucketAt(bi)
 		if b.len() == 0 {
 			b.active = false
 			s.active = append(s.active[:s.cursor], s.active[s.cursor+1:]...)

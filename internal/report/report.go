@@ -44,6 +44,13 @@ type Options struct {
 	// AllocPct fails a benchmark whose allocs/op regressed by more than
 	// this percentage (default 10 in the CLI).
 	AllocPct float64
+	// NsPktPct fails a benchmark whose ns/packet regressed by more than
+	// this percentage (default 10 in the CLI). Per-packet cost is the
+	// scale-normalized gate: ns/op moves whenever a benchmark's workload
+	// is re-scaled, ns/packet only when the simulator itself gets slower.
+	// Records without per-packet figures (the pre-pooling baseline) are
+	// skipped.
+	NsPktPct float64
 }
 
 // Finding is one comparison outcome worth reporting.
@@ -185,6 +192,15 @@ func DiffBench(old, new perf.File, opt Options) *Report {
 		r.Compared++
 		r.diffStat(name, "ns/op", o.NsPerOp, n.NsPerOp, opt.NsPct)
 		r.diffStat(name, "allocs/op", o.AllocsPerOp, n.AllocsPerOp, opt.AllocPct)
+		if o.NsPerPacket != 0 {
+			if n.NsPerPacket == 0 {
+				r.add(Finding{Severity: "fail", Cell: name, Metric: "ns/pkt",
+					Old: ptr(o.NsPerPacket), New: ptr(0),
+					Detail: "per-packet accounting missing from new trajectory (lost coverage)"})
+			} else {
+				r.diffStat(name, "ns/pkt", o.NsPerPacket, n.NsPerPacket, opt.NsPktPct)
+			}
+		}
 		// bytes/op is informational: the gated quantities are the
 		// issue-specified ns/op and allocs/op.
 		if d := pct(o.BytesPerOp, n.BytesPerOp); d != nil && math.Abs(*d) > opt.AllocPct {

@@ -106,6 +106,33 @@ func TestBenchRegressionFromZero(t *testing.T) {
 	}
 }
 
+// TestBenchNsPerPacketGate covers the scale-normalized gate: ns/packet
+// drift beyond the threshold fails, per-packet figures vanishing fails
+// (lost coverage), and old records without the figure — the pre-pooling
+// baseline — are skipped rather than compared against zero.
+func TestBenchNsPerPacketGate(t *testing.T) {
+	opt := Options{NsPct: 10, AllocPct: 10, NsPktPct: 10}
+	base := benchFile(perf.Record{Name: "B", NsPerOp: 1e9, AllocsPerOp: 100, NsPerPacket: 2000})
+
+	slow := benchFile(perf.Record{Name: "B", NsPerOp: 1e9, AllocsPerOp: 100, NsPerPacket: 2500})
+	r := DiffBench(base, slow, opt)
+	if r.OK || r.Findings[0].Metric != "ns/pkt" {
+		t.Fatalf("25%% ns/packet regression passed the 10%% gate: %+v", r.Findings)
+	}
+
+	lost := benchFile(perf.Record{Name: "B", NsPerOp: 1e9, AllocsPerOp: 100})
+	if r := DiffBench(base, lost, opt); r.OK {
+		t.Fatal("vanished per-packet accounting passed")
+	}
+
+	// The frozen baseline has no per-packet figures; current records
+	// gaining them must not trip the gate.
+	old := benchFile(perf.Record{Name: "B", NsPerOp: 1e9, AllocsPerOp: 100})
+	if r := DiffBench(old, base, opt); !r.OK {
+		t.Fatalf("per-packet figures appearing must pass: %+v", r.Findings)
+	}
+}
+
 func cell(name string, seed int64, params exp.Params, metrics map[string]float64, report string) exp.Result {
 	r := exp.Result{Experiment: name, Seed: seed, Params: params, Report: report}
 	for _, k := range []string{"completed", "fct-p99", "nan-probe"} {

@@ -11,6 +11,7 @@ import (
 	"bundler/internal/pkt"
 	"bundler/internal/qdisc"
 	"bundler/internal/sim"
+	"bundler/internal/sim/shard"
 	"bundler/internal/stats"
 	"bundler/internal/tcp"
 	"bundler/internal/workload"
@@ -41,6 +42,12 @@ type FCTOptions struct {
 	TunnelMode bool
 	// Horizon bounds the run.
 	Horizon sim.Time
+	// Shards ≥ 1 drives the run through the sharded-world protocol
+	// (internal/sim/shard) instead of the legacy Fabric.RunUntilDone
+	// loop. The dumbbell is a single partition, so any value clamps to
+	// one worker and the output is byte-identical to the legacy path —
+	// this exists so the determinism tests can pin exactly that.
+	Shards int
 }
 
 func (o *FCTOptions) fill() {
@@ -102,7 +109,19 @@ func RunFCT(o FCTOptions) *workload.Recorder {
 		CC:            o.EndhostCC,
 		FixedCwndSegs: o.FixedCwnd,
 	})
-	n.RunUntilDone(o.Horizon, func() bool { return rec.Completed >= o.Requests })
+	check := func() bool { return rec.Completed >= o.Requests }
+	if o.Shards >= 1 {
+		// Windowed protocol over the same engine: a one-partition world
+		// with no ports steps in the same one-second windows with the
+		// same check-first cadence as RunUntilDone, so this path is
+		// byte-identical to the legacy one below.
+		w := shard.NewWorld()
+		w.AdoptPart(n.Eng)
+		w.SetShards(o.Shards)
+		w.Run(o.Horizon, check)
+	} else {
+		n.RunUntilDone(o.Horizon, check)
+	}
 	if site.SB != nil {
 		site.SB.Stop()
 	}
@@ -121,6 +140,10 @@ type Fig9Result struct {
 // RunFig9 reproduces Figure 9: status quo vs Bundler+SFQ vs In-Network FQ
 // vs Bundler+FIFO on the §7.1 web workload.
 func RunFig9(seed int64, requests int) []Fig9Result {
+	return runFig9(seed, requests, 0)
+}
+
+func runFig9(seed int64, requests, shards int) []Fig9Result {
 	configs := []struct{ label, mode, sched string }{
 		{"Status Quo", "statusquo", ""},
 		{"Bundler (SFQ)", "bundler", "sfq"},
@@ -129,7 +152,7 @@ func RunFig9(seed int64, requests int) []Fig9Result {
 	}
 	var out []Fig9Result
 	for _, c := range configs {
-		rec := RunFCT(FCTOptions{Seed: seed, Requests: requests, Mode: c.mode, Scheduler: c.sched})
+		rec := RunFCT(FCTOptions{Seed: seed, Requests: requests, Mode: c.mode, Scheduler: c.sched, Shards: shards})
 		out = append(out, SummarizeFCT(c.label, rec))
 	}
 	return out
@@ -417,6 +440,7 @@ func (fctExp) Params() []exp.Param {
 		{Name: "loadfrac", Default: "", Help: "offered load as a fraction of rate (overrides load)"},
 		{Name: "requests", Default: "10000", Help: "number of requests to complete"},
 		{Name: "tunnel", Default: "false", Help: "encapsulation-based epoch marking (§4.5 tunnel mode)"},
+		{Name: "shards", Default: "0", Help: "0 = legacy run loop; ≥1 = windowed sharded-world protocol (byte-identical output)"},
 	}
 }
 
@@ -439,12 +463,16 @@ func (fctExp) Run(seed int64, p exp.Params) (exp.Result, error) {
 		loadfrac = b.Float("loadfrac", 0)
 		requests = b.Int("requests", 10000)
 		tunnel   = b.Bool("tunnel", false)
+		shards   = b.Int("shards", 0)
 	)
 	if err := b.Err(); err != nil {
 		return exp.Result{}, err
 	}
 	if loadfrac > 0 {
 		load = loadfrac * rate
+	}
+	if shards < 0 {
+		return exp.Result{}, fmt.Errorf("scenario: fct shards must be non-negative")
 	}
 	rec := RunFCT(FCTOptions{
 		Seed:       seed,
@@ -457,6 +485,7 @@ func (fctExp) Run(seed int64, p exp.Params) (exp.Result, error) {
 		Scheduler:  sched,
 		EndhostCC:  endhost,
 		TunnelMode: tunnel,
+		Shards:     shards,
 	})
 
 	s := rec.Slowdowns.Summarize()
@@ -488,7 +517,12 @@ func (fig9Exp) Name() string { return "fig9" }
 func (fig9Exp) Desc() string {
 	return "Figure 9: FCT slowdowns — status quo vs Bundler (SFQ/FIFO) vs in-network FQ"
 }
-func (fig9Exp) Params() []exp.Param { return []exp.Param{requestsParam("15000")} }
+func (fig9Exp) Params() []exp.Param {
+	return []exp.Param{
+		requestsParam("15000"),
+		{Name: "shards", Default: "0", Help: "0 = legacy run loop; ≥1 = windowed sharded-world protocol (byte-identical output)"},
+	}
+}
 
 // Metadata implements exp.Metadater for run-store manifests.
 func (fig9Exp) Metadata() map[string]string {
@@ -498,10 +532,14 @@ func (fig9Exp) Metadata() map[string]string {
 func (fig9Exp) Run(seed int64, p exp.Params) (exp.Result, error) {
 	b := exp.Bind(p)
 	requests := b.Int("requests", 15000)
+	shards := b.Int("shards", 0)
 	if err := b.Err(); err != nil {
 		return exp.Result{}, err
 	}
-	rows := RunFig9(seed, requests)
+	if shards < 0 {
+		return exp.Result{}, fmt.Errorf("scenario: fig9 shards must be non-negative")
+	}
+	rows := runFig9(seed, requests, shards)
 	var w strings.Builder
 	ReportHeader(&w, fmt.Sprintf("Figure 9: FCT slowdowns (%d requests; paper: 1M, medians 1.76 → 1.26)", requests))
 	WriteFCTRows(&w, rows)

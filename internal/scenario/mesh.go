@@ -11,6 +11,7 @@ import (
 	"bundler/internal/pkt"
 	"bundler/internal/qdisc"
 	"bundler/internal/sim"
+	"bundler/internal/sim/shard"
 	"bundler/internal/workload"
 )
 
@@ -23,6 +24,17 @@ import (
 // access bottleneck. Cross-pair contention happens at that access link
 // (and, in hub mode, again at the shared core), which is precisely the
 // per-site rate-allocation regime §9 discusses.
+//
+// The mesh runs on a sharded event engine (internal/sim/shard): each
+// source site is one partition — its own sim.Engine, RNG stream, and
+// packet pool — owning every component of its outbound pairs (senders,
+// receivers, boxes, access link, reverse path). In hub mode an extra
+// partition owns the shared core link; the only cross-partition edges
+// are access→core and core→site, each with RTT/4 propagation, which is
+// therefore the world's conservative lookahead. Pairwise mode has no
+// cross-partition edges at all. Partition identity depends only on the
+// site count, never on the shard (worker) count, so any shards setting
+// produces byte-identical output.
 //
 // The mesh is also the stress harness for the in-bundle ordering fixes:
 // its sendbox SFQs re-key periodically (the Linux perturbation path that
@@ -70,6 +82,12 @@ type MeshOptions struct {
 	// Horizon bounds the run (default: the FCT experiments' load-scaled
 	// rule over the total request count).
 	Horizon sim.Time
+	// Shards is the worker-goroutine count driving the partitions. 0
+	// (default) auto-budgets against the sweep's active worker count so
+	// sweep parallelism × shard parallelism never oversubscribes
+	// GOMAXPROCS; an explicit value is honored (clamped to the partition
+	// count). The value never affects results, only wall-clock.
+	Shards int
 }
 
 func (o *MeshOptions) fill() {
@@ -128,8 +146,21 @@ func (o MeshOptions) Validate() error {
 	if o.Requests < 0 || o.OfferedBps < 0 || o.PerturbPeriod < 0 || o.JitterMax < 0 {
 		return fmt.Errorf("mesh requests, load, perturb, and jitter must be non-negative")
 	}
+	if o.Shards < 0 {
+		return fmt.Errorf("mesh shards must be non-negative (0 = auto)")
+	}
 	return nil
 }
+
+// meshHostBase encodes a site's partition index into its fabric's
+// address region: hosts (i+1)<<20, control addresses the same region
+// with bit 19 set, flow IDs (i+1)<<32. The core router decodes the
+// owning site back out of any destination host with meshSiteOf.
+func meshHostBase(site int) (host, ctl uint32, flow uint64) {
+	return uint32(site+1) << 20, uint32(site+1)<<20 | 1<<19, uint64(site+1) << 32
+}
+
+func meshSiteOf(host uint32) int { return int(host>>20) - 1 }
 
 // MeshPair is one ordered site pair: one bundle, one open-loop web
 // workload, one recorder.
@@ -139,12 +170,18 @@ type MeshPair struct {
 	Rec      *workload.Recorder
 }
 
-// Mesh is one instantiated N-site mesh on a private engine.
+// Mesh is one instantiated N-site mesh on a sharded world: one
+// partition (engine + fabric + pool) per source site, plus a core
+// partition in hub mode.
 type Mesh struct {
-	Opt    MeshOptions
-	Fab    *Fabric
+	Opt MeshOptions
+	// World is the sharded engine driving the partitions.
+	World *shard.World
+	// Fabs holds each site partition's endpoint fabric, indexed by site.
+	Fabs   []*Fabric
 	Access []*netem.Link
-	// Core is the hub-mode shared link (nil in pairwise mode).
+	// Core is the hub-mode shared link (nil in pairwise mode); it lives
+	// on its own partition.
 	Core *netem.Link
 	// Pairs lists the ordered site pairs in (src, dst) lexicographic
 	// order: (0,1), (0,2), ..., (1,0), ...
@@ -152,8 +189,9 @@ type Mesh struct {
 	// Multis holds each source site's physical box (nil when unbundled).
 	Multis []*bundle.MultiSendbox
 
-	sfqs    []*qdisc.SFQ
-	perturb *sim.Ticker
+	oracleRate float64
+	sfqs       [][]*qdisc.SFQ // per source site
+	perturbs   []*sim.Ticker
 }
 
 // NewMesh builds the mesh and schedules its workloads; drive it with Run.
@@ -162,42 +200,87 @@ func NewMesh(o MeshOptions) *Mesh {
 	if err := o.Validate(); err != nil {
 		panic("scenario: " + err.Error())
 	}
-	eng := sim.NewEngine(o.Seed)
-	fab := NewFabric(eng)
-	fab.Reverse = netem.NewLink(eng, "reverse", 10e9, o.RTT/2, qdisc.NewFIFO(1<<26), fab.MuxA)
-	fab.OracleRTT = o.RTT
-	fab.OracleRate = o.AccessRate
+	m := &Mesh{Opt: o, World: shard.NewWorld()}
 
-	m := &Mesh{Opt: o, Fab: fab}
-
-	// Forward path: access links (one per site), converging either on a
-	// shared core (hub) or directly on the destination demux (pairwise).
-	// Propagation splits so forward delay is RTT/2 either way.
-	var coreEntry netem.Receiver = fab.Demux
-	accessDelay := o.RTT / 2
-	if o.Mode == "hub" {
-		if o.CoreRate < o.AccessRate {
-			fab.OracleRate = o.CoreRate
-		}
-		coreBuf := 2 * int(o.CoreRate/8*o.RTT.Seconds())
-		m.Core = netem.NewLink(eng, "core", o.CoreRate, o.RTT/4, qdisc.NewFIFO(coreBuf), fab.Demux)
-		coreEntry = m.Core
-		accessDelay = o.RTT / 4
+	// One partition per source site; partition seeds mix the experiment
+	// seed with the stable site index, never the shard count.
+	parts := make([]*shard.Part, o.Sites)
+	for i := range parts {
+		parts[i] = m.World.AddPart(shard.MixSeed(o.Seed, i))
 	}
+
+	m.oracleRate = o.AccessRate
+	hub := o.Mode == "hub"
+	var core *shard.Part
+	inPorts := make([]*shard.Port, 0, o.Sites) // core → site, indexed by site
+	if hub {
+		if o.CoreRate < o.AccessRate {
+			m.oracleRate = o.CoreRate
+		}
+		core = m.World.AddPart(shard.MixSeed(o.Seed, o.Sites))
+		// The core switch: decode the owning site from the destination
+		// host's partition bits and forward over that site's inbound port.
+		router := shard.NewRouter(func(p *pkt.Packet) *shard.Port {
+			site := meshSiteOf(p.Dst.Host)
+			if site < 0 || site >= len(inPorts) {
+				panic(fmt.Sprintf("scenario: mesh core cannot route host %#x", p.Dst.Host))
+			}
+			return inPorts[site]
+		})
+		coreBuf := 2 * int(o.CoreRate/8*o.RTT.Seconds())
+		m.Core = netem.NewLink(core.Eng, "core", o.CoreRate, o.RTT/4, qdisc.NewFIFO(coreBuf), router)
+	}
+
+	// Per-site fabric, access link, and (hub) boundary ports. Forward
+	// propagation totals RTT/2 either way: pairwise pays it all on the
+	// local access link; hub pays RTT/4 on the access→core crossing and
+	// RTT/4 on the core link's own delay (consumed by the core→site
+	// crossing). With jitter the access link's share moves onto the
+	// outbound port so the jitter element sits between them, matching
+	// the single-engine topology's access → jitter → core chain.
 	accessBuf := 2 * int(o.AccessRate/8*o.RTT.Seconds())
 	for i := 0; i < o.Sites; i++ {
-		dst := coreEntry
-		if o.JitterMax > 0 {
-			// In-path delay variation between access and core. Ordered
-			// mode is the physically honest choice for a FIFO element;
-			// plain mode deliberately fakes reordering.
-			if o.JitterOrdered {
-				dst = netem.NewOrderedJitter(eng, o.JitterMax, coreEntry)
-			} else {
-				dst = netem.NewJitter(eng, o.JitterMax, coreEntry)
+		pa := parts[i]
+		fab := NewFabric(pa.Eng)
+		fab.Pool = pa.Pool
+		hostBase, ctlBase, flowBase := meshHostBase(i)
+		fab.SetIDSpace(hostBase, ctlBase, flowBase)
+		fab.Reverse = netem.NewLink(pa.Eng, fmt.Sprintf("reverse%d", i), 10e9, o.RTT/2, qdisc.NewFIFO(1<<26), fab.MuxA)
+		fab.OracleRTT = o.RTT
+		fab.OracleRate = m.oracleRate
+		m.Fabs = append(m.Fabs, fab)
+
+		var dst netem.Receiver
+		var accessDelay sim.Time
+		if hub {
+			out := m.World.NewPort(pa, core, m.Core, o.RTT/4)
+			inPorts = append(inPorts, m.World.NewPort(core, pa, fab.Demux, o.RTT/4))
+			dst = out
+			accessDelay = o.RTT / 4
+			if o.JitterMax > 0 {
+				// In-path delay variation between access and core. Ordered
+				// mode is the physically honest choice for a FIFO element;
+				// plain mode deliberately fakes reordering. The port's
+				// fixed RTT/4 replaces the access link's propagation.
+				accessDelay = 0
+				if o.JitterOrdered {
+					dst = netem.NewOrderedJitter(pa.Eng, o.JitterMax, out)
+				} else {
+					dst = netem.NewJitter(pa.Eng, o.JitterMax, out)
+				}
+			}
+		} else {
+			dst = fab.Demux
+			accessDelay = o.RTT / 2
+			if o.JitterMax > 0 {
+				if o.JitterOrdered {
+					dst = netem.NewOrderedJitter(pa.Eng, o.JitterMax, fab.Demux)
+				} else {
+					dst = netem.NewJitter(pa.Eng, o.JitterMax, fab.Demux)
+				}
 			}
 		}
-		m.Access = append(m.Access, netem.NewLink(eng, fmt.Sprintf("access%d", i),
+		m.Access = append(m.Access, netem.NewLink(pa.Eng, fmt.Sprintf("access%d", i),
 			o.AccessRate, accessDelay, qdisc.NewFIFO(accessBuf), dst))
 	}
 
@@ -205,9 +288,11 @@ func NewMesh(o MeshOptions) *Mesh {
 	// sendbox egress is site i's access link. A bundled source site then
 	// fronts its N-1 sendboxes with one MultiSendbox — the physical box —
 	// classified by destination host, learned as flow addresses are
-	// allocated (Site.onNewDst).
+	// allocated (Site.onNewDst). Everything here lives on partition i.
 	for i := 0; i < o.Sites; i++ {
+		fab := m.Fabs[i]
 		var boxes []*bundle.Sendbox
+		var siteSFQs []*qdisc.SFQ
 		classify := make(map[uint32]int)
 		for j := 0; j < o.Sites; j++ {
 			if j == i {
@@ -217,11 +302,14 @@ func NewMesh(o MeshOptions) *Mesh {
 			var sfq *qdisc.SFQ
 			if o.Bundled {
 				sfq = qdisc.NewSFQ(1024, o.SendboxQueuePackets)
-				bcfg = &bundle.Config{Algorithm: "copa", Scheduler: sfq}
+				// Mesh rows report flow-level summaries only; drop the
+				// per-tick box traces, which would otherwise retain
+				// O(ticks) memory for each of the N(N-1) bundles.
+				bcfg = &bundle.Config{Algorithm: "copa", Scheduler: sfq, DisableTelemetry: true}
 			}
 			site := fab.AddSiteAt(m.Access[i], bcfg)
 			if o.Bundled {
-				m.sfqs = append(m.sfqs, sfq)
+				siteSFQs = append(siteSFQs, sfq)
 				box := len(boxes)
 				boxes = append(boxes, site.SB)
 				site.onNewDst = func(host uint32) { classify[host] = box }
@@ -242,59 +330,98 @@ func NewMesh(o MeshOptions) *Mesh {
 				pr.Site.egress = multi
 			}
 		}
+		m.sfqs = append(m.sfqs, siteSFQs)
 	}
 
-	// Workloads: one open-loop web workload per ordered pair.
+	// Workloads: one open-loop web workload per ordered pair, drawing
+	// arrivals from the owning partition's RNG stream.
 	for _, pr := range m.Pairs {
 		pr.Rec = pr.Site.RunOpenLoop(Traffic{OfferedBps: o.OfferedBps, Requests: o.Requests})
 	}
 
 	// Periodic SFQ re-keying (Linux's perturbation), the path the re-key
-	// reordering fix covers: without the queued-packet rehash this would
-	// reorder in-flight flows inside every mesh bundle.
-	if o.Bundled && o.PerturbPeriod > 0 && len(m.sfqs) > 0 {
-		m.perturb = sim.Tick(eng, o.PerturbPeriod, func() {
-			for _, q := range m.sfqs {
-				q.SetPerturbation(eng.Rand().Uint64())
+	// reordering fix covers. One ticker per source site, on that site's
+	// engine, so the perturbation keys come from partition-local RNG.
+	if o.Bundled && o.PerturbPeriod > 0 {
+		for i, qs := range m.sfqs {
+			if len(qs) == 0 {
+				continue
 			}
-		})
+			eng, qs := m.Fabs[i].Eng, qs
+			m.perturbs = append(m.perturbs, sim.Tick(eng, o.PerturbPeriod, func() {
+				for _, q := range qs {
+					q.SetPerturbation(eng.Rand().Uint64())
+				}
+			}))
+		}
 	}
+
+	shards := o.Shards
+	if shards == 0 {
+		shards = exp.ShardBudget()
+	}
+	m.World.SetShards(shards)
 	return m
 }
+
+// Shards reports the effective worker count driving the mesh.
+func (m *Mesh) Shards() int { return m.World.Shards() }
 
 // Run advances the mesh until every pair completes its requests (or the
 // horizon passes), then stops the control planes. It returns the virtual
 // stop time.
-func (m *Mesh) Run() sim.Time {
-	stop := m.Fab.RunUntilDone(m.Opt.Horizon, func() bool {
-		for _, pr := range m.Pairs {
+func (m *Mesh) Run() sim.Time { return m.RunUntil(m.Opt.Horizon) }
+
+// RunUntil is Run with an explicit horizon (the topo compiler's entry
+// point, whose scenario-level horizon may override the mesh default).
+func (m *Mesh) RunUntil(horizon sim.Time) sim.Time {
+	// Tear each pair's control loop down at the completion check where
+	// its workload finishes — a bundle exists while its traffic does.
+	// Early pairs would otherwise tick their 10 ms control loop for the
+	// whole tail of the run; with N·(N-1) bundles that idle ticking,
+	// not packet work, dominates large-mesh run time. The check runs at
+	// window barriers, whose times depend only on the topology's
+	// lookahead — never on the shard count — so teardown times are
+	// deterministic and shard-invariant like everything else.
+	done := make([]bool, len(m.Pairs))
+	stop := m.World.Run(horizon, func() bool {
+		all := true
+		for i, pr := range m.Pairs {
+			if done[i] {
+				continue
+			}
 			if pr.Rec.Completed < m.Opt.Requests {
-				return false
+				all = false
+				continue
+			}
+			done[i] = true
+			if pr.Site.SB != nil {
+				pr.Site.SB.Stop()
 			}
 		}
-		return true
+		return all
 	})
 	m.Stop()
 	return stop
 }
 
-// Stop halts every bundle's control loop and the perturbation ticker.
+// Stop halts every bundle's control loop and the perturbation tickers.
 func (m *Mesh) Stop() {
 	for _, pr := range m.Pairs {
 		if pr.Site.SB != nil {
 			pr.Site.SB.Stop()
 		}
 	}
-	if m.perturb != nil {
-		m.perturb.Stop()
-		m.perturb = nil
+	for _, t := range m.perturbs {
+		t.Stop()
 	}
+	m.perturbs = nil
 }
 
 // Aggregate merges every pair's recorder into one site-to-site view —
 // the row the mesh FCT table reports per variant.
 func (m *Mesh) Aggregate() *workload.Recorder {
-	agg := workload.NewRecorder(m.Fab.OracleRate, m.Fab.OracleRTT)
+	agg := workload.NewRecorder(m.oracleRate, m.Opt.RTT)
 	for _, pr := range m.Pairs {
 		agg.Merge(pr.Rec)
 	}
@@ -332,7 +459,8 @@ func RunMesh(o MeshOptions) []Fig9Result {
 }
 
 // meshExp is the registered mesh experiment: the scale-out scenario
-// family (2..N sites), sweepable over site count, mode, and load.
+// family (2..N sites), sweepable over site count, mode, load, and shard
+// parallelism.
 type meshExp struct{}
 
 func (meshExp) Name() string { return "mesh" }
@@ -350,6 +478,7 @@ func (meshExp) Params() []exp.Param {
 		{Name: "perturb", Default: "2s", Help: "sendbox SFQ re-key period (0s disables)"},
 		{Name: "jitter", Default: "0s", Help: "in-path delay variation bound after each access link"},
 		{Name: "jitterordered", Default: "true", Help: "order-preserving jitter (false fakes multipath reordering)"},
+		{Name: "shards", Default: "0", Help: "engine shards driving the per-site partitions (0 = auto-budget against sweep workers; results are identical for any value)"},
 	}
 }
 
@@ -369,6 +498,7 @@ func (meshExp) Run(seed int64, p exp.Params) (exp.Result, error) {
 		perturb  = b.Duration("perturb", 2*time.Second)
 		jitter   = b.Duration("jitter", 0)
 		ordered  = b.Bool("jitterordered", true)
+		shards   = b.Int("shards", 0)
 	)
 	if err := b.Err(); err != nil {
 		return exp.Result{}, err
@@ -383,6 +513,7 @@ func (meshExp) Run(seed int64, p exp.Params) (exp.Result, error) {
 		PerturbPeriod: sim.FromSeconds(perturb.Seconds()),
 		JitterMax:     sim.FromSeconds(jitter.Seconds()),
 		JitterOrdered: ordered,
+		Shards:        shards,
 	}
 	if err := o.Validate(); err != nil {
 		return exp.Result{}, err

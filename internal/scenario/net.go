@@ -66,9 +66,17 @@ type Fabric struct {
 	OracleRate float64
 	OracleRTT  sim.Time
 
-	nextHost uint32
-	nextCtl  uint32
-	flowID   uint64
+	// Pool, when set, is the partition-local packet pool every endpoint
+	// added to this fabric mints from (sharded topologies give each
+	// partition its own fabric and pool). Nil means the shared global
+	// pool — the legacy single-engine configuration.
+	Pool *pkt.Pool
+
+	nextHost  uint32
+	nextCtl   uint32
+	hostLimit uint32
+	ctlLimit  uint32
+	flowID    uint64
 }
 
 // NewFabric builds the shared endpoint machinery on eng. The caller must
@@ -76,6 +84,21 @@ type Fabric struct {
 func NewFabric(eng *sim.Engine) *Fabric {
 	return &Fabric{Eng: eng, MuxA: tcp.NewMux(), Demux: netem.NewDemux(),
 		nextHost: 1 << 16, nextCtl: 1 << 30}
+}
+
+// SetIDSpace moves the fabric's address and flow-ID allocators into a
+// disjoint per-partition region, so a sharded topology can decode which
+// partition owns a destination host from the address bits alone (static
+// cross-partition routing, no shared maps). Each base gets a 2^19-entry
+// region; overflowing it panics. Must be called before any site or flow
+// is added. Zero limits (the default) mean the legacy unchecked ranges.
+func (f *Fabric) SetIDSpace(hostBase, ctlBase uint32, flowBase uint64) {
+	if f.nextHost != 1<<16 || f.nextCtl != 1<<30 || f.flowID != 0 {
+		panic("scenario: SetIDSpace after allocation began")
+	}
+	f.nextHost, f.hostLimit = hostBase, hostBase+1<<19
+	f.nextCtl, f.ctlLimit = ctlBase, ctlBase+1<<19
+	f.flowID = flowBase
 }
 
 // Net is one emulated dumbbell: source sites on the left, a single
@@ -134,8 +157,13 @@ func (f *Fabric) AddSiteAt(egress netem.Receiver, bcfg *bundle.Config) *Site {
 	sbCtl := pkt.Addr{Host: f.nextCtl, Port: 1}
 	rbCtl := pkt.Addr{Host: f.nextCtl, Port: 2}
 	f.nextCtl++
+	if f.ctlLimit != 0 && f.nextCtl > f.ctlLimit {
+		panic("scenario: control-address region exhausted (SetIDSpace)")
+	}
 	s.SB = bundle.NewSendbox(f.Eng, *bcfg, egress, sbCtl, rbCtl)
+	s.SB.SetPool(f.Pool)
 	s.RB = bundle.NewReceivebox(f.Eng, f.Reverse, rbCtl, sbCtl, bcfg.InitialEpochN)
+	s.RB.SetPool(f.Pool)
 	f.MuxA.Register(sbCtl, s.SB)
 	s.MuxB.Register(rbCtl, s.RB)
 	f.Demux.Route(rbCtl.Host, s.MuxB) // epoch updates reach the receivebox
@@ -152,6 +180,9 @@ func (s *Site) addrs(dstPort uint16) (src, dst pkt.Addr) {
 	n.nextHost++
 	dst = pkt.Addr{Host: n.nextHost, Port: dstPort}
 	n.nextHost++
+	if n.hostLimit != 0 && n.nextHost > n.hostLimit {
+		panic("scenario: host-address region exhausted (SetIDSpace)")
+	}
 	n.Demux.Route(dst.Host, s.ingress)
 	if s.onNewDst != nil {
 		s.onNewDst(dst.Host)
@@ -181,11 +212,13 @@ func (s *Site) AddFlowPort(size int64, cc tcp.Congestion, dstPort uint16, done f
 			done(size, now-start)
 		}
 	})
+	rcv.SetPool(n.Pool)
 	snd = tcp.NewSender(n.Eng, s.egress, src, dst, id, size, cc, func(now sim.Time) {
 		// Sender-side completion: both directions are finished; recycle.
 		n.MuxA.Unregister(src)
 		s.MuxB.Unregister(dst)
 	})
+	snd.SetPool(n.Pool)
 	n.MuxA.Register(src, snd)
 	s.MuxB.Register(dst, rcv)
 	snd.Start()
@@ -199,7 +232,9 @@ func (s *Site) AddPing() *udpapp.PingClient {
 	src, dst := s.addrs(7)
 	n.flowID++
 	client := udpapp.NewPingClient(n.Eng, s.egress, src, dst, n.flowID)
+	client.SetPool(n.Pool)
 	server := udpapp.NewPingServer(n.Eng, n.Reverse, dst)
+	server.SetPool(n.Pool)
 	n.MuxA.Register(src, client)
 	s.MuxB.Register(dst, server)
 	client.Start()
@@ -216,6 +251,7 @@ func (s *Site) AddCBR(rateBps float64, pktSize int) (*udpapp.CBRStream, *netem.S
 	n.flowID++
 	sink := &netem.Sink{}
 	stream := udpapp.NewCBRStream(n.Eng, s.egress, src, dst, n.flowID, rateBps, pktSize)
+	stream.SetPool(n.Pool)
 	s.MuxB.Register(dst, sink)
 	stream.Start()
 	return stream, sink

@@ -1,0 +1,355 @@
+// Package shard runs a discrete-event simulation split across several
+// sim.Engine partitions that advance in lock-step windows — conservative
+// parallel DES in the Chandy–Misra–Bryant tradition.
+//
+// A World owns N partitions (Part), each with its own engine, RNG
+// stream, and packet pool. Partitions advance together through closed
+// time windows whose width is bounded by the world's lookahead: the
+// minimum declared latency over all cross-partition Ports. Within a
+// window the partitions are independent — no shared mutable state — so
+// they can run on separate goroutines. A packet crossing partitions
+// becomes a timestamped message appended to the source partition's
+// outbox; outboxes are drained at the window barrier (single-threaded),
+// sorted into a deterministic order, ownership-transferred to the
+// destination's pool, and injected as ordinary engine events.
+//
+// The lookahead argument is what makes this safe: a message emitted at
+// any time t inside a window [start, end] travels with latency ≥
+// lookahead ≥ (end − start), so it arrives at or after end — the next
+// window's territory — and injecting it at the barrier can never be
+// late. Run enforces this with a panic rather than trusting it.
+//
+// Determinism does not depend on the worker count: each partition's
+// execution within a window is a function of its own prior state, and
+// the barrier merge sorts messages by (arrival time, source partition,
+// per-source emission sequence). Running shards=1 and shards=N therefore
+// produces byte-identical results — the property the scenario-level
+// determinism tests pin down.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bundler/internal/netem"
+	"bundler/internal/pkt"
+	"bundler/internal/sim"
+)
+
+// maxOutbox bounds a partition's per-window outbox. Cross-partition
+// links are rate-limited, so a window can only produce a bounded number
+// of crossings; blowing past this means a component is emitting packets
+// outside the link discipline (or the window width is wrong).
+const maxOutbox = 1 << 20
+
+// message is one cross-partition packet in flight between windows.
+type message struct {
+	arrive sim.Time
+	src    int    // source partition ID (merge tie-break)
+	seq    uint64 // per-source emission order (merge tie-break)
+	tgt    *Part
+	dst    netem.Receiver
+	p      *pkt.Packet
+}
+
+// Part is one partition: an engine, the packet pool that owns the
+// partition's in-flight packets, and the outbox of messages it has
+// emitted toward other partitions this window. Exactly one goroutine
+// drives a Part within a window; the barrier between windows is the
+// only cross-partition synchronization point.
+type Part struct {
+	// ID is the partition's stable index in its World (creation order).
+	// RNG streams and merge ordering key off it, so it must not depend
+	// on the shard count.
+	ID int
+	// Eng is the partition's private event engine.
+	Eng *sim.Engine
+	// Pool owns the packets this partition mints (nil for adopted
+	// partitions, which use the global pool).
+	Pool *pkt.Pool
+
+	outbox []message
+	msgSeq uint64
+}
+
+func (pa *Part) send(arrive sim.Time, tgt *Part, dst netem.Receiver, p *pkt.Packet) {
+	if len(pa.outbox) >= maxOutbox {
+		panic(fmt.Sprintf("shard: partition %d outbox exceeds %d messages in one window", pa.ID, maxOutbox))
+	}
+	pa.outbox = append(pa.outbox, message{arrive: arrive, src: pa.ID, seq: pa.msgSeq, tgt: tgt, dst: dst, p: p})
+	pa.msgSeq++
+}
+
+// Port is a cross-partition edge endpoint: a netem.BoundaryPort living
+// on the source partition that delivers packets to dst on the target
+// partition after latency. Its latency participates in the world's
+// lookahead, so it must be the true minimum transit time of the edge.
+type Port struct {
+	src     *Part
+	tgt     *Part
+	dst     netem.Receiver
+	latency sim.Time
+}
+
+// NewPort declares a cross-partition edge from src to tgt with the given
+// minimum transit latency, delivering into dst on the target partition.
+// Zero or negative latency panics: conservative windows need every
+// crossing to take positive time.
+func (w *World) NewPort(src, tgt *Part, dst netem.Receiver, latency sim.Time) *Port {
+	if latency <= 0 {
+		panic("shard: port latency must be positive (it bounds the lookahead)")
+	}
+	if src == tgt {
+		panic("shard: port endpoints must be distinct partitions")
+	}
+	if dst == nil {
+		panic("shard: port needs a destination receiver")
+	}
+	pt := &Port{src: src, tgt: tgt, dst: dst, latency: latency}
+	w.ports = append(w.ports, pt)
+	return pt
+}
+
+// ReceiveAt implements netem.BoundaryPort: a Link upstream has already
+// computed the arrival time (its own delay folded in), so the port just
+// records the message for the barrier.
+func (pt *Port) ReceiveAt(p *pkt.Packet, arrive sim.Time) {
+	pt.src.send(arrive, pt.tgt, pt.dst, p)
+}
+
+// Receive implements netem.Receiver for non-Link upstreams (e.g. a
+// Jitter element): the port adds its own latency.
+func (pt *Port) Receive(p *pkt.Packet) {
+	pt.src.send(pt.src.Eng.Now()+pt.latency, pt.tgt, pt.dst, p)
+}
+
+// Router fans packets out to one of several Ports by inspecting the
+// packet — the hub partition's core switch. It implements
+// netem.BoundaryPort so a Link can terminate directly on it and use the
+// boundary fast path.
+type Router struct {
+	route func(p *pkt.Packet) *Port
+}
+
+// NewRouter builds a router around a routing function. route must
+// return a non-nil port for every packet it is handed (panic inside it
+// for unroutable packets — silent drops would break pool conservation).
+func NewRouter(route func(p *pkt.Packet) *Port) *Router {
+	return &Router{route: route}
+}
+
+// Receive implements netem.Receiver.
+func (r *Router) Receive(p *pkt.Packet) { r.route(p).Receive(p) }
+
+// ReceiveAt implements netem.BoundaryPort.
+func (r *Router) ReceiveAt(p *pkt.Packet, arrive sim.Time) { r.route(p).ReceiveAt(p, arrive) }
+
+// World is a set of partitions advancing in lock-step windows.
+type World struct {
+	parts  []*Part
+	ports  []*Port
+	shards int
+
+	transferred int64
+	scratch     []message
+
+	running bool
+}
+
+// NewWorld returns an empty world. Add partitions and ports, wire the
+// topology, then Run.
+func NewWorld() *World { return &World{shards: 1} }
+
+// AddPart creates a partition with a fresh engine seeded with seed and
+// its own packet pool. Seeds should be derived from the experiment seed
+// and the partition's stable identity (see MixSeed), never from the
+// shard count.
+func (w *World) AddPart(seed int64) *Part {
+	pa := &Part{ID: len(w.parts), Eng: sim.NewEngine(seed), Pool: &pkt.Pool{}}
+	w.parts = append(w.parts, pa)
+	return pa
+}
+
+// AdoptPart wraps an existing engine as a partition using the shared
+// global packet pool. It lets a legacy single-engine scenario run under
+// the windowed protocol unchanged: a one-partition world with no ports
+// executes exactly like Fabric.RunUntilDone on the adopted engine.
+func (w *World) AdoptPart(eng *sim.Engine) *Part {
+	pa := &Part{ID: len(w.parts), Eng: eng}
+	w.parts = append(w.parts, pa)
+	return pa
+}
+
+// Parts returns the number of partitions.
+func (w *World) Parts() int { return len(w.parts) }
+
+// SetShards sets how many worker goroutines drive the partitions
+// (partition i runs on worker i mod shards). Values are clamped to
+// [1, partitions]. The shard count affects scheduling only — never
+// physics — so any value yields byte-identical results.
+func (w *World) SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if len(w.parts) > 0 && n > len(w.parts) {
+		n = len(w.parts)
+	}
+	w.shards = n
+}
+
+// Shards reports the effective worker count.
+func (w *World) Shards() int {
+	if w.shards > len(w.parts) && len(w.parts) > 0 {
+		return len(w.parts)
+	}
+	return w.shards
+}
+
+// Lookahead returns the window bound: the minimum latency over all
+// declared ports, or zero when the world has no cross-partition edges
+// (windows then default to one second, purely as a check cadence).
+func (w *World) Lookahead() sim.Time {
+	var la sim.Time
+	for _, pt := range w.ports {
+		if la == 0 || pt.latency < la {
+			la = pt.latency
+		}
+	}
+	return la
+}
+
+// Transferred reports how many cross-partition messages have been
+// drained at window barriers so far — the pool-conservation tests use
+// it to prove hand-offs actually happened.
+func (w *World) Transferred() int64 { return w.transferred }
+
+// deliverMsg is the injected-event trampoline: a0 is the destination
+// netem.Receiver, a1 the packet.
+func deliverMsg(a0, a1 any) { a0.(netem.Receiver).Receive(a1.(*pkt.Packet)) }
+
+// drain merges every partition's outbox in deterministic order and
+// injects the messages into their destination engines. It runs
+// single-threaded at the window barrier; end is the barrier time every
+// engine has reached.
+func (w *World) drain(end sim.Time) {
+	msgs := w.scratch[:0]
+	for _, pa := range w.parts {
+		msgs = append(msgs, pa.outbox...)
+		for i := range pa.outbox {
+			pa.outbox[i] = message{} // drop packet refs
+		}
+		pa.outbox = pa.outbox[:0]
+	}
+	if len(msgs) == 0 {
+		w.scratch = msgs
+		return
+	}
+	sort.Slice(msgs, func(i, j int) bool {
+		if msgs[i].arrive != msgs[j].arrive {
+			return msgs[i].arrive < msgs[j].arrive
+		}
+		if msgs[i].src != msgs[j].src {
+			return msgs[i].src < msgs[j].src
+		}
+		return msgs[i].seq < msgs[j].seq
+	})
+	for i := range msgs {
+		m := &msgs[i]
+		if m.arrive < end {
+			panic(fmt.Sprintf("shard: lookahead violation: message from partition %d arrives at %v, before window bound %v",
+				m.src, m.arrive, end))
+		}
+		pkt.Transfer(m.p, m.tgt.Pool)
+		m.tgt.Eng.CallAt(m.arrive, deliverMsg, m.dst, m.p)
+		w.transferred++
+		*m = message{}
+	}
+	w.scratch = msgs[:0]
+}
+
+// Run advances every partition in lock-step windows until check reports
+// true (evaluated at each barrier, before the window — matching
+// Fabric.RunUntilDone's cadence) or the horizon passes. It returns the
+// stop time. With ports declared, the window width is
+// min(lookahead, 1s); without, it is one second, so a one-partition
+// world reproduces the legacy single-engine run loop exactly.
+func (w *World) Run(horizon sim.Time, check func() bool) sim.Time {
+	if len(w.parts) == 0 {
+		panic("shard: world has no partitions")
+	}
+	if w.running {
+		panic("shard: Run re-entered")
+	}
+	w.running = true
+	defer func() { w.running = false }()
+
+	window := sim.Second
+	if la := w.Lookahead(); la > 0 && la < window {
+		window = la
+	}
+
+	shards := w.Shards()
+	var (
+		workCh []chan sim.Time
+		wg     sync.WaitGroup
+	)
+	if shards > 1 {
+		workCh = make([]chan sim.Time, shards)
+		for i := range workCh {
+			workCh[i] = make(chan sim.Time)
+			go func(worker int, ch chan sim.Time) {
+				for end := range ch {
+					for p := worker; p < len(w.parts); p += shards {
+						w.parts[p].Eng.RunUntil(end)
+					}
+					wg.Done()
+				}
+			}(i, workCh[i])
+		}
+		defer func() {
+			for _, ch := range workCh {
+				close(ch)
+			}
+		}()
+	}
+
+	now := w.parts[0].Eng.Now()
+	for now < horizon {
+		if check != nil && check() {
+			break
+		}
+		end := now + window
+		if end > horizon {
+			end = horizon
+		}
+		if shards > 1 {
+			wg.Add(shards)
+			for _, ch := range workCh {
+				ch <- end
+			}
+			wg.Wait()
+		} else {
+			for _, pa := range w.parts {
+				pa.Eng.RunUntil(end)
+			}
+		}
+		w.drain(end)
+		now = end
+	}
+	return now
+}
+
+// MixSeed derives a partition's RNG seed from the experiment seed and
+// the partition's stable identity (splitmix64 finalizer). Keying by
+// partition ID — never by shard count — keeps random streams identical
+// across shard configurations.
+func MixSeed(seed int64, part int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(part+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}

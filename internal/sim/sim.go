@@ -14,7 +14,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -98,33 +97,97 @@ func (e *Event) Cancelled() bool { return e == nil || e.cancel }
 // not cancelled. A nil event is not pending.
 func (e *Event) Pending() bool { return e != nil && e.index >= 0 && !e.cancel }
 
-type eventHeap []*Event
+// heapEntry is one slot of the event queue. The ordering key (at, seq)
+// is duplicated inline so sift comparisons walk the slice sequentially
+// instead of chasing an *Event per compare — with tens of thousands of
+// pending events the queue is the engine's hottest data structure, and
+// the pointer-chasing version spent most of its time in cache misses.
+// The key total-orders events (seq is unique), so pop order — and with
+// it every simulation result — is identical to any other heap layout.
+type heapEntry struct {
+	at  Time
+	seq uint64
+	ev  *Event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+// eventHeap is a hand-rolled binary min-heap over heapEntry. It replaces
+// container/heap to keep entries unboxed and comparisons devirtualized;
+// the sift routines are the textbook ones.
+type eventHeap []heapEntry
+
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
+
+func (h eventHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+	h[i].ev.index = i
+	h[j].ev.index = j
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
 }
-func (h *eventHeap) Pop() any {
+
+// down sifts index i toward the leaves, reporting whether it moved.
+func (h eventHeap) down(i int) bool {
+	i0 := i
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && h.less(r, l) {
+			j = r
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h.swap(i, j)
+		i = j
+	}
+	return i > i0
+}
+
+func (h *eventHeap) push(ev *Event) {
+	ev.index = len(*h)
+	*h = append(*h, heapEntry{at: ev.at, seq: ev.seq, ev: ev})
+	h.up(ev.index)
+}
+
+// popMin removes and returns the earliest event.
+func (h *eventHeap) popMin() *Event {
 	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	n := len(old) - 1
+	old.swap(0, n)
+	ev := old[n].ev
+	old[n] = heapEntry{}
+	*h = old[:n]
+	if n > 0 {
+		old[:n].down(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+// fix re-establishes heap order after the entry at index i changed its
+// key (Timer re-arm); the caller must have updated the inline key first.
+func (h eventHeap) fix(i int) {
+	if !h.down(i) {
+		h.up(i)
+	}
 }
 
 // Engine is a single-threaded discrete-event executor with a deterministic
@@ -160,7 +223,7 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	}
 	e.seq++
 	ev := &Event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.events, ev)
+	e.events.push(ev)
 	return ev
 }
 
@@ -198,7 +261,7 @@ func (e *Engine) CallAt(t Time, fn func(a0, a1 any), a0, a1 any) {
 	ev.at, ev.seq = t, e.seq
 	ev.afn, ev.a0, ev.a1 = fn, a0, a1
 	ev.cancel = false
-	heap.Push(&e.events, ev)
+	e.events.push(ev)
 }
 
 // CallAfter is CallAt relative to now; negative d is clamped to zero.
@@ -225,11 +288,10 @@ func (e *Engine) Pending() int { return len(e.events) }
 // step executes the earliest event. It reports false if none remain.
 func (e *Engine) step(limit Time, useLimit bool) bool {
 	for len(e.events) > 0 {
-		next := e.events[0]
-		if useLimit && next.at > limit {
+		if useLimit && e.events[0].at > limit {
 			return false
 		}
-		heap.Pop(&e.events)
+		next := e.events.popMin()
 		if next.cancel {
 			if next.pooled {
 				e.release(next)
@@ -311,10 +373,12 @@ func (t *Timer) ArmAt(at Time) {
 	}
 	e.seq++
 	t.ev.at, t.ev.seq, t.ev.cancel = at, e.seq, false
-	if t.ev.index >= 0 {
-		heap.Fix(&e.events, t.ev.index)
+	if i := t.ev.index; i >= 0 {
+		// The heap entry's inline key must track the re-armed event.
+		e.events[i].at, e.events[i].seq = at, t.ev.seq
+		e.events.fix(i)
 	} else {
-		heap.Push(&e.events, &t.ev)
+		e.events.push(&t.ev)
 	}
 }
 

@@ -71,6 +71,9 @@ type Sender struct {
 	sndUna    int64
 	sndNxt    int64
 	segs      []*segment // ordered scoreboard covering [sndUna, sndNxt)
+	pipeBytes int64      // running Σ length over inFlight && !sacked segments
+	highSack  int64      // highest SACKed extent ever seen (0 = none yet)
+	lostCount int        // segments currently marked lost (fast path: no scan when 0)
 	dupacks   int
 	recovery  bool
 	recoverPt int64
@@ -82,6 +85,7 @@ type Sender struct {
 	ipid       uint16
 	nextSendAt sim.Time
 	paceTimer  sim.Timer
+	pool       *pkt.Pool
 
 	started    bool
 	done       bool
@@ -121,6 +125,10 @@ func (s *Sender) Start() {
 	s.trySend()
 }
 
+// SetPool makes the sender mint packets from a partition-local pool
+// (nil keeps the shared global pool). Call before Start.
+func (s *Sender) SetPool(pl *pkt.Pool) { s.pool = pl }
+
 // Done reports whether every byte has been acknowledged.
 func (s *Sender) Done() bool { return s.done }
 
@@ -134,16 +142,11 @@ func (s *Sender) Acked() int64 { return s.sndUna }
 func (s *Sender) Size() int64 { return s.size }
 
 // pipe estimates bytes currently in the network: transmitted, neither
-// SACKed nor declared lost (RFC 6675 pipe).
-func (s *Sender) pipe() int64 {
-	var p int64
-	for _, sg := range s.segs {
-		if sg.inFlight && !sg.sacked {
-			p += int64(sg.length)
-		}
-	}
-	return p
-}
+// SACKed nor declared lost (RFC 6675 pipe). It is maintained
+// incrementally at every segment state transition — trySend consults it
+// once per window-limit check, and a scoreboard scan there is quadratic
+// in the window.
+func (s *Sender) pipe() int64 { return s.pipeBytes }
 
 // trySend transmits retransmissions first, then new data, as the window
 // (and pacing rate) allows.
@@ -177,6 +180,9 @@ func (s *Sender) trySend() {
 }
 
 func (s *Sender) nextLost() *segment {
+	if s.lostCount == 0 {
+		return nil // loss-free fast path: trySend polls this per send
+	}
 	for _, sg := range s.segs {
 		if sg.lost && !sg.inFlight && !sg.sacked {
 			return sg
@@ -196,6 +202,7 @@ func (s *Sender) sendNew() {
 
 func (s *Sender) retransmit(sg *segment) {
 	sg.lost = false
+	s.lostCount--
 	sg.retx = true
 	s.Retransmits++
 	s.emit(sg, true)
@@ -207,10 +214,13 @@ func (s *Sender) retransmit(sg *segment) {
 func (s *Sender) emit(sg *segment, retx bool) {
 	now := s.eng.Now()
 	sg.sentAt = now
+	if !sg.inFlight && !sg.sacked {
+		s.pipeBytes += int64(sg.length)
+	}
 	sg.inFlight = true
 	s.ipid++
 	s.DataSent++
-	p := pkt.Get()
+	p := s.pool.Get()
 	p.IPID = s.ipid
 	p.Src = s.src
 	p.Dst = s.dst
@@ -249,6 +259,12 @@ func (s *Sender) onRTO() {
 	// retransmission.
 	for _, sg := range s.segs {
 		if !sg.sacked {
+			if sg.inFlight {
+				s.pipeBytes -= int64(sg.length)
+			}
+			if !sg.lost {
+				s.lostCount++
+			}
 			sg.lost = true
 			sg.inFlight = false
 		}
@@ -303,7 +319,9 @@ func (s *Sender) Receive(p *pkt.Packet) {
 		// outstanding segment was lost.
 		if s.dupacks >= sackDupThresh && len(s.segs) > 0 && !s.segs[0].sacked &&
 			!s.segs[0].lost && s.segs[0].inFlight && p.NSACK == 0 {
+			s.pipeBytes -= int64(s.segs[0].length)
 			s.segs[0].lost = true
+			s.lostCount++
 			s.segs[0].inFlight = false
 			newLoss = true
 		}
@@ -327,8 +345,17 @@ func (s *Sender) applySACK(blocks []SACKBlock) {
 		end := sg.seq + int64(sg.length)
 		for _, b := range blocks {
 			if sg.seq >= b.Start && end <= b.End {
+				if sg.inFlight {
+					s.pipeBytes -= int64(sg.length)
+				}
+				if sg.lost {
+					s.lostCount--
+				}
 				sg.sacked = true
 				sg.lost = false
+				if end > s.highSack {
+					s.highSack = end
+				}
 				break
 			}
 		}
@@ -340,15 +367,15 @@ func (s *Sender) applySACK(blocks []SACKBlock) {
 // exempt (the RTO catches re-lost retransmissions). It reports whether any
 // segment was newly marked.
 func (s *Sender) markLost() bool {
-	var highestSacked int64 = -1
-	for _, sg := range s.segs {
-		if sg.sacked {
-			if e := sg.seq + int64(sg.length); e > highestSacked {
-				highestSacked = e
-			}
-		}
-	}
-	if highestSacked < 0 {
+	// highSack is the monotone watermark applySACK maintains rather than
+	// a per-ACK scoreboard scan. It can exceed the highest extent still
+	// on the scoreboard only after the cumulative ACK passed it (popAcked
+	// removes whole segments, so every live segment ends above sndUna ≥
+	// that stale watermark) — and then no live segment can sit a full
+	// threshold below it, so the rule marks nothing, exactly as the
+	// rescan would.
+	highestSacked := s.highSack
+	if highestSacked == 0 {
 		return false
 	}
 	newLoss := false
@@ -358,7 +385,11 @@ func (s *Sender) markLost() bool {
 			continue
 		}
 		if sg.seq+int64(sg.length)+threshold <= highestSacked {
+			if sg.inFlight {
+				s.pipeBytes -= int64(sg.length)
+			}
 			sg.lost = true
+			s.lostCount++
 			sg.inFlight = false
 			newLoss = true
 		}
@@ -379,6 +410,12 @@ func (s *Sender) popAcked(ack int64, now sim.Time) {
 		sg := s.segs[i]
 		if sg.seq+int64(sg.length) > ack {
 			break
+		}
+		if sg.inFlight && !sg.sacked {
+			s.pipeBytes -= int64(sg.length)
+		}
+		if sg.lost {
+			s.lostCount--
 		}
 		if !sg.retx {
 			bestSent = sg.sentAt
@@ -434,6 +471,8 @@ func (s *Sender) releaseScoreboard() {
 		segPool.Put(sg)
 	}
 	s.segs = nil
+	s.pipeBytes = 0
+	s.lostCount = 0
 }
 
 // SRTT exposes the smoothed RTT estimate (for tests and the §7.5 proxy
@@ -464,6 +503,7 @@ type Receiver struct {
 	rcvNxt int64
 	ooo    []interval
 	ipid   uint16
+	pool   *pkt.Pool
 
 	done       bool
 	DoneAt     sim.Time
@@ -481,6 +521,10 @@ type interval struct{ start, end int64 }
 func NewReceiver(eng *sim.Engine, out netem.Receiver, addr, peer pkt.Addr, flowID uint64, size int64, onComplete func(now sim.Time)) *Receiver {
 	return &Receiver{eng: eng, out: out, addr: addr, peer: peer, flowID: flowID, size: size, onComplete: onComplete}
 }
+
+// SetPool makes the receiver mint ACKs from a partition-local pool (nil
+// keeps the shared global pool).
+func (r *Receiver) SetPool(pl *pkt.Pool) { r.pool = pl }
 
 // Receive implements netem.Receiver; the receiver consumes (and
 // releases) data packets.
@@ -555,7 +599,7 @@ func (r *Receiver) insert(start, end int64) {
 
 func (r *Receiver) sendAck() {
 	r.ipid++
-	p := pkt.Get()
+	p := r.pool.Get()
 	p.IPID = r.ipid
 	p.Src = r.addr
 	p.Dst = r.peer

@@ -447,6 +447,7 @@ func compileMesh(sc Scenario, seed int64, b *binder, rtt sim.Time) (*compiled, e
 	ordered := b.boolean("mesh jitterordered", d.JitterOrdered, true)
 	requests := b.count("mesh requests", d.Requests, 300)
 	load := b.rate("mesh load", d.Load, 0)
+	shards := b.count("mesh shards", d.Shards, 0)
 	if b.err != nil {
 		return nil, b.err
 	}
@@ -467,12 +468,13 @@ func compileMesh(sc Scenario, seed int64, b *binder, rtt sim.Time) (*compiled, e
 		JitterOrdered:       ordered,
 		Requests:            requests,
 		OfferedBps:          load,
+		Shards:              shards,
 	}
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
 	m := scenario.NewMesh(opt)
-	c := &compiled{fab: m.Fab, mesh: m, horizon: m.Opt.Horizon}
+	c := &compiled{mesh: m, horizon: m.Opt.Horizon}
 	for _, pr := range m.Pairs {
 		c.webs = append(c.webs, webOut{
 			Host: fmt.Sprintf("s%d-s%d", pr.Src, pr.Dst), Requests: requests, Rec: pr.Rec})
@@ -675,14 +677,19 @@ func (c *compiled) run(maxHorizon sim.Time) sim.Time {
 			return true
 		}
 	}
-	stop := c.fab.RunUntilDone(h, check)
+	var stop sim.Time
+	if c.mesh != nil {
+		// Mesh scenarios run on the sharded world; RunUntil applies the
+		// mesh's own per-pair completion check and stops its control
+		// planes on return.
+		stop = c.mesh.RunUntil(h)
+	} else {
+		stop = c.fab.RunUntilDone(h, check)
+	}
 	for _, s := range c.sites {
 		if s.SB != nil {
 			s.SB.Stop()
 		}
-	}
-	if c.mesh != nil {
-		c.mesh.Stop()
 	}
 	for _, cb := range c.cbrs {
 		cb.Stream.Stop()

@@ -123,6 +123,10 @@ type MeshDecl struct {
 	// split across the site's destinations).
 	Requests string `json:"requests,omitempty"`
 	Load     string `json:"load,omitempty"`
+	// Shards is the engine shard count driving the per-site partitions
+	// (default 0 = auto-budget against sweep workers). Results are
+	// byte-identical for any value; "$param" makes it a sweep axis.
+	Shards string `json:"shards,omitempty"`
 }
 
 // Host declares one source-site/destination-site pairing (a

@@ -27,6 +27,7 @@ type PingClient struct {
 	ipid    uint16
 	lastReq sim.Time
 	waiting bool
+	pool    *pkt.Pool
 
 	// RTTs collects request-response round-trip times in milliseconds.
 	RTTs stats.Sample
@@ -39,6 +40,10 @@ func NewPingClient(eng *sim.Engine, out netem.Receiver, addr, server pkt.Addr, f
 	return &PingClient{eng: eng, out: out, addr: addr, server: server, flowID: flowID}
 }
 
+// SetPool makes the client mint requests from a partition-local pool
+// (nil keeps the shared global pool). Call before Start.
+func (c *PingClient) SetPool(pl *pkt.Pool) { c.pool = pl }
+
 // Start sends the first request.
 func (c *PingClient) Start() { c.sendRequest() }
 
@@ -46,7 +51,7 @@ func (c *PingClient) sendRequest() {
 	c.ipid++
 	c.lastReq = c.eng.Now()
 	c.waiting = true
-	p := pkt.Get()
+	p := c.pool.Get()
 	p.IPID = c.ipid
 	p.Src = c.addr
 	p.Dst = c.server
@@ -79,6 +84,7 @@ type PingServer struct {
 	out  netem.Receiver
 	addr pkt.Addr
 	ipid uint16
+	pool *pkt.Pool
 
 	// Served counts completed responses.
 	Served int
@@ -90,6 +96,10 @@ func NewPingServer(eng *sim.Engine, out netem.Receiver, addr pkt.Addr) *PingServ
 	return &PingServer{eng: eng, out: out, addr: addr}
 }
 
+// SetPool makes the server mint responses from a partition-local pool
+// (nil keeps the shared global pool).
+func (s *PingServer) SetPool(pl *pkt.Pool) { s.pool = pl }
+
 // Receive implements netem.Receiver. The request is consumed and
 // released; the response is a fresh pooled packet.
 func (s *PingServer) Receive(p *pkt.Packet) {
@@ -99,7 +109,7 @@ func (s *PingServer) Receive(p *pkt.Packet) {
 	}
 	s.ipid++
 	s.Served++
-	resp := pkt.Get()
+	resp := s.pool.Get()
 	resp.IPID = s.ipid
 	resp.Src = s.addr
 	resp.Dst = p.Src
@@ -124,6 +134,7 @@ type CBRStream struct {
 	pktSize int
 	ipid    uint16
 	ticker  *sim.Ticker
+	pool    *pkt.Pool
 
 	// Sent counts emitted packets.
 	Sent int
@@ -137,6 +148,10 @@ func NewCBRStream(eng *sim.Engine, out netem.Receiver, src, dst pkt.Addr, flowID
 	}
 	return &CBRStream{eng: eng, out: out, src: src, dst: dst, flowID: flowID, rate: rateBps, pktSize: pktSize}
 }
+
+// SetPool makes the stream mint packets from a partition-local pool
+// (nil keeps the shared global pool). Call before Start.
+func (c *CBRStream) SetPool(pl *pkt.Pool) { c.pool = pl }
 
 // Start begins emission; Stop ends it.
 func (c *CBRStream) Start() {
@@ -157,7 +172,7 @@ func (c *CBRStream) Stop() {
 func (c *CBRStream) emit() {
 	c.ipid++
 	c.Sent++
-	p := pkt.Get()
+	p := c.pool.Get()
 	p.IPID = c.ipid
 	p.Src = c.src
 	p.Dst = c.dst

@@ -209,7 +209,14 @@ func NewRecorder(linkRate float64, rtt sim.Time) *Recorder {
 // batching what would otherwise be grow-on-Add reallocation during the
 // run. The per-class samples are sized by the web CDF's class shares
 // (97.6 % small) with headroom, since exact splits are seed-dependent.
+// Tiny workloads are left to grow on Add: below a few dozen flows the
+// eight reservation allocations cost more than the appends they would
+// save, and a large mesh carries one recorder per ordered site pair —
+// thousands of them, most seeing a handful of flows each.
 func (r *Recorder) Reserve(n int) {
+	if n < 32 {
+		return
+	}
 	r.Slowdowns.Reserve(n)
 	r.FCTms.Reserve(n)
 	small := n

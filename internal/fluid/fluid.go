@@ -1,0 +1,246 @@
+// Package fluid models background traffic as per-class aggregate rate
+// ODEs instead of per-packet TCP state — the hybrid-simulation half of
+// the ROADMAP's "millions of users per site" target. Each Class stands
+// for an arbitrary number of emulated users whose combined send rate
+// evolves by discrete-step AIMD (additive increase per user, one
+// multiplicative cut per RTT on loss), against a virtual buffer whose
+// overflow is the loss signal. The aggregate couples into a
+// netem.Link: the fluid's served rate consumes link capacity (packet
+// serialization slows by exactly that share) and its standing backlog
+// contributes queueing delay — so packet-simulated foreground bundles
+// feel the background load without a single background packet existing.
+//
+// State per class is O(1) regardless of Users, which is what makes a
+// 10⁶-user site cost the same memory as a 10-user one.
+package fluid
+
+import (
+	"fmt"
+
+	"bundler/internal/netem"
+	"bundler/internal/pkt"
+	"bundler/internal/sim"
+)
+
+// DefaultStep is the rate-ODE integration step. 10 ms is well under the
+// RTTs the scenarios use (20–100 ms), so the AIMD dynamics are resolved,
+// while a 60 s horizon costs only 6000 ticks per aggregate.
+const DefaultStep = 10 * sim.Millisecond
+
+// ForegroundHeadroom is the capacity fraction fluid aggregates can never
+// take from the foreground. A fluid model has no per-packet round-robin
+// to keep a thin packet flow alive the way a real FIFO (or the sendbox's
+// SFQ) interleaves it, so without a floor an overwhelming aggregate —
+// 10⁵ users whose one-MSS-per-RTT floor already exceeds the link —
+// would starve the packet path to netem.MinRate and foreground flows
+// would effectively never complete. Five percent models the service
+// share a handful of foreground flows would win against a saturated
+// aggregate under FIFO statistical multiplexing.
+const ForegroundHeadroom = 0.05
+
+// Class describes one background aggregate sharing a link.
+type Class struct {
+	// Name labels the class in reports.
+	Name string
+	// Users is the emulated flow count: it scales the aggregate's
+	// additive-increase slope and its rate floor (each user always has
+	// at least one MSS per RTT in flight), but not the memory footprint.
+	Users int
+	// RTT is the aggregate's feedback delay: the additive-increase and
+	// multiplicative-decrease clock.
+	RTT sim.Time
+	// MSS is the emulated segment size in bytes (pkt.MSS when zero).
+	MSS int
+	// BufBytes is the virtual buffer backing the aggregate; backlog
+	// beyond it is lost, which is the AIMD loss signal. Zero defaults to
+	// one bandwidth-delay product at attach time.
+	BufBytes float64
+}
+
+// classState is the O(1) evolving state behind one Class.
+type classState struct {
+	Class
+	rate      float64 // current aggregate send rate, bits/s
+	backlog   float64 // bytes standing in the virtual buffer
+	lastCut   sim.Time
+	cutValid  bool
+	delivered float64 // cumulative drained bytes
+	lost      float64 // cumulative overflow bytes
+}
+
+// floor is the rate the aggregate can never drop below: one MSS per RTT
+// per user, the fluid analogue of TCP's minimum window.
+func (c *classState) floor() float64 {
+	return float64(c.Users) * float64(c.MSS) * 8 / c.RTT.Seconds()
+}
+
+// Aggregate evolves the fluid classes attached to one link. It lives on
+// the link's own engine, so in a sharded mesh every site's aggregate
+// ticks inside that site's shard — no cross-shard state.
+type Aggregate struct {
+	eng     *sim.Engine
+	link    *netem.Link
+	step    sim.Time
+	classes []*classState
+
+	lastPktBytes int64 // link.BytesSent() at the previous tick
+	ticker       *sim.Ticker
+}
+
+// Attach builds an aggregate over link, ticking every step (DefaultStep
+// if step is zero). Classes are added with AddClass before the first
+// tick fires; the aggregate starts influencing the link once a class
+// exists.
+func Attach(eng *sim.Engine, link *netem.Link, step sim.Time) *Aggregate {
+	if step <= 0 {
+		step = DefaultStep
+	}
+	a := &Aggregate{eng: eng, link: link, step: step, lastPktBytes: link.BytesSent()}
+	a.ticker = sim.Tick(eng, step, a.tick)
+	return a
+}
+
+// AddClass registers a background aggregate. Rate starts at the
+// one-MSS-per-RTT-per-user floor, exactly like a slow-start entry point
+// without the exponential phase (the steady-state behavior under heavy
+// multiplexing is AIMD-dominated either way).
+func (a *Aggregate) AddClass(c Class) {
+	if c.Users <= 0 {
+		panic(fmt.Sprintf("fluid: class %q needs a positive user count", c.Name))
+	}
+	if c.RTT <= 0 {
+		panic(fmt.Sprintf("fluid: class %q needs a positive RTT", c.Name))
+	}
+	if c.MSS <= 0 {
+		c.MSS = pkt.MSS
+	}
+	if c.BufBytes <= 0 {
+		c.BufBytes = a.link.Rate() * c.RTT.Seconds() / 8 // one BDP
+	}
+	st := &classState{Class: c}
+	st.rate = st.floor()
+	a.classes = append(a.classes, st)
+}
+
+// Stop cancels the tick loop and withdraws the fluid load from the link.
+func (a *Aggregate) Stop() {
+	a.ticker.Stop()
+	a.link.SetFluidLoad(0, 0)
+}
+
+// tick advances every class by one ODE step and pushes the combined
+// served rate and backlog into the link.
+func (a *Aggregate) tick() {
+	if len(a.classes) == 0 {
+		return
+	}
+	dt := a.step.Seconds()
+	now := a.eng.Now()
+
+	// Capacity left for fluid this step: the link rate (minus the
+	// guaranteed foreground headroom) minus the packet throughput the
+	// foreground actually achieved over the last step.
+	sent := a.link.BytesSent()
+	pktBps := float64(sent-a.lastPktBytes) * 8 / dt
+	a.lastPktBytes = sent
+	avail := a.link.Rate()*(1-ForegroundHeadroom) - pktBps
+	if avail < 0 {
+		avail = 0
+	}
+	capBytes := avail * dt / 8
+
+	// Offered fluid this step: standing backlog plus fresh sending.
+	totalInflow := 0.0
+	for _, c := range a.classes {
+		totalInflow += c.backlog + c.rate*dt/8
+	}
+
+	servedBps := 0.0
+	backlogBytes := 0.0
+	for _, c := range a.classes {
+		inflow := c.backlog + c.rate*dt/8
+		drained := inflow
+		if totalInflow > capBytes {
+			// Oversubscribed: capacity splits proportionally to offered
+			// load (FIFO fluid approximation).
+			drained = capBytes * inflow / totalInflow
+		}
+		remaining := inflow - drained
+		lost := remaining - c.BufBytes
+		if lost < 0 {
+			lost = 0
+		}
+		c.backlog = remaining - lost
+		c.delivered += drained
+		c.lost += lost
+
+		// AIMD: at most one multiplicative cut per RTT on loss;
+		// otherwise every user adds one MSS per RTT per RTT.
+		if lost > 0 {
+			if !c.cutValid || now-c.lastCut >= c.RTT {
+				c.rate *= 0.5
+				c.lastCut = now
+				c.cutValid = true
+			}
+		} else {
+			rtt := c.RTT.Seconds()
+			c.rate += float64(c.Users) * float64(c.MSS) * 8 / (rtt * rtt) * dt
+		}
+		if f := c.floor(); c.rate < f {
+			c.rate = f
+		}
+
+		servedBps += drained * 8 / dt
+		backlogBytes += c.backlog
+	}
+	a.link.SetFluidLoad(servedBps, backlogBytes)
+}
+
+// Users reports the total emulated user count across classes.
+func (a *Aggregate) Users() int {
+	n := 0
+	for _, c := range a.classes {
+		n += c.Users
+	}
+	return n
+}
+
+// DeliveredBytes reports the cumulative fluid bytes drained through the
+// link across all classes.
+func (a *Aggregate) DeliveredBytes() float64 {
+	v := 0.0
+	for _, c := range a.classes {
+		v += c.delivered
+	}
+	return v
+}
+
+// LostBytes reports the cumulative virtual-buffer overflow across all
+// classes — the loss volume that drove the AIMD cuts.
+func (a *Aggregate) LostBytes() float64 {
+	v := 0.0
+	for _, c := range a.classes {
+		v += c.lost
+	}
+	return v
+}
+
+// Rate reports the current aggregate send rate (bits/s) summed over
+// classes.
+func (a *Aggregate) Rate() float64 {
+	v := 0.0
+	for _, c := range a.classes {
+		v += c.rate
+	}
+	return v
+}
+
+// Backlog reports the standing virtual backlog in bytes summed over
+// classes.
+func (a *Aggregate) Backlog() float64 {
+	v := 0.0
+	for _, c := range a.classes {
+		v += c.backlog
+	}
+	return v
+}

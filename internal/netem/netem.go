@@ -83,6 +83,17 @@ type Link struct {
 	// configured rate and skews every throughput-accuracy claim.
 	txCarry float64
 
+	// Fluid coupling (see internal/fluid): fluidBps is the share of the
+	// link's capacity currently consumed by fluid-modeled background
+	// aggregates — packet serialization runs at rate−fluidBps — and
+	// fluidBacklog is the aggregates' standing virtual queue in bytes,
+	// which QueueDelay folds into the occupancy foreground control loops
+	// observe. Both zero (the default) leaves every code path and every
+	// float operation identical to a fluid-free link, which is what keeps
+	// golden outputs byte-identical.
+	fluidBps     float64
+	fluidBacklog float64
+
 	// Stats.
 	delivered     int
 	bytesSent     int64
@@ -146,7 +157,7 @@ func (l *Link) transmitNext() {
 	if l.onDequeue != nil {
 		l.onDequeue(p, l.eng.Now()-p.EnqueuedAt)
 	}
-	ideal := float64(p.Size*8)/l.rate*float64(sim.Second) + l.txCarry
+	ideal := float64(p.Size*8)/l.effRate()*float64(sim.Second) + l.txCarry
 	tx := sim.Time(ideal)
 	if tx < 1 {
 		// Sub-nanosecond serialization rounds up to the clock tick; the
@@ -214,6 +225,44 @@ func (l *Link) SetRate(bps float64) {
 // Rate returns the configured drain rate in bits/second.
 func (l *Link) Rate() float64 { return l.rate }
 
+// effRate is the serialization rate foreground packets see: the
+// configured rate minus the fluid aggregates' share, floored at MinRate.
+// With no fluid load it returns l.rate itself — not a computed copy —
+// so the fluid-free float math is bit-identical to the pre-fluid link.
+func (l *Link) effRate() float64 {
+	if l.fluidBps == 0 {
+		return l.rate
+	}
+	r := l.rate - l.fluidBps
+	if r < MinRate {
+		r = MinRate
+	}
+	return r
+}
+
+// SetFluidLoad installs the background fluid share: bps of the link's
+// capacity consumed by fluid aggregates (clamped to ≥ 0) and their
+// standing virtual backlog in bytes. internal/fluid calls this once per
+// ODE step; passing (0, 0) fully withdraws the fluid influence.
+func (l *Link) SetFluidLoad(bps, backlogBytes float64) {
+	if bps < 0 {
+		bps = 0
+	}
+	if backlogBytes < 0 {
+		backlogBytes = 0
+	}
+	l.fluidBps = bps
+	l.fluidBacklog = backlogBytes
+}
+
+// FluidBps reports the capacity share currently consumed by fluid
+// background load.
+func (l *Link) FluidBps() float64 { return l.fluidBps }
+
+// FluidBacklogBytes reports the fluid aggregates' standing virtual
+// backlog.
+func (l *Link) FluidBacklogBytes() float64 { return l.fluidBacklog }
+
 // Delay returns the propagation delay.
 func (l *Link) Delay() sim.Time { return l.delay }
 
@@ -223,8 +272,15 @@ func (l *Link) Queue() qdisc.Qdisc { return l.q }
 
 // QueueDelay estimates the queueing delay a packet arriving now would
 // experience: backlog divided by drain rate, rounded to the nearest tick
-// (truncation would systematically under-report the backlog).
+// (truncation would systematically under-report the backlog). Fluid
+// background backlog queues at the full link rate alongside the packet
+// backlog, so foreground control loops observe the occupancy the
+// emulated users create. The fluid-free expression is untouched —
+// byte-identical golden output depends on it.
 func (l *Link) QueueDelay() sim.Time {
+	if l.fluidBacklog != 0 {
+		return sim.Time((float64(l.q.Bytes())+l.fluidBacklog)*8/l.rate*float64(sim.Second) + 0.5)
+	}
 	return sim.Time(float64(l.q.Bytes()*8)/l.rate*float64(sim.Second) + 0.5)
 }
 

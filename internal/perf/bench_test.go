@@ -44,6 +44,9 @@ func BenchmarkMesh16SitesShardsAuto(b *testing.B) { benchCase(b, "BenchmarkMesh1
 func BenchmarkMesh32SitesShardsAuto(b *testing.B) { benchCase(b, "BenchmarkMesh32SitesShardsAuto") }
 func BenchmarkMesh64SitesShardsAuto(b *testing.B) { benchCase(b, "BenchmarkMesh64SitesShardsAuto") }
 
+func BenchmarkMeshBg010kUsers(b *testing.B) { benchCase(b, "BenchmarkMeshBg010kUsers") }
+func BenchmarkMeshBg100kUsers(b *testing.B) { benchCase(b, "BenchmarkMeshBg100kUsers") }
+
 // TestBaselineMatchesSuite pins the baseline table to the suite: every
 // baseline entry must name a live case (a renamed benchmark would
 // otherwise silently orphan its point of comparison).

@@ -39,6 +39,12 @@ type Case struct {
 	Exp    string
 	Seed   int64
 	Params exp.Params
+	// Users is the total emulated background user count the case carries
+	// (the fluid aggregates' user sum across sites); nonzero cases form
+	// the memory-per-user axis, where bytes/op ÷ Users must stay flat or
+	// fall as Users grows — the hybrid simulation's O(1)-per-user
+	// contract, gated by cmd/bundler-report.
+	Users float64
 }
 
 // Cases returns the benchmark suite in a fixed order. The mesh cases are
@@ -72,6 +78,17 @@ func Cases() []Case {
 		{Name: "BenchmarkMesh32SitesShardsAuto", Exp: "mesh", Seed: 1, Params: meshParams("32", "3", "0")},
 		{Name: "BenchmarkMesh64Sites", Exp: "mesh", Seed: 1, Params: meshParams("64", "1", "1")},
 		{Name: "BenchmarkMesh64SitesShardsAuto", Exp: "mesh", Seed: 1, Params: meshParams("64", "1", "0")},
+		// The emulated-user axis: the same 2-site mesh under a 10× step in
+		// fluid background users. The foreground workload, packet count,
+		// and sketch-mode recorders are identical across the pair, so
+		// bytes/op ÷ users falling ~10× is the fluid model's
+		// O(1)-state-per-user contract made measurable; bundler-report
+		// fails the gate if bytes-per-user grows instead (super-linear
+		// memory in the user count).
+		{Name: "BenchmarkMeshBg010kUsers", Exp: "mesh", Seed: 1, Users: 2e4,
+			Params: exp.Params{"sites": "2", "mode": "pairwise", "requests": "30", "shards": "1", "users": "10000"}},
+		{Name: "BenchmarkMeshBg100kUsers", Exp: "mesh", Seed: 1, Users: 2e5,
+			Params: exp.Params{"sites": "2", "mode": "pairwise", "requests": "30", "shards": "1", "users": "100000"}},
 	}
 }
 
@@ -101,6 +118,12 @@ type Record struct {
 	Packets         float64 `json:"packets_per_op,omitempty"`
 	NsPerPacket     float64 `json:"ns_per_packet,omitempty"`
 	AllocsPerPacket float64 `json:"allocs_per_packet,omitempty"`
+	// Users and BytesPerUser form the memory-per-emulated-user axis:
+	// cases carrying fluid background users report bytes/op ÷ Users, and
+	// the report gate requires the figure to stay flat or fall as Users
+	// grows across same-prefix cases.
+	Users        float64 `json:"users,omitempty"`
+	BytesPerUser float64 `json:"bytes_per_user,omitempty"`
 }
 
 // Baseline is the pre-optimization state of the suite, measured at the
@@ -180,6 +203,10 @@ func Measure(c Case) (Record, error) {
 			r.Packets = float64(packets) / float64(res.N)
 			r.NsPerPacket = float64(res.T.Nanoseconds()) / float64(packets)
 			r.AllocsPerPacket = float64(res.MemAllocs) / float64(packets)
+		}
+		if c.Users > 0 {
+			r.Users = c.Users
+			r.BytesPerUser = r.BytesPerOp / c.Users
 		}
 		if rep == 0 || r.NsPerOp < best.NsPerOp {
 			best = r

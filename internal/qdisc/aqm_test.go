@@ -59,7 +59,7 @@ func TestCoDelHardLimit(t *testing.T) {
 }
 
 func TestREDNoDropsBelowMinThreshold(t *testing.T) {
-	r := NewRED(rand.New(rand.NewSource(1)), 100*pkt.MTU)
+	r := NewRED(sim.NewEngine(1), rand.New(rand.NewSource(1)), 100*pkt.MTU)
 	// Keep occupancy well below limit/4.
 	for i := 0; i < 2000; i++ {
 		if !r.Enqueue(mkpkt(0, pkt.MTU)) {
@@ -73,7 +73,7 @@ func TestREDNoDropsBelowMinThreshold(t *testing.T) {
 }
 
 func TestREDEarlyDropsBetweenThresholds(t *testing.T) {
-	r := NewRED(rand.New(rand.NewSource(2)), 100*pkt.MTU)
+	r := NewRED(sim.NewEngine(1), rand.New(rand.NewSource(2)), 100*pkt.MTU)
 	// Hold occupancy around half the limit so the EWMA settles between
 	// the thresholds.
 	accepted, offered := 0, 0
@@ -95,7 +95,7 @@ func TestREDEarlyDropsBetweenThresholds(t *testing.T) {
 }
 
 func TestREDFullQueueAlwaysDrops(t *testing.T) {
-	r := NewRED(rand.New(rand.NewSource(3)), 10*pkt.MTU)
+	r := NewRED(sim.NewEngine(1), rand.New(rand.NewSource(3)), 10*pkt.MTU)
 	for i := 0; i < 20; i++ {
 		r.Enqueue(mkpkt(0, pkt.MTU))
 	}
@@ -226,7 +226,7 @@ func TestAQMConservation(t *testing.T) {
 	eng := sim.NewEngine(9)
 	builders := map[string]func() Qdisc{
 		"codel": func() Qdisc { return NewCoDel(eng, 60) },
-		"red":   func() Qdisc { return NewRED(eng.Rand(), 60*pkt.MTU) },
+		"red":   func() Qdisc { return NewRED(eng, eng.Rand(), 60*pkt.MTU) },
 		"drr":   func() Qdisc { return NewDRR(60) },
 	}
 	for name, build := range builders {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"bundler/internal/pkt"
+	"bundler/internal/sim"
 )
 
 // FuzzSFQ drives the sendbox's default scheduler with an arbitrary
@@ -66,6 +67,91 @@ func FuzzSFQ(f *testing.F) {
 		}
 
 		// Drain completely: everything still queued must come out.
+		for q.Dequeue() != nil {
+			dequeued++
+			check("drain")
+		}
+		if q.Len() != 0 || q.Bytes() != 0 {
+			t.Fatalf("drained queue not empty: %d pkts, %d bytes", q.Len(), q.Bytes())
+		}
+		check("end")
+	})
+}
+
+// FuzzQdiscAccounting drives each time-aware AQM (CoDel, FQ-CoDel, RED,
+// PIE) through arbitrary enqueue/dequeue/idle-advance sequences and
+// checks the byte-accounting invariants the link and the fluid coupling
+// rely on:
+//
+//   - Bytes() always equals the sum of queued packet sizes (every packet
+//     in one fuzz run has the same size, so the sum is Len()·size — the
+//     one formulation that stays checkable when CoDel and FQ-CoDel drop
+//     packets internally at dequeue time, where the dropped bytes are
+//     otherwise unobservable from outside);
+//   - Len() and Bytes() never go negative;
+//   - conservation: accepted == dequeued + internal drops + still queued.
+//
+// Op bytes: 0x00–0x7F enqueue (flow = op % 8), 0x80–0xBF dequeue,
+// 0xC0–0xFF advance virtual time by 1–64 ms (the idle axis — exactly the
+// regime the RED EWMA and PIE drain-window fixes patrol).
+func FuzzQdiscAccounting(f *testing.F) {
+	f.Add(uint8(0), uint8(100), []byte{0x01, 0x02, 0xC5, 0x81, 0x03, 0xFF, 0x84})
+	f.Add(uint8(1), uint8(255), []byte{0x10, 0x11, 0xFF, 0xFF, 0x90, 0x12, 0xC0, 0x91})
+	f.Add(uint8(2), uint8(10), []byte{0x00, 0x00, 0x00, 0xD0, 0x80, 0x80, 0x80})
+	f.Add(uint8(3), uint8(60), []byte{0x20, 0xC1, 0x20, 0xC1, 0xA0, 0xC1, 0x20, 0xA0})
+	f.Fuzz(func(t *testing.T, which, sizeSeed uint8, ops []byte) {
+		size := 40 + int(sizeSeed)*5 // 40..1315 bytes, uniform per run
+		eng := sim.NewEngine(7)
+		var q Qdisc
+		switch which % 4 {
+		case 0:
+			q = NewCoDel(eng, 128)
+		case 1:
+			q = NewFQCoDel(eng, 16, 128)
+		case 2:
+			q = NewRED(eng, eng.Rand(), 128*pkt.MTU)
+		case 3:
+			p := NewPIE(eng, eng.Rand(), 128)
+			defer p.Stop()
+			q = p
+		}
+		accepted, dequeued, rejected := 0, 0, 0
+
+		check := func(when string) {
+			if q.Len() < 0 || q.Bytes() < 0 {
+				t.Fatalf("%s: negative accounting: %d pkts, %d bytes", when, q.Len(), q.Bytes())
+			}
+			if q.Bytes() != q.Len()*size {
+				t.Fatalf("%s: bytes %d != %d packets × %d bytes", when, q.Bytes(), q.Len(), size)
+			}
+			internalDrops := q.Drops() - rejected
+			if internalDrops < 0 {
+				t.Fatalf("%s: drop counter %d below the %d rejected arrivals", when, q.Drops(), rejected)
+			}
+			if accepted != dequeued+internalDrops+q.Len() {
+				t.Fatalf("%s: conservation broken: accepted %d != dequeued %d + dropped %d + queued %d",
+					when, accepted, dequeued, internalDrops, q.Len())
+			}
+		}
+
+		for _, op := range ops {
+			switch {
+			case op >= 0xC0: // idle-advance
+				eng.RunUntil(eng.Now() + sim.Time(int(op&0x3F)+1)*sim.Millisecond)
+			case op >= 0x80: // dequeue
+				if q.Dequeue() != nil {
+					dequeued++
+				}
+			default: // enqueue
+				if q.Enqueue(mkpkt(int(op)%8, size)) {
+					accepted++
+				} else {
+					rejected++
+				}
+			}
+			check("mid-run")
+		}
+
 		for q.Dequeue() != nil {
 			dequeued++
 			check("drain")

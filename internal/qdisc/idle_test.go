@@ -1,0 +1,197 @@
+package qdisc
+
+import (
+	"math/rand"
+	"testing"
+
+	"bundler/internal/pkt"
+	"bundler/internal/sim"
+)
+
+// TestREDIdleDecayRegression pins the idle-period EWMA fix: before it,
+// avg was only touched on enqueue, so an average pumped up by a long
+// overload episode survived any amount of idle time unchanged and the
+// first packets of the next burst were force-dropped (avg ≥ maxTh) on an
+// empty queue. Post-fix, the Floyd–Jacobson idle correction decays avg
+// by the number of transmission slots the queue sat empty, and the burst
+// passes untouched.
+func TestREDIdleDecayRegression(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := NewRED(eng, rand.New(rand.NewSource(1)), 100*pkt.MTU)
+
+	// Fill the queue to its hard limit...
+	for r.Enqueue(mkpkt(0, pkt.MTU)) {
+	}
+	// ...then keep offering at full occupancy until the EWMA converges
+	// near the limit, far above maxTh = 3/4·limit (rejected arrivals
+	// still update avg).
+	for i := 0; i < 3000; i++ {
+		r.Enqueue(mkpkt(0, pkt.MTU))
+	}
+	if r.avg < float64(r.maxTh) {
+		t.Fatalf("setup: avg %.0f did not reach maxTh %d", r.avg, r.maxTh)
+	}
+
+	// Drain back-to-back at 1 ms per packet, teaching the service-time
+	// estimate, until the queue sits empty.
+	for r.Len() > 0 {
+		eng.RunUntil(eng.Now() + sim.Millisecond)
+		r.Dequeue()
+	}
+
+	// Idle for 3 s ≈ 3000 transmission slots: (1-w)^3000 ≈ 0.0025, so
+	// the average must land far below minTh.
+	eng.RunUntil(eng.Now() + 3*sim.Second)
+
+	// The first packets of a fresh burst into an EMPTY queue must not be
+	// early-dropped.
+	dropsBefore := r.Drops()
+	for i := 0; i < 10; i++ {
+		if !r.Enqueue(mkpkt(0, pkt.MTU)) {
+			t.Fatalf("burst packet %d dropped after 3s idle (avg=%.0f, minTh=%d): stale EWMA survived the idle period", i, r.avg, r.minTh)
+		}
+	}
+	if r.Drops() != dropsBefore {
+		t.Fatalf("%d spurious drops on post-idle burst", r.Drops()-dropsBefore)
+	}
+	if r.avg > float64(r.minTh) {
+		t.Fatalf("avg %.0f still above minTh %d after 3s idle", r.avg, r.minTh)
+	}
+}
+
+// TestPIEIdleWindowRegression pins the departure-rate fix: before it,
+// the 100 ms measurement window was anchored at the last window close
+// and never reset when the queue drained, so the first dequeue of a new
+// busy period measured (a few leftover bytes) / (the whole idle gap) and
+// fed a near-zero sample into the drain-rate EWMA — collapsing the rate
+// and inflating qdelay right after idle. Post-fix the window is
+// abandoned on queue-empty, so idle time never enters a measurement.
+func TestPIEIdleWindowRegression(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := NewPIE(eng, eng.Rand(), 10000)
+	defer p.Stop()
+
+	// Busy period: 300 packets drained at 1 ms per MTU ⇒ 1.5 MB/s.
+	for i := 0; i < 300; i++ {
+		p.Enqueue(mkpkt(0, pkt.MTU))
+	}
+	for p.Len() > 0 {
+		eng.RunUntil(eng.Now() + sim.Millisecond)
+		p.Dequeue()
+	}
+	drBefore := p.drainRate
+	if drBefore < 1.4e6 || drBefore > 1.6e6 {
+		t.Fatalf("setup: drain rate %.0f B/s, want ≈1.5e6", drBefore)
+	}
+
+	// Idle 10 s, then a single enqueue/dequeue. The lone departure must
+	// not be averaged over the idle gap.
+	eng.RunUntil(eng.Now() + 10*sim.Second)
+	p.Enqueue(mkpkt(0, pkt.MTU))
+	p.Dequeue()
+
+	if p.drainRate < 0.99*drBefore {
+		t.Fatalf("drain rate collapsed across idle: %.0f → %.0f B/s (idle time entered the measurement window)", drBefore, p.drainRate)
+	}
+}
+
+// TestPIETimeZeroWindowRegression pins the sim-time-0 sentinel fix:
+// before it, lastDeq == 0 meant "uninitialized", so departures at t = 0
+// never opened a measurement window and their bytes leaked into the
+// first real window — roughly doubling the estimated drain rate here.
+// winValid makes t = 0 a first-class window start.
+func TestPIETimeZeroWindowRegression(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := NewPIE(eng, eng.Rand(), 10000)
+	defer p.Stop()
+
+	// A 100-packet burst served instantaneously at t = 0, then empty.
+	for i := 0; i < 100; i++ {
+		p.Enqueue(mkpkt(0, pkt.MTU))
+	}
+	for p.Dequeue() != nil {
+	}
+
+	// A steady busy period at 1.5 MB/s starting at t = 500 ms.
+	eng.RunUntil(500 * sim.Millisecond)
+	for i := 0; i < 150; i++ {
+		p.Enqueue(mkpkt(0, pkt.MTU))
+	}
+	for i := 0; i < 101; i++ {
+		p.Dequeue()
+		eng.RunUntil(eng.Now() + sim.Millisecond)
+	}
+
+	if p.drainRate < 1e6 || p.drainRate > 2e6 {
+		t.Fatalf("drain rate %.0f B/s, want ≈1.5e6: the t=0 burst's bytes were mis-attributed to a later window", p.drainRate)
+	}
+}
+
+// TestAQMIdleBurstNoSpuriousDrops is the table-driven idle-transition
+// suite: every AQM is pressurized into its dropping regime, fully
+// drained, left idle for 5 s, and then offered a small burst. The burst
+// must pass with zero drops — an AQM whose control state (EWMA average,
+// drain-rate window, sojourn clock, drop probability) survives the idle
+// period stale will punish exactly these packets.
+func TestAQMIdleBurstNoSpuriousDrops(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(eng *sim.Engine) Qdisc
+	}{
+		{"codel", func(eng *sim.Engine) Qdisc { return NewCoDel(eng, 400) }},
+		{"fqcodel", func(eng *sim.Engine) Qdisc { return NewFQCoDel(eng, 64, 400) }},
+		{"red", func(eng *sim.Engine) Qdisc { return NewRED(eng, eng.Rand(), 200*pkt.MTU) }},
+		{"pie", func(eng *sim.Engine) Qdisc { return NewPIE(eng, eng.Rand(), 400) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := sim.NewEngine(1)
+			q := tc.build(eng)
+			if s, ok := q.(interface{ Stop() }); ok {
+				defer s.Stop()
+			}
+
+			// Pressurize: a standing queue of ~160 MTU drained at
+			// 3 MB/s (one packet per 500 µs) holds ~80 ms of delay —
+			// deep in every AQM's dropping regime.
+			for i := 0; i < 3000; i++ {
+				eng.RunUntil(eng.Now() + 500*sim.Microsecond)
+				q.Enqueue(mkpkt(i%5, pkt.MTU))
+				if q.Len() > 160 {
+					q.Dequeue()
+				}
+			}
+			if q.Drops() == 0 {
+				t.Fatal("setup: AQM never dropped under sustained 80ms queues")
+			}
+
+			// Drain completely, then idle.
+			for q.Dequeue() != nil {
+				eng.RunUntil(eng.Now() + sim.Millisecond)
+			}
+			eng.RunUntil(eng.Now() + 5*sim.Second)
+
+			// A fresh 10-packet burst into the long-empty queue must be
+			// accepted and delivered without a single drop.
+			dropsBefore := q.Drops()
+			for i := 0; i < 10; i++ {
+				if !q.Enqueue(mkpkt(i%5, pkt.MTU)) {
+					t.Fatalf("burst packet %d rejected after 5s idle", i)
+				}
+			}
+			got := 0
+			for i := 0; i < 10; i++ {
+				eng.RunUntil(eng.Now() + sim.Millisecond)
+				if q.Dequeue() != nil {
+					got++
+				}
+			}
+			if d := q.Drops() - dropsBefore; d != 0 {
+				t.Fatalf("%d spurious drops on the post-idle burst", d)
+			}
+			if got != 10 {
+				t.Fatalf("only %d of 10 burst packets delivered", got)
+			}
+		})
+	}
+}

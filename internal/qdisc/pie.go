@@ -27,9 +27,18 @@ type PIE struct {
 	dropProb   float64
 	lastQDelay sim.Time
 	drainRate  float64 // bytes/s EWMA, estimated from dequeues
-	lastDeq    sim.Time
-	deqBytes   int
-	ticker     *sim.Ticker
+
+	// Departure-rate measurement window. winValid is an explicit "a
+	// window is open" flag — sim-time 0 is a valid instant, so it cannot
+	// double as an uninitialized sentinel — and the window is abandoned
+	// whenever the queue empties, so a measurement never spans an idle
+	// gap (which would divide real departures by idle wall-time and
+	// collapse the drain-rate EWMA).
+	winStart sim.Time
+	winBytes int
+	winValid bool
+
+	ticker *sim.Ticker
 }
 
 // NewPIE builds a PIE queue with the RFC 8033 defaults: 15 ms target,
@@ -109,20 +118,28 @@ func (p *PIE) Dequeue() *pkt.Packet {
 		p.q = append(p.q[:0], p.q[p.head:]...)
 		p.head = 0
 	}
-	// Departure-rate EWMA over 100 ms measurement windows.
-	p.deqBytes += out.Size
+	// Departure-rate EWMA over 100 ms busy-period measurement windows.
 	now := p.eng.Now()
-	if p.lastDeq == 0 {
-		p.lastDeq = now
-	} else if dt := now - p.lastDeq; dt >= 100*sim.Millisecond {
-		rate := float64(p.deqBytes) / dt.Seconds()
+	if !p.winValid {
+		p.winStart = now
+		p.winBytes = 0
+		p.winValid = true
+	}
+	p.winBytes += out.Size
+	if dt := now - p.winStart; dt >= 100*sim.Millisecond {
+		rate := float64(p.winBytes) / dt.Seconds()
 		if p.drainRate == 0 {
 			p.drainRate = rate
 		} else {
 			p.drainRate = 0.9*p.drainRate + 0.1*rate
 		}
-		p.deqBytes = 0
-		p.lastDeq = now
+		p.winStart = now
+		p.winBytes = 0
+	}
+	if p.Len() == 0 {
+		// Queue drained: close the window so the next busy period starts
+		// fresh instead of averaging departures over the idle gap.
+		p.winValid = false
 	}
 	return out
 }

@@ -1,16 +1,25 @@
 package qdisc
 
 import (
+	"math"
 	"math/rand"
 
 	"bundler/internal/pkt"
+	"bundler/internal/sim"
 )
+
+// redFallbackTx is the transmission-slot estimate used for the idle-time
+// correction before any back-to-back dequeue spacing has been observed
+// (one MTU at ~12 Mbit/s). It only matters for the very first idle
+// period; afterwards the measured service-time EWMA takes over.
+const redFallbackTx = sim.Millisecond
 
 // RED implements Random Early Detection (Floyd & Jacobson, [18] in the
 // paper): arriving packets are dropped with a probability that grows
 // linearly as the EWMA of the queue size moves between two thresholds,
 // signalling endhost loops before the buffer overflows.
 type RED struct {
+	eng *sim.Engine
 	rng *rand.Rand
 
 	q     []*pkt.Packet
@@ -26,16 +35,29 @@ type RED struct {
 
 	avg   float64
 	count int // packets since last drop, for the uniform-drop correction
+
+	// Idle-period correction state (the Floyd–Jacobson "m" term): when
+	// the queue has sat empty, avg decays as if m small packets had been
+	// transmitted into an empty queue, where m = idle time / estimated
+	// transmission slot. Without this, avg is only touched on enqueue and
+	// a stale high average early-drops the first packets of a new burst.
+	emptySince sim.Time // when the queue last became empty
+	emptyValid bool     // emptySince is meaningful (queue currently idle)
+	txEst      sim.Time // EWMA of back-to-back dequeue spacing (service time)
+	lastDeqAt  sim.Time
+	busyTail   bool // queue was non-empty after the previous dequeue
 }
 
 // NewRED builds a RED queue over a hard byte limit, with the classic
 // thresholds min=limit/4, max=3·limit/4, maxP=0.1 and EWMA weight 0.002.
-// The rng must be the simulation's deterministic source.
-func NewRED(rng *rand.Rand, limitBytes int) *RED {
+// The engine supplies virtual time for the idle-period average decay;
+// the rng must be the simulation's deterministic source.
+func NewRED(eng *sim.Engine, rng *rand.Rand, limitBytes int) *RED {
 	if limitBytes <= 0 {
 		panic("qdisc: RED limit must be positive")
 	}
 	return &RED{
+		eng:    eng,
 		rng:    rng,
 		limit:  limitBytes,
 		minTh:  limitBytes / 4,
@@ -48,6 +70,22 @@ func NewRED(rng *rand.Rand, limitBytes int) *RED {
 
 // Enqueue implements Qdisc with the RED early-drop decision.
 func (r *RED) Enqueue(p *pkt.Packet) bool {
+	if r.emptyValid {
+		// First arrival after an idle period: decay the average by the
+		// number of transmission slots the queue sat empty,
+		// avg ← avg·(1−w)^m (Floyd & Jacobson §4, the q_time term).
+		tx := r.txEst
+		if tx <= 0 {
+			tx = redFallbackTx
+		}
+		if idle := r.eng.Now() - r.emptySince; idle > 0 {
+			m := float64(idle) / float64(tx)
+			r.avg *= math.Pow(1-r.weight, m)
+		}
+		// The idle span up to now is consumed either way; if this packet
+		// is rejected the queue stays empty and the clock restarts here.
+		r.emptySince = r.eng.Now()
+	}
 	r.avg = (1-r.weight)*r.avg + r.weight*float64(r.bytes)
 	switch {
 	case r.bytes+p.Size > r.limit:
@@ -75,10 +113,12 @@ func (r *RED) Enqueue(p *pkt.Packet) bool {
 	}
 	r.q = append(r.q, p)
 	r.bytes += p.Size
+	r.emptyValid = false
 	return true
 }
 
-// Dequeue implements Qdisc.
+// Dequeue implements Qdisc and feeds the service-time estimate the
+// idle-period correction scales by.
 func (r *RED) Dequeue() *pkt.Packet {
 	if r.head == len(r.q) {
 		return nil
@@ -93,6 +133,24 @@ func (r *RED) Dequeue() *pkt.Packet {
 	} else if r.head > 64 && r.head*2 >= len(r.q) {
 		r.q = append(r.q[:0], r.q[r.head:]...)
 		r.head = 0
+	}
+	now := r.eng.Now()
+	// Back-to-back dequeues (the queue stayed busy in between) are
+	// spaced by one link transmission slot — the unit idle time is
+	// measured in.
+	if r.busyTail && now > r.lastDeqAt {
+		gap := now - r.lastDeqAt
+		if r.txEst == 0 {
+			r.txEst = gap
+		} else {
+			r.txEst = (3*r.txEst + gap) / 4
+		}
+	}
+	r.lastDeqAt = now
+	r.busyTail = r.Len() > 0
+	if r.Len() == 0 {
+		r.emptySince = now
+		r.emptyValid = true
 	}
 	return p
 }

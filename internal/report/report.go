@@ -219,8 +219,76 @@ func DiffBench(old, new perf.File, opt Options) *Report {
 	for _, name := range newNames {
 		r.add(Finding{Severity: "info", Cell: name, Detail: "new benchmark (no baseline yet)"})
 	}
+	r.userFlatnessGate(new.Current)
 	r.OK = r.Failures == 0
 	return r
+}
+
+// userGrowthPct is how much bytes-per-emulated-user may grow from the
+// smallest to the largest user count of an axis before the gate fails.
+// Linear memory in the user count means the figure stays flat (0 %
+// growth); the tolerance absorbs measurement noise in bytes/op, not a
+// change in complexity class — a fluid model that regressed to
+// per-user state shows up as ~10× growth, three orders past it.
+const userGrowthPct = 15.0
+
+// userFlatnessGate enforces the memory-per-emulated-user contract on
+// the new trajectory: benchmarks carrying Users > 0 are grouped into an
+// axis by name prefix (everything before the first digit), and within
+// each axis bytes-per-user at the largest user count must not exceed
+// bytes-per-user at the smallest by more than userGrowthPct. The gate
+// reads only the new file — it guards a scaling property of the current
+// tree, not a delta against the baseline — so old trajectories without
+// user figures don't exempt a regression.
+func (r *Report) userFlatnessGate(recs []perf.Record) {
+	groups := map[string][]perf.Record{}
+	for _, rec := range recs {
+		if rec.Users <= 0 || rec.BytesPerUser <= 0 {
+			continue
+		}
+		p := userAxisPrefix(rec.Name)
+		groups[p] = append(groups[p], rec)
+	}
+	prefixes := make([]string, 0, len(groups))
+	for p := range groups {
+		prefixes = append(prefixes, p)
+	}
+	sort.Strings(prefixes)
+	for _, p := range prefixes {
+		g := groups[p]
+		if len(g) < 2 {
+			r.add(Finding{Severity: "info", Cell: g[0].Name, Metric: "B/user",
+				Detail: "user axis has a single point; memory flatness not checkable"})
+			continue
+		}
+		sort.Slice(g, func(i, j int) bool { return g[i].Users < g[j].Users })
+		lo, hi := g[0], g[len(g)-1]
+		r.Compared++
+		d := *pct(lo.BytesPerUser, hi.BytesPerUser)
+		cell := fmt.Sprintf("%s (%.0f -> %.0f users)", p, lo.Users, hi.Users)
+		if d > userGrowthPct {
+			r.add(Finding{Severity: "fail", Cell: cell, Metric: "B/user",
+				Old: ptr(lo.BytesPerUser), New: ptr(hi.BytesPerUser), DeltaPct: ptr(d),
+				Detail: fmt.Sprintf("bytes per emulated user grew %.1f -> %.1f (%+.1f%%, threshold %.0f%%): memory is super-linear in the user count",
+					lo.BytesPerUser, hi.BytesPerUser, d, userGrowthPct)})
+		} else {
+			r.add(Finding{Severity: "info", Cell: cell, Metric: "B/user",
+				Old: ptr(lo.BytesPerUser), New: ptr(hi.BytesPerUser), DeltaPct: ptr(d),
+				Detail: fmt.Sprintf("bytes per emulated user flat-or-falling (%.1f -> %.1f, %+.1f%%)",
+					lo.BytesPerUser, hi.BytesPerUser, d)})
+		}
+	}
+}
+
+// userAxisPrefix groups user-axis benchmark names: everything before
+// the first digit ("BenchmarkMeshBg010kUsers" -> "BenchmarkMeshBg").
+func userAxisPrefix(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] >= '0' && name[i] <= '9' {
+			return name[:i]
+		}
+	}
+	return name
 }
 
 // diffStat gates one per-op statistic with a percentage threshold.

@@ -133,6 +133,89 @@ func TestBenchNsPerPacketGate(t *testing.T) {
 	}
 }
 
+// TestBenchUserFlatnessGate covers the memory-per-emulated-user axis:
+// flat or falling bytes/user passes, super-linear growth fails, and a
+// single-point axis only informs (nothing to compare against).
+func TestBenchUserFlatnessGate(t *testing.T) {
+	mk := func(bpu10k, bpu100k float64) perf.File {
+		return benchFile(
+			perf.Record{Name: "BenchmarkMeshBg010kUsers", NsPerOp: 1e9, AllocsPerOp: 100,
+				Users: 2e4, BytesPerUser: bpu10k},
+			perf.Record{Name: "BenchmarkMeshBg100kUsers", NsPerOp: 1e9, AllocsPerOp: 100,
+				Users: 2e5, BytesPerUser: bpu100k},
+		)
+	}
+
+	falling := mk(4000, 420)
+	r := DiffBench(falling, falling, opt10)
+	if !r.OK {
+		t.Fatalf("falling bytes/user failed the flatness gate: %+v", r.Findings)
+	}
+	var gateInfos int
+	for _, f := range r.Findings {
+		if f.Metric == "B/user" && f.Severity == "info" {
+			gateInfos++
+		}
+	}
+	if gateInfos != 1 {
+		t.Fatalf("want one informational flatness finding, got %d: %+v", gateInfos, r.Findings)
+	}
+
+	flat := mk(4000, 4000*1.10) // within the 15% noise allowance
+	if r := DiffBench(flat, flat, opt10); !r.OK {
+		t.Fatalf("near-flat bytes/user failed the gate: %+v", r.Findings)
+	}
+
+	super := mk(4000, 4000*1.5)
+	r = DiffBench(super, super, opt10)
+	if r.OK {
+		t.Fatal("super-linear bytes/user growth passed the flatness gate")
+	}
+	var fails []Finding
+	for _, f := range r.Findings {
+		if f.Severity == "fail" {
+			fails = append(fails, f)
+		}
+	}
+	if len(fails) != 1 || fails[0].Metric != "B/user" || !strings.Contains(fails[0].Detail, "super-linear") {
+		t.Fatalf("unexpected failures: %+v", fails)
+	}
+
+	// The gate reads the new trajectory only: a baseline without user
+	// figures must not exempt the regression.
+	old := benchFile(
+		perf.Record{Name: "BenchmarkMeshBg010kUsers", NsPerOp: 1e9, AllocsPerOp: 100},
+		perf.Record{Name: "BenchmarkMeshBg100kUsers", NsPerOp: 1e9, AllocsPerOp: 100},
+	)
+	if r := DiffBench(old, super, opt10); r.OK {
+		t.Fatal("super-linear growth passed because the baseline lacked user figures")
+	}
+
+	// A single-point axis informs instead of comparing.
+	single := benchFile(perf.Record{Name: "BenchmarkMeshBg010kUsers", NsPerOp: 1e9,
+		AllocsPerOp: 100, Users: 2e4, BytesPerUser: 4000})
+	r = DiffBench(single, single, opt10)
+	if !r.OK {
+		t.Fatalf("single-point axis must pass: %+v", r.Findings)
+	}
+	if len(r.Findings) != 1 || r.Findings[0].Severity != "info" ||
+		!strings.Contains(r.Findings[0].Detail, "single point") {
+		t.Fatalf("single-point axis should inform: %+v", r.Findings)
+	}
+}
+
+func TestUserAxisPrefix(t *testing.T) {
+	for name, want := range map[string]string{
+		"BenchmarkMeshBg010kUsers": "BenchmarkMeshBg",
+		"BenchmarkMeshBg100kUsers": "BenchmarkMeshBg",
+		"BenchmarkNoDigits":        "BenchmarkNoDigits",
+	} {
+		if got := userAxisPrefix(name); got != want {
+			t.Errorf("userAxisPrefix(%q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
 func cell(name string, seed int64, params exp.Params, metrics map[string]float64, report string) exp.Result {
 	r := exp.Result{Experiment: name, Seed: seed, Params: params, Report: report}
 	for _, k := range []string{"completed", "fct-p99", "nan-probe"} {

@@ -395,7 +395,7 @@ func ParseScheduler(eng *sim.Engine, name string, packets int) (qdisc.Qdisc, err
 	case name == "codel":
 		return qdisc.NewCoDel(eng, packets), nil
 	case name == "red":
-		return qdisc.NewRED(eng.Rand(), packets*pkt.MTU), nil
+		return qdisc.NewRED(eng, eng.Rand(), packets*pkt.MTU), nil
 	case name == "drr":
 		return qdisc.NewDRR(packets), nil
 	case name == "pie":

@@ -7,6 +7,7 @@ import (
 
 	"bundler/internal/bundle"
 	"bundler/internal/exp"
+	"bundler/internal/fluid"
 	"bundler/internal/netem"
 	"bundler/internal/pkt"
 	"bundler/internal/qdisc"
@@ -76,9 +77,24 @@ type MeshOptions struct {
 	JitterOrdered bool
 	// Requests is the web request count per ordered pair (default 300).
 	Requests int
-	// OfferedBps is the per-pair offered load (default 70 % of the
-	// access rate split across the site's N-1 destinations).
+	// OfferedBps is the per-pair offered load. The default is 70 % of
+	// the per-destination share of whatever the foreground can actually
+	// get: the full access rate normally, or the guaranteed foreground
+	// headroom of it when emulated background users saturate the link.
 	OfferedBps float64
+	// BgUsersPerSite emulates this many background users at every source
+	// site as a fluid AIMD aggregate on the site's access link (package
+	// fluid): the foreground bundles feel the load through slowed
+	// serialization and added queueing delay, but no background packet is
+	// ever simulated — per-site cost is O(1) in the user count. Zero
+	// disables.
+	BgUsersPerSite int
+	// Sketch switches every recorder to bounded quantile sketches
+	// (internal/stats), making stats memory independent of the request
+	// count at ≤1 % quantile error. Forced on whenever BgUsersPerSite is
+	// set — million-user meshes are exactly the runs that cannot afford
+	// exact per-flow slices.
+	Sketch bool
 	// Horizon bounds the run (default: the FCT experiments' load-scaled
 	// rule over the total request count).
 	Horizon sim.Time
@@ -112,8 +128,18 @@ func (o *MeshOptions) fill() {
 	if o.Requests == 0 {
 		o.Requests = 300
 	}
+	if o.BgUsersPerSite > 0 {
+		o.Sketch = true
+	}
 	if o.OfferedBps == 0 {
-		o.OfferedBps = 0.7 * o.AccessRate / float64(o.Sites-1)
+		share := o.AccessRate
+		if o.BgUsersPerSite > 0 {
+			// A saturating background aggregate leaves the foreground only
+			// the guaranteed headroom; offering more would just run every
+			// pair into the horizon.
+			share *= fluid.ForegroundHeadroom
+		}
+		o.OfferedBps = 0.7 * share / float64(o.Sites-1)
 	}
 	if o.Horizon == 0 {
 		total := o.Requests * o.Sites * (o.Sites - 1)
@@ -145,6 +171,9 @@ func (o MeshOptions) Validate() error {
 	}
 	if o.Requests < 0 || o.OfferedBps < 0 || o.PerturbPeriod < 0 || o.JitterMax < 0 {
 		return fmt.Errorf("mesh requests, load, perturb, and jitter must be non-negative")
+	}
+	if o.BgUsersPerSite < 0 {
+		return fmt.Errorf("mesh background users must be non-negative (got %d)", o.BgUsersPerSite)
 	}
 	if o.Shards < 0 {
 		return fmt.Errorf("mesh shards must be non-negative (0 = auto)")
@@ -188,6 +217,10 @@ type Mesh struct {
 	Pairs []*MeshPair
 	// Multis holds each source site's physical box (nil when unbundled).
 	Multis []*bundle.MultiSendbox
+	// Fluids holds each site's background-user aggregate, indexed by
+	// site (empty when BgUsersPerSite is zero). Each lives on its site's
+	// partition engine, so fluid ticks shard with everything else.
+	Fluids []*fluid.Aggregate
 
 	oracleRate float64
 	sfqs       [][]*qdisc.SFQ // per source site
@@ -282,6 +315,12 @@ func NewMesh(o MeshOptions) *Mesh {
 		}
 		m.Access = append(m.Access, netem.NewLink(pa.Eng, fmt.Sprintf("access%d", i),
 			o.AccessRate, accessDelay, qdisc.NewFIFO(accessBuf), dst))
+		if o.BgUsersPerSite > 0 {
+			agg := fluid.Attach(pa.Eng, m.Access[i], 0)
+			agg.AddClass(fluid.Class{Name: fmt.Sprintf("bg%d", i),
+				Users: o.BgUsersPerSite, RTT: o.RTT})
+			m.Fluids = append(m.Fluids, agg)
+		}
 	}
 
 	// Sites and bundles: each ordered pair (i, j) is one bundle whose
@@ -336,7 +375,7 @@ func NewMesh(o MeshOptions) *Mesh {
 	// Workloads: one open-loop web workload per ordered pair, drawing
 	// arrivals from the owning partition's RNG stream.
 	for _, pr := range m.Pairs {
-		pr.Rec = pr.Site.RunOpenLoop(Traffic{OfferedBps: o.OfferedBps, Requests: o.Requests})
+		pr.Rec = pr.Site.RunOpenLoop(Traffic{OfferedBps: o.OfferedBps, Requests: o.Requests, Sketch: o.Sketch})
 	}
 
 	// Periodic SFQ re-keying (Linux's perturbation), the path the re-key
@@ -416,16 +455,43 @@ func (m *Mesh) Stop() {
 		t.Stop()
 	}
 	m.perturbs = nil
+	for _, a := range m.Fluids {
+		a.Stop()
+	}
 }
 
 // Aggregate merges every pair's recorder into one site-to-site view —
 // the row the mesh FCT table reports per variant.
 func (m *Mesh) Aggregate() *workload.Recorder {
 	agg := workload.NewRecorder(m.oracleRate, m.Opt.RTT)
+	if m.Opt.Sketch {
+		agg.UseSketch()
+	}
 	for _, pr := range m.Pairs {
 		agg.Merge(pr.Rec)
 	}
 	return agg
+}
+
+// BgDeliveredBytes sums the background aggregates' drained fluid volume;
+// BgLostBytes sums their virtual-buffer overflow. Both are zero when the
+// mesh runs without emulated users.
+func (m *Mesh) BgDeliveredBytes() float64 {
+	v := 0.0
+	for _, a := range m.Fluids {
+		v += a.DeliveredBytes()
+	}
+	return v
+}
+
+// BgLostBytes reports the cumulative background loss volume (the AIMD
+// signal) across sites.
+func (m *Mesh) BgLostBytes() float64 {
+	v := 0.0
+	for _, a := range m.Fluids {
+		v += a.LostBytes()
+	}
+	return v
 }
 
 // Misrouted sums the MultiSendbox misclassification counters: any
@@ -438,10 +504,20 @@ func (m *Mesh) Misrouted() int {
 	return total
 }
 
+// MeshBg summarizes one variant's background fluid volume: how much the
+// emulated users pushed through their access links and how much their
+// virtual buffers dropped (all zero without BgUsersPerSite).
+type MeshBg struct {
+	Label                     string
+	DeliveredBytes, LostBytes float64
+}
+
 // RunMesh executes the status-quo and Bundler variants of one mesh
-// configuration and returns the shared FCT-comparison rows.
-func RunMesh(o MeshOptions) []Fig9Result {
+// configuration and returns the shared FCT-comparison rows plus each
+// variant's background-traffic summary.
+func RunMesh(o MeshOptions) ([]Fig9Result, []MeshBg) {
 	var rows []Fig9Result
+	var bgs []MeshBg
 	for _, v := range []struct {
 		label   string
 		bundled bool
@@ -454,8 +530,10 @@ func RunMesh(o MeshOptions) []Fig9Result {
 		mesh := NewMesh(vo)
 		mesh.Run()
 		rows = append(rows, SummarizeFCT(v.label, mesh.Aggregate()))
+		bgs = append(bgs, MeshBg{Label: v.label,
+			DeliveredBytes: mesh.BgDeliveredBytes(), LostBytes: mesh.BgLostBytes()})
 	}
-	return rows
+	return rows, bgs
 }
 
 // meshExp is the registered mesh experiment: the scale-out scenario
@@ -479,6 +557,8 @@ func (meshExp) Params() []exp.Param {
 		{Name: "jitter", Default: "0s", Help: "in-path delay variation bound after each access link"},
 		{Name: "jitterordered", Default: "true", Help: "order-preserving jitter (false fakes multipath reordering)"},
 		{Name: "shards", Default: "0", Help: "engine shards driving the per-site partitions (0 = auto-budget against sweep workers; results are identical for any value)"},
+		{Name: "users", Default: "0", Help: "emulated background users per site, modeled as a fluid AIMD aggregate on each access link (0 disables; >0 also switches stats to sketch mode)"},
+		{Name: "sketch", Default: "auto", Help: `bounded quantile sketches for FCT stats: "auto" (on when users > 0), "true", or "false"`},
 	}
 }
 
@@ -499,35 +579,63 @@ func (meshExp) Run(seed int64, p exp.Params) (exp.Result, error) {
 		jitter   = b.Duration("jitter", 0)
 		ordered  = b.Bool("jitterordered", true)
 		shards   = b.Int("shards", 0)
+		users    = b.Int("users", 0)
+		sketch   = b.String("sketch", "auto")
 	)
 	if err := b.Err(); err != nil {
 		return exp.Result{}, err
 	}
 	o := MeshOptions{
-		Seed:          seed,
-		Sites:         sites,
-		Mode:          mode,
-		AccessRate:    rate,
-		Requests:      requests,
-		OfferedBps:    load,
-		PerturbPeriod: sim.FromSeconds(perturb.Seconds()),
-		JitterMax:     sim.FromSeconds(jitter.Seconds()),
-		JitterOrdered: ordered,
-		Shards:        shards,
+		Seed:           seed,
+		Sites:          sites,
+		Mode:           mode,
+		AccessRate:     rate,
+		Requests:       requests,
+		OfferedBps:     load,
+		PerturbPeriod:  sim.FromSeconds(perturb.Seconds()),
+		JitterMax:      sim.FromSeconds(jitter.Seconds()),
+		JitterOrdered:  ordered,
+		Shards:         shards,
+		BgUsersPerSite: users,
+	}
+	switch sketch {
+	case "auto":
+		// fill() turns sketches on with the background users.
+	case "true":
+		o.Sketch = true
+	case "false":
+		if users > 0 {
+			return exp.Result{}, fmt.Errorf("mesh: sketch=false is incompatible with users=%d (emulated-user runs need bounded stats)", users)
+		}
+	default:
+		return exp.Result{}, fmt.Errorf("mesh: sketch=%q (want auto, true, or false)", sketch)
 	}
 	if err := o.Validate(); err != nil {
 		return exp.Result{}, err
 	}
-	rows := RunMesh(o)
+	rows, bgs := RunMesh(o)
 	var w strings.Builder
-	ReportHeader(&w, fmt.Sprintf("Mesh: %d sites (%d bundles, %s), %d requests/pair",
-		sites, sites*(sites-1), mode, requests))
+	hdr := fmt.Sprintf("Mesh: %d sites (%d bundles, %s), %d requests/pair",
+		sites, sites*(sites-1), mode, requests)
+	if users > 0 {
+		hdr += fmt.Sprintf(", %d background users/site", users)
+	}
+	ReportHeader(&w, hdr)
 	WriteFCTRows(&w, rows)
 	res := exp.Result{Experiment: "mesh", Seed: seed, Params: p, Report: w.String()}
 	AddFCTRowMetrics(&res, rows)
-	for _, r := range rows {
+	for i, r := range rows {
 		label := strings.ReplaceAll(r.Label, " ", "_")
 		res.AddMetric(label+"/completed", float64(r.Rec.Completed), "requests")
+		if users > 0 {
+			fmt.Fprintf(&w, "%-22s background delivered %.1f MB, lost %.1f MB\n",
+				bgs[i].Label, bgs[i].DeliveredBytes/1e6, bgs[i].LostBytes/1e6)
+			res.AddMetric(label+"/bg-delivered", bgs[i].DeliveredBytes, "bytes")
+			res.AddMetric(label+"/bg-lost", bgs[i].LostBytes, "bytes")
+		}
+	}
+	if users > 0 {
+		res.Report = w.String()
 	}
 	return res, nil
 }

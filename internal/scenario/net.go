@@ -279,6 +279,12 @@ type Traffic struct {
 	// differs from the fabric default. Zero means use the fabric's.
 	OracleRate float64
 	OracleRTT  sim.Time
+	// Sketch records completions into bounded quantile sketches instead
+	// of exact per-flow slices (see internal/stats/sketch.go): recorder
+	// memory becomes independent of the request count, at ≤1 % relative
+	// quantile error. Mesh runs with emulated-user background load turn
+	// this on.
+	Sketch bool
 }
 
 func (t *Traffic) cc() tcp.Congestion {
@@ -307,7 +313,9 @@ func (s *Site) RunOpenLoop(tr Traffic) *workload.Recorder {
 		rtt = tr.OracleRTT
 	}
 	rec := workload.NewRecorder(rate, rtt)
-	if tr.Requests < 1<<20 { // huge counts mean "run until the horizon"
+	if tr.Sketch {
+		rec.UseSketch()
+	} else if tr.Requests < 1<<20 { // huge counts mean "run until the horizon"
 		rec.Reserve(tr.Requests)
 	}
 	port := tr.DstPort

@@ -14,23 +14,54 @@ import (
 	"bundler/internal/sim"
 )
 
-// Sample accumulates float64 observations for exact quantile queries.
+// Sample accumulates float64 observations for quantile queries. The
+// default mode stores every observation exactly; UseSketch switches the
+// sample to a bounded log-histogram sketch (see the accuracy contract in
+// sketch.go) for mesh-scale runs where per-flow buffers are
+// memory-impossible. Exact mode's behavior — and therefore golden
+// output — is byte-identical to the pre-sketch implementation.
 type Sample struct {
 	vals   []float64
 	sorted bool
+	sk     *Sketch // non-nil → sketch mode
 }
+
+// UseSketch switches the sample to sketch mode, converting any
+// observations already recorded. Quantiles become ≤1 %-relative-error
+// approximations (N/Mean/Min/Max/Stddev stay exact) and memory becomes
+// independent of the observation count. There is no way back to exact
+// mode: the raw observations are discarded.
+func (s *Sample) UseSketch() {
+	if s.sk != nil {
+		return
+	}
+	s.sk = NewSketch()
+	for _, v := range s.vals {
+		s.sk.Add(v)
+	}
+	s.vals = nil
+	s.sorted = false
+}
+
+// Sketched reports whether the sample is in sketch mode.
+func (s *Sample) Sketched() bool { return s.sk != nil }
 
 // Add appends an observation.
 func (s *Sample) Add(v float64) {
+	if s.sk != nil {
+		s.sk.Add(v)
+		return
+	}
 	s.vals = append(s.vals, v)
 	s.sorted = false
 }
 
 // Reserve grows the sample's buffer to hold at least n observations, so
 // recording hot paths (one Add per flow or per packet) never reallocate
-// mid-run. It never shrinks.
+// mid-run. It never shrinks, and is a no-op in sketch mode (whose
+// footprint does not scale with n).
 func (s *Sample) Reserve(n int) {
-	if cap(s.vals) >= n {
+	if s.sk != nil || cap(s.vals) >= n {
 		return
 	}
 	vals := make([]float64, len(s.vals), n)
@@ -38,23 +69,48 @@ func (s *Sample) Reserve(n int) {
 	s.vals = vals
 }
 
-// AddSample appends every observation of o — the aggregation step the
-// mesh experiments use to report one row over many per-pair recorders.
-// o is left untouched.
+// AddSample folds every observation of o into s — the aggregation step
+// the mesh experiments use to report one row over many per-pair
+// recorders. Two exact samples concatenate; two sketches merge in
+// bucket space (bounded, exact over sketches). Mixed modes make s a
+// sketch: folding a sketch into an exact sample converts s first, since
+// o's raw observations no longer exist. o is left untouched.
 func (s *Sample) AddSample(o *Sample) {
-	s.vals = append(s.vals, o.vals...)
-	s.sorted = false
+	switch {
+	case s.sk == nil && o.sk == nil:
+		s.vals = append(s.vals, o.vals...)
+		s.sorted = false
+	case s.sk != nil && o.sk != nil:
+		s.sk.Merge(o.sk)
+	case s.sk != nil:
+		for _, v := range o.vals {
+			s.sk.Add(v)
+		}
+	default:
+		s.UseSketch()
+		s.sk.Merge(o.sk)
+	}
 }
 
-// Reset discards all observations but keeps the buffer, so a Sample can
-// be reused across runs without reallocating.
+// Reset discards all observations but keeps the buffer (or sketch mode
+// and bucket map), so a Sample can be reused across runs without
+// reallocating.
 func (s *Sample) Reset() {
+	if s.sk != nil {
+		s.sk.Reset()
+		return
+	}
 	s.vals = s.vals[:0]
 	s.sorted = false
 }
 
 // N reports the number of observations.
-func (s *Sample) N() int { return len(s.vals) }
+func (s *Sample) N() int {
+	if s.sk != nil {
+		return s.sk.N()
+	}
+	return len(s.vals)
+}
 
 func (s *Sample) sort() {
 	if !s.sorted {
@@ -63,9 +119,13 @@ func (s *Sample) sort() {
 	}
 }
 
-// Quantile returns the q-quantile (0 ≤ q ≤ 1) using linear interpolation.
-// It returns NaN for an empty sample.
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using linear interpolation
+// (within 1 % relative error in sketch mode). It returns NaN for an
+// empty sample.
 func (s *Sample) Quantile(q float64) float64 {
+	if s.sk != nil {
+		return s.sk.Quantile(q)
+	}
 	if len(s.vals) == 0 {
 		return math.NaN()
 	}
@@ -88,8 +148,12 @@ func (s *Sample) Quantile(q float64) float64 {
 // Median returns the 50th percentile.
 func (s *Sample) Median() float64 { return s.Quantile(0.5) }
 
-// Mean returns the arithmetic mean, or NaN when empty.
+// Mean returns the arithmetic mean (exact in both modes), or NaN when
+// empty.
 func (s *Sample) Mean() float64 {
+	if s.sk != nil {
+		return s.sk.Mean()
+	}
 	if len(s.vals) == 0 {
 		return math.NaN()
 	}
@@ -106,8 +170,12 @@ func (s *Sample) Min() float64 { return s.Quantile(0) }
 // Max returns the largest observation.
 func (s *Sample) Max() float64 { return s.Quantile(1) }
 
-// Stddev returns the population standard deviation.
+// Stddev returns the population standard deviation (exact in both
+// modes).
 func (s *Sample) Stddev() float64 {
+	if s.sk != nil {
+		return s.sk.Stddev()
+	}
 	if len(s.vals) == 0 {
 		return math.NaN()
 	}
@@ -121,8 +189,12 @@ func (s *Sample) Stddev() float64 {
 }
 
 // FractionWithin reports the fraction of observations v with |v| ≤ bound
-// (used for the paper's "80 % of estimates within X" claims).
+// (used for the paper's "80 % of estimates within X" claims). Sketch
+// mode resolves the bound at bucket granularity.
 func (s *Sample) FractionWithin(bound float64) float64 {
+	if s.sk != nil {
+		return s.sk.FractionWithin(bound)
+	}
 	if len(s.vals) == 0 {
 		return math.NaN()
 	}

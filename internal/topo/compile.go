@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"bundler/internal/bundle"
+	"bundler/internal/fluid"
 	"bundler/internal/netem"
 	"bundler/internal/pkt"
 	"bundler/internal/qdisc"
@@ -148,6 +149,13 @@ type cbrOut struct {
 	Sink    *netem.Sink
 }
 
+// fluidOut is one fluid background aggregate's live state.
+type fluidOut struct {
+	Host  string
+	Users int
+	Agg   *fluid.Aggregate
+}
+
 // compiled is one instantiated scenario: the fabric, links, and
 // workload probes of a single run, ready to execute.
 type compiled struct {
@@ -157,10 +165,11 @@ type compiled struct {
 	mesh    *scenario.Mesh   // set for mesh scenarios (sites then empty)
 	horizon sim.Time
 
-	webs  []webOut
-	bulks []bulkOut
-	pings []pingOut
-	cbrs  []cbrOut
+	webs   []webOut
+	bulks  []bulkOut
+	pings  []pingOut
+	cbrs   []cbrOut
+	fluids []fluidOut
 }
 
 var innerAlgs = map[string]bool{"": true, "copa": true, "basicdelay": true, "bbr": true}
@@ -288,6 +297,7 @@ func compile(sc Scenario, seed int64, pv map[string]string) (*compiled, error) {
 	}
 
 	siteByName := make(map[string]*scenario.Site, len(sc.Hosts))
+	hostLink := make(map[string]*netem.Link, len(sc.Hosts))
 	oracleRate := make(map[string]float64, len(sc.Hosts))
 	oracleRTT := make(map[string]sim.Time, len(sc.Hosts))
 	for _, h := range sc.Hosts {
@@ -317,6 +327,7 @@ func compile(sc Scenario, seed int64, pv map[string]string) (*compiled, error) {
 		site := fab.AddSiteAt(entries[attach], bcfg)
 		c.sites = append(c.sites, site)
 		siteByName[h.Name] = site
+		hostLink[h.Name] = links[attach]
 		oracleRate[h.Name], oracleRTT[h.Name] = pathOracle(b, decl, attach, rtt)
 	}
 	if b.err != nil {
@@ -401,8 +412,21 @@ func compile(sc Scenario, seed int64, pv map[string]string) (*compiled, error) {
 			}
 			stream, sink := site.AddCBR(load, pktSize)
 			c.cbrs = append(c.cbrs, cbrOut{Host: w.Host, RateBps: load, PktSize: pktSize, Stream: stream, Sink: sink})
+		case "fluid":
+			users := b.count("fluid users", w.Users, 0)
+			if b.err == nil && users <= 0 {
+				return nil, fmt.Errorf("fluid workload on %q needs a positive users count", w.Host)
+			}
+			if b.err != nil {
+				return nil, b.err
+			}
+			// The aggregate loads the host's attach link directly — no
+			// endpoints, no packets, O(1) state however large users is.
+			agg := fluid.Attach(eng, hostLink[w.Host], 0)
+			agg.AddClass(fluid.Class{Name: w.Host, Users: users, RTT: rtt})
+			c.fluids = append(c.fluids, fluidOut{Host: w.Host, Users: users, Agg: agg})
 		default:
-			return nil, fmt.Errorf("workload %d on %q: unknown kind %q (want web, bulk, ping, or cbr)", i, w.Host, w.Kind)
+			return nil, fmt.Errorf("workload %d on %q: unknown kind %q (want web, bulk, ping, cbr, or fluid)", i, w.Host, w.Kind)
 		}
 	}
 	if b.err != nil {
@@ -448,6 +472,8 @@ func compileMesh(sc Scenario, seed int64, b *binder, rtt sim.Time) (*compiled, e
 	requests := b.count("mesh requests", d.Requests, 300)
 	load := b.rate("mesh load", d.Load, 0)
 	shards := b.count("mesh shards", d.Shards, 0)
+	users := b.count("mesh users", d.Users, 0)
+	sketch := b.str("mesh sketch", d.Sketch)
 	if b.err != nil {
 		return nil, b.err
 	}
@@ -469,6 +495,19 @@ func compileMesh(sc Scenario, seed int64, b *binder, rtt sim.Time) (*compiled, e
 		Requests:            requests,
 		OfferedBps:          load,
 		Shards:              shards,
+		BgUsersPerSite:      users,
+	}
+	switch sketch {
+	case "", "auto":
+		// MeshOptions turns sketches on with the background users.
+	case "true":
+		opt.Sketch = true
+	case "false":
+		if users > 0 {
+			return nil, fmt.Errorf("mesh sketch=false is incompatible with users=%d (emulated-user runs need bounded stats)", users)
+		}
+	default:
+		return nil, fmt.Errorf("mesh sketch %q: want auto, true, or false", sketch)
 	}
 	if err := opt.Validate(); err != nil {
 		return nil, err
@@ -478,6 +517,9 @@ func compileMesh(sc Scenario, seed int64, b *binder, rtt sim.Time) (*compiled, e
 	for _, pr := range m.Pairs {
 		c.webs = append(c.webs, webOut{
 			Host: fmt.Sprintf("s%d-s%d", pr.Src, pr.Dst), Requests: requests, Rec: pr.Rec})
+	}
+	for i, a := range m.Fluids {
+		c.fluids = append(c.fluids, fluidOut{Host: fmt.Sprintf("s%d", i), Users: a.Users(), Agg: a})
 	}
 	if sc.Horizon != "" {
 		c.horizon = b.dur("horizon", sc.Horizon, 0)

@@ -127,6 +127,14 @@ type MeshDecl struct {
 	// (default 0 = auto-budget against sweep workers). Results are
 	// byte-identical for any value; "$param" makes it a sweep axis.
 	Shards string `json:"shards,omitempty"`
+	// Users emulates this many background users per site as a fluid AIMD
+	// aggregate on each access link (scenario.MeshOptions.BgUsersPerSite;
+	// default 0 = off). "$param" makes the user count a sweep axis.
+	Users string `json:"users,omitempty"`
+	// Sketch selects bounded quantile sketches for the FCT statistics:
+	// "auto" (default: on when Users > 0), "true", or "false" ("false"
+	// with Users set is an error — emulated-user runs need bounded stats).
+	Sketch string `json:"sketch,omitempty"`
 }
 
 // Host declares one source-site/destination-site pairing (a
@@ -160,10 +168,12 @@ type Workload struct {
 	Host string `json:"host"`
 	// Kind selects the generator:
 	//
-	//	"web"  — open-loop Poisson request arrivals (§7.1); FCTs recorded
-	//	"bulk" — backlogged long-running TCP flows
-	//	"ping" — closed-loop 40-byte UDP request/response probes (§8)
-	//	"cbr"  — paced constant-bit-rate UDP stream (§3's video class)
+	//	"web"   — open-loop Poisson request arrivals (§7.1); FCTs recorded
+	//	"bulk"  — backlogged long-running TCP flows
+	//	"ping"  — closed-loop 40-byte UDP request/response probes (§8)
+	//	"cbr"   — paced constant-bit-rate UDP stream (§3's video class)
+	//	"fluid" — Users emulated background users as one packet-free AIMD
+	//	          aggregate loading the host's attach link (package fluid)
 	Kind string `json:"kind"`
 	// Load is the offered load in bits/s (web: mean arrival load; cbr:
 	// stream rate).
@@ -194,6 +204,9 @@ type Workload struct {
 	Size  string `json:"size,omitempty"`
 	// PktSize is the cbr packet size in bytes (default MTU).
 	PktSize string `json:"pktsize,omitempty"`
+	// Users is the fluid kind's emulated user count (required, > 0);
+	// "$param" makes it a sweep axis.
+	Users string `json:"users,omitempty"`
 }
 
 // Scenario is one complete topology + workload description. It appears

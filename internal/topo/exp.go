@@ -249,6 +249,13 @@ func summaryResult(cfg *Config, seed int64, p exp.Params, header string, outs []
 			fmt.Fprintf(&w, "  cbr  %-12s offered %.1f, delivered %.1f Mbit/s\n", cb.Host, cb.RateBps/1e6, mbps)
 			res.AddMetric(prefix+"cbr-"+cb.Host+"/Mbps", mbps, "Mbps")
 		}
+		for _, fl := range o.c.fluids {
+			mbps := fl.Agg.DeliveredBytes() * 8 / o.stop.Seconds() / 1e6
+			fmt.Fprintf(&w, "  fluid %-11s %d users, delivered %.1f Mbit/s, lost %.1f MB\n",
+				fl.Host, fl.Users, mbps, fl.Agg.LostBytes()/1e6)
+			res.AddMetric(prefix+"fluid-"+fl.Host+"/Mbps", mbps, "Mbps")
+			res.AddMetric(prefix+"fluid-"+fl.Host+"/lost-bytes", fl.Agg.LostBytes(), "bytes")
+		}
 	}
 	res.Report = w.String()
 	return res

@@ -366,6 +366,35 @@ func TestRejections(t *testing.T) {
 			want: "undeclared parameter \"$reqs\"",
 		},
 		{
+			name: "fluid workload without users",
+			json: `{"name":"t","base":{"horizon":"10s","links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"fluid"}]}}`,
+			want: "needs a positive users count",
+		},
+		{
+			name: "fluid workload bad users",
+			json: `{"name":"t","base":{"horizon":"10s","links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"fluid","users":"many"}]}}`,
+			want: "bad count",
+		},
+		{
+			name: "mesh sketch off with users on",
+			json: `{"name":"t","base":{"mesh":{"sites":"2","users":"1000","sketch":"false"}}}`,
+			want: "incompatible",
+		},
+		{
+			name: "mesh bad sketch value",
+			json: `{"name":"t","base":{"mesh":{"sites":"2","sketch":"maybe"}}}`,
+			want: "want auto, true, or false",
+		},
+		{
+			name: "mesh negative users",
+			json: `{"name":"t","base":{"mesh":{"sites":"2","users":"-5"}}}`,
+			want: "bad count",
+		},
+		{
 			name: "trailing content after the config",
 			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
 				"hosts":[{"name":"h"}],
@@ -387,6 +416,48 @@ func TestRejections(t *testing.T) {
 				t.Fatalf("want error containing %q, got: %v", tc.want, err)
 			}
 		})
+	}
+}
+
+// TestFluidWorkloadKind runs a declarative scenario carrying a fluid
+// background aggregate next to a packet workload: the aggregate must
+// take (most of) the link, the cbr stream must keep the guaranteed
+// foreground share, and both must land in the summary metrics.
+func TestFluidWorkloadKind(t *testing.T) {
+	cfg, err := Parse([]byte(`{
+	  "name": "fluidtest",
+	  "params": [{"name": "users", "default": "50000"}],
+	  "base": {
+	    "rtt": "50ms",
+	    "horizon": "15s",
+	    "links": [{"name": "l1", "rate": "48e6", "delay": "25ms"}],
+	    "hosts": [{"name": "h"}],
+	    "workloads": [
+	      {"host": "h", "kind": "fluid", "users": "$users"},
+	      {"host": "h", "kind": "cbr", "load": "2e6"}
+	    ]
+	  }
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Smoke(cfg, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fluidMbps := res.Metric("fluidtest/fluid-h/Mbps")
+	if fluidMbps < 0.5*48*0.95 {
+		t.Errorf("fluid aggregate delivered %.1f Mbit/s, want most of the 48 Mbit/s link", fluidMbps)
+	}
+	cbrMbps := res.Metric("fluidtest/cbr-h/Mbps")
+	if cbrMbps < 0.9*2 {
+		t.Errorf("cbr stream squeezed to %.2f of its 2 Mbit/s: the foreground headroom is not holding", cbrMbps)
+	}
+	if lost := res.Metric("fluidtest/fluid-h/lost-bytes"); lost == 0 {
+		t.Error("fluid aggregate saw no loss against a 50000-user offered load")
 	}
 }
 

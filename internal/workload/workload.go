@@ -228,6 +228,21 @@ func (r *Recorder) Reserve(n int) {
 	}
 }
 
+// UseSketch switches every sample the recorder holds to bounded sketch
+// mode (see the accuracy contract in internal/stats/sketch.go): memory
+// per recorder becomes independent of the flow count, and Merge folds
+// bucket maps instead of concatenating slices. Mesh-scale runs with
+// emulated-user background load switch their recorders before the first
+// flow completes.
+func (r *Recorder) UseSketch() {
+	r.Slowdowns.UseSketch()
+	r.FCTms.UseSketch()
+	for c := range r.ByClass {
+		r.ByClass[c].UseSketch()
+		r.FCTByClass[c].UseSketch()
+	}
+}
+
 // RecordUncounted marks a flow complete without contributing to the
 // statistics — used for warmup traffic that loads the network while the
 // control loops converge.

@@ -34,7 +34,7 @@ func main() {
 	var (
 		mode     = flag.String("mode", "bundler", `"statusquo", "bundler", or "innetwork"`)
 		alg      = flag.String("alg", "copa", `inner-loop algorithm: "copa", "basicdelay", "bbr"`)
-		sched    = flag.String("sched", "sfq", `sendbox scheduler: "sfq", "fifo", "fqcodel", "prio:<port>"`)
+		sched    = flag.String("sched", "sfq", `sendbox scheduler: "sfq", "fifo", "fqcodel", "prio:<port>", "sp:<port>/...", "wfq:<port>=<weight>/..."`)
 		endhost  = flag.String("endhost", "cubic", `endhost congestion control: "cubic", "reno", "bbr"`)
 		rate     = flag.Float64("rate", 96e6, "bottleneck rate, bits/s")
 		rtt      = flag.Duration("rtt", 50*time.Millisecond, "path round-trip propagation delay")

@@ -79,9 +79,10 @@ func FuzzSFQ(f *testing.F) {
 }
 
 // FuzzQdiscAccounting drives each time-aware AQM (CoDel, FQ-CoDel, RED,
-// PIE) through arbitrary enqueue/dequeue/idle-advance sequences and
-// checks the byte-accounting invariants the link and the fluid coupling
-// rely on:
+// PIE) plus the class schedulers (WFQ, SP — wrapped in a Meter, so the
+// wrapper's pass-through accounting is fuzzed for free) through
+// arbitrary enqueue/dequeue/idle-advance sequences and checks the
+// byte-accounting invariants the link and the fluid coupling rely on:
 //
 //   - Bytes() always equals the sum of queued packet sizes (every packet
 //     in one fuzz run has the same size, so the sum is Len()·size — the
@@ -89,7 +90,10 @@ func FuzzSFQ(f *testing.F) {
 //     packets internally at dequeue time, where the dropped bytes are
 //     otherwise unobservable from outside);
 //   - Len() and Bytes() never go negative;
-//   - conservation: accepted == dequeued + internal drops + still queued.
+//   - conservation: accepted == dequeued + internal drops + still queued;
+//   - WFQ and SP are work-conserving: every Dequeue issued while any
+//     class was backlogged returns a packet, so the metered
+//     work-conservation ratio is exactly 1.0 at the end of every run.
 //
 // Op bytes: 0x00–0x7F enqueue (flow = op % 8), 0x80–0xBF dequeue,
 // 0xC0–0xFF advance virtual time by 1–64 ms (the idle axis — exactly the
@@ -99,11 +103,22 @@ func FuzzQdiscAccounting(f *testing.F) {
 	f.Add(uint8(1), uint8(255), []byte{0x10, 0x11, 0xFF, 0xFF, 0x90, 0x12, 0xC0, 0x91})
 	f.Add(uint8(2), uint8(10), []byte{0x00, 0x00, 0x00, 0xD0, 0x80, 0x80, 0x80})
 	f.Add(uint8(3), uint8(60), []byte{0x20, 0xC1, 0x20, 0xC1, 0xA0, 0xC1, 0x20, 0xA0})
+	f.Add(uint8(4), uint8(120), []byte{0x01, 0x02, 0x03, 0x81, 0x04, 0x05, 0x82, 0x83})
+	f.Add(uint8(5), uint8(200), []byte{0x07, 0x06, 0x05, 0x80, 0x04, 0xFF, 0x81, 0x82})
 	f.Fuzz(func(t *testing.T, which, sizeSeed uint8, ops []byte) {
 		size := 40 + int(sizeSeed)*5 // 40..1315 bytes, uniform per run
 		eng := sim.NewEngine(7)
+		// The schedulers key classes off the fuzz packets' source ports
+		// (1000 + flow, flow in 0..7), so three classes see collisions.
+		classes := []Class{
+			{Name: "a", Port: 8000, Weight: 4},
+			{Name: "b", Port: 8001, Weight: 2},
+			{Name: "c", Port: 8002, Weight: 1},
+		}
+		byFlow := func(p *pkt.Packet) int { return int(p.Src.Port) % len(classes) }
 		var q Qdisc
-		switch which % 4 {
+		var meter *Meter
+		switch which % 6 {
 		case 0:
 			q = NewCoDel(eng, 128)
 		case 1:
@@ -114,6 +129,12 @@ func FuzzQdiscAccounting(f *testing.F) {
 			p := NewPIE(eng, eng.Rand(), 128)
 			defer p.Stop()
 			q = p
+		case 4:
+			meter = NewMeter(NewWFQ(128, classes, byFlow), classes)
+			q = meter
+		case 5:
+			meter = NewMeter(NewSP(128, classes, byFlow), classes)
+			q = meter
 		}
 		accepted, dequeued, rejected := 0, 0, 0
 
@@ -160,5 +181,9 @@ func FuzzQdiscAccounting(f *testing.F) {
 			t.Fatalf("drained queue not empty: %d pkts, %d bytes", q.Len(), q.Bytes())
 		}
 		check("end")
+		if meter != nil && meter.WorkConservation() != 1.0 {
+			t.Fatalf("scheduler not work-conserving: served %d of %d backlogged dequeues",
+				meter.Served(), meter.Attempts())
+		}
 	})
 }

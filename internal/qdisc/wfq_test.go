@@ -1,0 +1,291 @@
+package qdisc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"bundler/internal/pkt"
+)
+
+// classpkt builds a packet whose destination port selects class i under
+// ClassifierByPort with ports 8000+i.
+func classpkt(class, size int) *pkt.Packet {
+	return &pkt.Packet{
+		Src:   pkt.Addr{Host: 1, Port: 9999},
+		Dst:   pkt.Addr{Host: 2, Port: uint16(8000 + class)},
+		Proto: pkt.ProtoTCP,
+		Size:  size,
+	}
+}
+
+func mkClasses(weights []float64) []Class {
+	classes := make([]Class, len(weights))
+	for i, w := range weights {
+		classes[i] = Class{Name: fmt.Sprintf("c%d", i), Port: uint16(8000 + i), Weight: w}
+	}
+	return classes
+}
+
+// TestWFQSharesMatchWeights is the tentpole property: with every class
+// kept backlogged, long-run per-class byte shares converge to the
+// configured weights within 5% — across weight mixes and packet-size
+// mixes (unequal sizes are exactly where a round-robin approximation
+// would drift, since SCFQ charges virtual time by bytes/weight).
+func TestWFQSharesMatchWeights(t *testing.T) {
+	cases := []struct {
+		name    string
+		weights []float64
+		sizes   []int // per-class packet size
+	}{
+		{"equal-1to1", []float64{1, 1}, []int{1500, 1500}},
+		{"4to1", []float64{4, 1}, []int{1500, 1500}},
+		{"8to1-small-favored", []float64{8, 1}, []int{256, 1500}},
+		{"8to2to1-mixed-sizes", []float64{8, 2, 1}, []int{1500, 300, 900}},
+		{"fractional-weights", []float64{2.5, 1.5, 1}, []int{1200, 1200, 64}},
+		{"heavy-tail-4way", []float64{16, 4, 2, 1}, []int{1500, 1000, 500, 100}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			classes := mkClasses(tc.weights)
+			q := NewWFQ(16*len(classes), classes, ClassifierByPort(classes))
+
+			served := make([]int64, len(classes))
+			var total int64
+			// Keep every class topped up to 8 queued packets, dequeue one
+			// per round: all classes stay backlogged throughout.
+			queued := make([]int, len(classes))
+			for total < 4<<20 {
+				for i := range classes {
+					for queued[i] < 8 {
+						if !q.Enqueue(classpkt(i, tc.sizes[i])) {
+							t.Fatalf("enqueue rejected below the limit")
+						}
+						queued[i]++
+					}
+				}
+				p := q.Dequeue()
+				if p == nil {
+					t.Fatalf("backlogged WFQ returned nil")
+				}
+				i := int(p.Dst.Port) - 8000
+				queued[i]--
+				served[i] += int64(p.Size)
+				total += int64(p.Size)
+			}
+
+			var wsum float64
+			for _, w := range tc.weights {
+				wsum += w
+			}
+			for i, w := range tc.weights {
+				got := float64(served[i]) / float64(total)
+				want := w / wsum
+				if rel := math.Abs(got-want) / want; rel > 0.05 {
+					t.Errorf("class %d share %.4f, want %.4f (weight %g/%g): off by %.1f%%",
+						i, got, want, w, wsum, rel*100)
+				}
+			}
+		})
+	}
+}
+
+// TestWFQIdleClassGetsNoDebt pins the SCFQ restart rule: a class that
+// idles must not bank virtual time. After class 1 serves alone for a
+// while, a newly arriving class-0 packet competes from the current
+// virtual time, not from zero — it may not monopolize the link to "pay
+// back" its idle period.
+func TestWFQIdleClassGetsNoDebt(t *testing.T) {
+	classes := mkClasses([]float64{1, 1})
+	q := NewWFQ(64, classes, ClassifierByPort(classes))
+
+	// Class 1 runs alone: enqueue+dequeue 100 packets.
+	for i := 0; i < 100; i++ {
+		q.Enqueue(classpkt(1, 1500))
+		if p := q.Dequeue(); p == nil || p.Dst.Port != 8001 {
+			t.Fatal("warmup dequeue wrong")
+		}
+	}
+	// Now both become backlogged; equal weights must serve ~1:1 from here.
+	served := [2]int{}
+	queued := [2]int{}
+	for n := 0; n < 2000; n++ {
+		for i := 0; i < 2; i++ {
+			for queued[i] < 4 {
+				q.Enqueue(classpkt(i, 1500))
+				queued[i]++
+			}
+		}
+		p := q.Dequeue()
+		i := int(p.Dst.Port) - 8000
+		queued[i]--
+		served[i]++
+	}
+	if diff := math.Abs(float64(served[0]-served[1])) / 2000; diff > 0.05 {
+		t.Fatalf("post-idle shares skewed: %v", served)
+	}
+}
+
+// TestWFQDropFromFattest checks overflow policy: the class holding the
+// most bytes loses its head; an arrival from the fattest class itself
+// is rejected instead.
+func TestWFQDropFromFattest(t *testing.T) {
+	classes := mkClasses([]float64{1, 1})
+	q := NewWFQ(4, classes, ClassifierByPort(classes))
+	for i := 0; i < 3; i++ {
+		q.Enqueue(classpkt(0, 1500))
+	}
+	q.Enqueue(classpkt(1, 100))
+	// Full. A class-1 arrival evicts from class 0 (the fattest).
+	if !q.Enqueue(classpkt(1, 100)) {
+		t.Fatal("push-out arrival rejected")
+	}
+	if q.Drops() != 1 {
+		t.Fatalf("drops = %d, want 1", q.Drops())
+	}
+	if q.Len() != 4 {
+		t.Fatalf("len = %d, want 4", q.Len())
+	}
+	// A class-0 arrival is itself from the fattest class: rejected.
+	if q.Enqueue(classpkt(0, 1500)) {
+		t.Fatal("arrival from fattest class accepted over its own queue")
+	}
+	if q.Drops() != 2 {
+		t.Fatalf("drops = %d, want 2", q.Drops())
+	}
+}
+
+// TestSPNeverServesLowerWhileHigherBacklogged is the SP property test:
+// across a randomized enqueue/dequeue interleaving over mixed packet
+// sizes, every dequeued packet's class has no backlogged class of
+// higher priority (lower index) at that instant.
+func TestSPNeverServesLowerWhileHigherBacklogged(t *testing.T) {
+	for _, nclasses := range []int{2, 3, 5} {
+		t.Run(fmt.Sprintf("%dclasses", nclasses), func(t *testing.T) {
+			classes := mkClasses(make([]float64, nclasses))
+			for i := range classes {
+				classes[i].Weight = 1
+			}
+			q := NewSP(64, classes, ClassifierByPort(classes))
+			rng := rand.New(rand.NewSource(int64(42 + nclasses)))
+			queued := make([]int, nclasses)
+			for op := 0; op < 20000; op++ {
+				if rng.Intn(3) > 0 { // enqueue-biased: exercises push-out
+					c := rng.Intn(nclasses)
+					size := 64 + rng.Intn(1437)
+					before := queued[c]
+					if q.Enqueue(classpkt(c, size)) {
+						queued[c] = before + 1
+						// Push-out may have evicted a lower-priority head.
+						if q.Len() < sum(queued) {
+							for v := nclasses - 1; v >= 0; v-- {
+								if v != c && queued[v] > 0 {
+									queued[v]--
+									break
+								}
+							}
+						}
+					}
+				} else {
+					p := q.Dequeue()
+					if p == nil {
+						if q.Len() != 0 {
+							t.Fatal("nil dequeue from backlogged SP")
+						}
+						continue
+					}
+					c := int(p.Dst.Port) - 8000
+					for higher := 0; higher < c; higher++ {
+						if queued[higher] > 0 {
+							t.Fatalf("served class %d while class %d held %d packets",
+								c, higher, queued[higher])
+						}
+					}
+					queued[c]--
+				}
+				if q.Len() != sum(queued) {
+					t.Fatalf("shadow count drift: q.Len()=%d, shadow=%d", q.Len(), sum(queued))
+				}
+			}
+		})
+	}
+}
+
+func sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// TestSPPushOut pins the shared-buffer rule: a full queue admits a
+// higher-priority arrival by evicting from the lowest backlogged class,
+// and rejects an arrival that is itself lowest-priority.
+func TestSPPushOut(t *testing.T) {
+	classes := mkClasses([]float64{1, 1, 1})
+	q := NewSP(4, classes, ClassifierByPort(classes))
+	for i := 0; i < 4; i++ {
+		q.Enqueue(classpkt(2, 1000))
+	}
+	if !q.Enqueue(classpkt(0, 1000)) {
+		t.Fatal("high-priority arrival rejected despite evictable bulk")
+	}
+	if q.Drops() != 1 || q.Len() != 4 {
+		t.Fatalf("after push-out: drops=%d len=%d, want 1/4", q.Drops(), q.Len())
+	}
+	if q.Enqueue(classpkt(2, 1000)) {
+		t.Fatal("lowest-priority arrival accepted into a full queue")
+	}
+	// The high packet must come out first.
+	if p := q.Dequeue(); p.Dst.Port != 8000 {
+		t.Fatalf("dequeued port %d, want 8000", p.Dst.Port)
+	}
+}
+
+// TestMeterAttribution checks the per-class accounting and the
+// work-conservation counters on a metered FIFO — the wrapper is what
+// gives FIFO cells a fairness section at all.
+func TestMeterAttribution(t *testing.T) {
+	classes := mkClasses([]float64{4, 1})
+	m := NewMeter(NewFIFO(1<<20), classes)
+
+	// Idle dequeue: no attempt recorded.
+	if m.Dequeue() != nil {
+		t.Fatal("empty meter returned a packet")
+	}
+	if m.Attempts() != 0 || m.WorkConservation() != 1 {
+		t.Fatalf("idle poll counted: attempts=%d wc=%g", m.Attempts(), m.WorkConservation())
+	}
+
+	m.Enqueue(classpkt(0, 1000))
+	m.Enqueue(classpkt(1, 500))
+	m.Enqueue(&pkt.Packet{Dst: pkt.Addr{Host: 2, Port: 443}, Size: 200}) // unmatched
+	for m.Dequeue() != nil {
+	}
+	if m.Attempts() != 3 || m.Served() != 3 || m.WorkConservation() != 1 {
+		t.Fatalf("conservation counters: attempts=%d served=%d", m.Attempts(), m.Served())
+	}
+	st := m.Stats()
+	if len(st) != 3 {
+		t.Fatalf("stats entries = %d, want 2 classes + other", len(st))
+	}
+	if st[0].Bytes != 1000 || st[0].Packets != 1 {
+		t.Fatalf("class 0 stat %+v", st[0])
+	}
+	if st[1].Bytes != 500 {
+		t.Fatalf("class 1 stat %+v", st[1])
+	}
+	if st[2].Class.Name != "other" || st[2].Bytes != 200 {
+		t.Fatalf("other stat %+v", st[2])
+	}
+
+	// With no unmatched traffic the "other" bucket stays hidden.
+	m2 := NewMeter(NewFIFO(1<<20), classes)
+	m2.Enqueue(classpkt(0, 100))
+	m2.Dequeue()
+	if got := m2.Stats(); len(got) != 2 {
+		t.Fatalf("stats entries = %d, want 2 (no other traffic)", len(got))
+	}
+}

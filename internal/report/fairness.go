@@ -1,0 +1,105 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// JainIndex computes Jain's fairness index (Σx)²/(n·Σx²) over the
+// allocations xs: 1.0 when all allocations are equal, approaching 1/n
+// as one allocation dominates. Edge cases are pinned by tests: an empty
+// vector has no defined fairness (NaN); an all-zero vector is vacuously
+// fair (1.0 — nobody got anything, equally); a single allocation is
+// trivially fair (1.0).
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum, sumsq float64
+	for _, x := range xs {
+		sum += x
+		sumsq += x * x
+	}
+	if sumsq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumsq)
+}
+
+// ClassShare is one scheduler class's slice of the service. Callers
+// fill Name, Weight, and Bytes; ComputeFairness derives the rest.
+type ClassShare struct {
+	Name   string  `json:"name"`
+	Weight float64 `json:"weight"`
+	Bytes  int64   `json:"bytes"`
+	// Mbps is the class's served throughput over the measured interval.
+	Mbps float64 `json:"mbps"`
+	// Share is the class's fraction of all served bytes.
+	Share float64 `json:"share"`
+	// Utilization is Mbps over the path bottleneck rate.
+	Utilization float64 `json:"utilization"`
+}
+
+// Fairness is the scheduler-fairness section of a report: how evenly a
+// scheduler divided the link among its declared classes, and whether it
+// wasted service opportunities while backlogged.
+type Fairness struct {
+	// Jain is Jain's index over weight-normalized per-class throughputs
+	// (bytes/weight): 1.0 means service tracked the configured weights
+	// exactly, lower means some class was shortchanged relative to its
+	// weight. Unweighted (all weights 1) this reduces to plain
+	// throughput fairness.
+	Jain float64 `json:"jain"`
+	// WorkConservation is served/attempts at the dequeue boundary — 1.0
+	// iff the scheduler never returned empty while a class was
+	// backlogged (vacuously 1.0 if it was never polled while backlogged).
+	WorkConservation float64      `json:"work_conservation"`
+	Classes          []ClassShare `json:"classes"`
+}
+
+// ComputeFairness derives the fairness section from per-class served
+// byte counts (classes, with Name/Weight/Bytes filled), the scheduler's
+// work-conservation counters, the path bottleneck rate in bits/s, and
+// the measured interval in seconds. A zero rate or interval leaves the
+// affected derived figures at zero rather than Inf.
+func ComputeFairness(classes []ClassShare, served, attempts int64, rateBps, seconds float64) Fairness {
+	f := Fairness{WorkConservation: 1, Classes: classes}
+	if attempts > 0 {
+		f.WorkConservation = float64(served) / float64(attempts)
+	}
+	var totalBytes int64
+	for _, c := range classes {
+		totalBytes += c.Bytes
+	}
+	norm := make([]float64, len(classes))
+	for i := range f.Classes {
+		c := &f.Classes[i]
+		w := c.Weight
+		if w <= 0 {
+			w = 1
+		}
+		norm[i] = float64(c.Bytes) / w
+		if totalBytes > 0 {
+			c.Share = float64(c.Bytes) / float64(totalBytes)
+		}
+		if seconds > 0 {
+			c.Mbps = float64(c.Bytes) * 8 / seconds / 1e6
+		}
+		if rateBps > 0 {
+			c.Utilization = c.Mbps * 1e6 / rateBps
+		}
+	}
+	f.Jain = JainIndex(norm)
+	return f
+}
+
+// WriteText renders the fairness section in the report's fixed-width
+// style, one class per line, each line prefixed by indent.
+func (f Fairness) WriteText(w io.Writer, indent string) {
+	fmt.Fprintf(w, "%sjain=%.3f work-conservation=%.3f\n", indent, f.Jain, f.WorkConservation)
+	for _, c := range f.Classes {
+		fmt.Fprintf(w, "%s  class %-12s w=%-5g %8.2f Mb/s  share=%.3f util=%.3f\n",
+			indent, c.Name, c.Weight, c.Mbps, c.Share, c.Utilization)
+	}
+}

@@ -1,0 +1,134 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestJainIndex pins the index math, including the edge cases the
+// fairness section leans on: empty → NaN (no allocations to judge),
+// all-zero → 1.0 (vacuously fair), single → 1.0 (trivially fair).
+func TestJainIndex(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, math.NaN()},
+		{"single", []float64{7}, 1},
+		{"single-zero", []float64{0}, 1},
+		{"all-zero", []float64{0, 0, 0}, 1},
+		{"equal", []float64{3, 3, 3, 3}, 1},
+		{"one-starved", []float64{1, 0}, 0.5},
+		{"two-to-one", []float64{2, 1}, 9.0 / 10},
+		{"total-capture", []float64{0, 0, 0, 5}, 0.25},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := JainIndex(tc.xs)
+			if math.IsNaN(tc.want) {
+				if !math.IsNaN(got) {
+					t.Fatalf("JainIndex(%v) = %g, want NaN", tc.xs, got)
+				}
+				return
+			}
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("JainIndex(%v) = %g, want %g", tc.xs, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestComputeFairnessWeightNormalization: service proportional to the
+// weights scores a perfect 1.0; equal service under unequal weights
+// scores strictly lower.
+func TestComputeFairnessWeightNormalization(t *testing.T) {
+	proportional := []ClassShare{
+		{Name: "interactive", Weight: 8, Bytes: 8e6},
+		{Name: "bulk", Weight: 1, Bytes: 1e6},
+	}
+	f := ComputeFairness(proportional, 100, 100, 96e6, 10)
+	if math.Abs(f.Jain-1) > 1e-12 {
+		t.Fatalf("weight-proportional service: jain = %g, want 1", f.Jain)
+	}
+	if f.WorkConservation != 1 {
+		t.Fatalf("work conservation = %g, want 1", f.WorkConservation)
+	}
+
+	equal := []ClassShare{
+		{Name: "interactive", Weight: 8, Bytes: 4e6},
+		{Name: "bulk", Weight: 1, Bytes: 4e6},
+	}
+	g := ComputeFairness(equal, 100, 100, 96e6, 10)
+	if g.Jain >= 0.9 {
+		t.Fatalf("equal service under 8:1 weights scored jain = %g, want < 0.9", g.Jain)
+	}
+}
+
+// TestComputeFairnessDerivedFields checks share/Mbps/utilization math
+// and the division-by-zero guards.
+func TestComputeFairnessDerivedFields(t *testing.T) {
+	f := ComputeFairness([]ClassShare{
+		{Name: "a", Weight: 1, Bytes: 30e6},
+		{Name: "b", Weight: 1, Bytes: 10e6},
+	}, 7, 8, 96e6, 10)
+	a, b := f.Classes[0], f.Classes[1]
+	if math.Abs(a.Share-0.75) > 1e-12 || math.Abs(b.Share-0.25) > 1e-12 {
+		t.Fatalf("shares %g/%g, want 0.75/0.25", a.Share, b.Share)
+	}
+	if math.Abs(a.Mbps-24) > 1e-9 { // 30 MB over 10 s = 24 Mbit/s
+		t.Fatalf("Mbps = %g, want 24", a.Mbps)
+	}
+	if math.Abs(a.Utilization-0.25) > 1e-9 { // 24 of 96 Mbit/s
+		t.Fatalf("utilization = %g, want 0.25", a.Utilization)
+	}
+	if math.Abs(f.WorkConservation-7.0/8) > 1e-12 {
+		t.Fatalf("work conservation = %g, want 7/8", f.WorkConservation)
+	}
+
+	// Zero interval / zero rate: derived figures stay finite.
+	z := ComputeFairness([]ClassShare{{Name: "a", Weight: 1, Bytes: 100}}, 0, 0, 0, 0)
+	if z.Classes[0].Mbps != 0 || z.Classes[0].Utilization != 0 {
+		t.Fatalf("zero-guard failed: %+v", z.Classes[0])
+	}
+	if z.WorkConservation != 1 {
+		t.Fatalf("never-polled work conservation = %g, want vacuous 1", z.WorkConservation)
+	}
+}
+
+// TestComputeFairnessEdgeCells pins the single-class and idle cells:
+// one class is trivially fair; an idle cell (no bytes anywhere) is
+// vacuously fair, not NaN or zero.
+func TestComputeFairnessEdgeCells(t *testing.T) {
+	single := ComputeFairness([]ClassShare{{Name: "only", Weight: 3, Bytes: 5e6}}, 10, 10, 96e6, 1)
+	if single.Jain != 1 {
+		t.Fatalf("single class jain = %g, want 1", single.Jain)
+	}
+	idle := ComputeFairness([]ClassShare{
+		{Name: "a", Weight: 4, Bytes: 0},
+		{Name: "b", Weight: 1, Bytes: 0},
+	}, 0, 0, 96e6, 10)
+	if idle.Jain != 1 {
+		t.Fatalf("idle cell jain = %g, want vacuous 1", idle.Jain)
+	}
+	if idle.Classes[0].Share != 0 || idle.Classes[0].Utilization != 0 {
+		t.Fatalf("idle cell derived fields: %+v", idle.Classes[0])
+	}
+}
+
+// TestFairnessWriteText smoke-checks the rendered section.
+func TestFairnessWriteText(t *testing.T) {
+	f := ComputeFairness([]ClassShare{
+		{Name: "interactive", Weight: 4, Bytes: 40e6},
+		{Name: "bulk", Weight: 1, Bytes: 10e6},
+	}, 50, 50, 96e6, 10)
+	var sb strings.Builder
+	f.WriteText(&sb, "  ")
+	out := sb.String()
+	for _, want := range []string{"jain=1.000", "work-conservation=1.000", "class interactive", "class bulk", "share=0.800"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered fairness missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -501,7 +501,13 @@ func (r *Report) WriteText(w io.Writer) error {
 		if f.Severity == "fail" {
 			tag = "FAIL"
 		}
-		if _, err := fmt.Fprintf(w, "  %s  %-40s %s\n", tag, f.Cell, f.Detail); err != nil {
+		// Name the metric next to the cell — a cell carries many metrics,
+		// and "value drifted" alone doesn't say which one moved.
+		name := f.Cell
+		if f.Metric != "" {
+			name += " " + f.Metric
+		}
+		if _, err := fmt.Fprintf(w, "  %s  %-40s %s\n", tag, name, f.Detail); err != nil {
 			return err
 		}
 	}

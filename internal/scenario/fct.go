@@ -2,7 +2,9 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -370,9 +372,13 @@ func RunFig12(seed int64) []Fig12Point {
 
 // SchedulerByName builds a sendbox scheduler with an explicit depth in
 // packets: "sfq" (default), "fifo", "fqcodel", "codel", "red", "drr",
-// "pie", or "prio:<port>" giving strict priority to destination port
-// <port>. It panics on an unknown name; code paths fed by user-supplied
-// config files use ParseScheduler instead.
+// "pie", "prio:<port>" giving strict priority to destination port
+// <port>, "sp:<port>[/<port>...]" for class-based strict priority over
+// destination ports (first listed = highest), or
+// "wfq:<port>=<weight>[/<port>=<weight>...]" for weighted fair queueing
+// (classes are "/"-separated so a spec survives a sweep grid, whose
+// axis values split on commas). It panics on an unknown name; code
+// paths fed by user-supplied config files use ParseScheduler instead.
 func SchedulerByName(eng *sim.Engine, name string, packets int) qdisc.Qdisc {
 	q, err := ParseScheduler(eng, name, packets)
 	if err != nil {
@@ -411,9 +417,70 @@ func ParseScheduler(eng *sim.Engine, name string, packets int) (qdisc.Qdisc, err
 			}
 			return 1
 		}), nil
+	case name == "wfq" || name == "sp":
+		// Bare mode names resolve only where a class set is in scope: the
+		// topo compiler substitutes its declared classes before reaching
+		// here, so seeing one means no classes were declared.
+		return nil, fmt.Errorf("scheduler %q needs classes: declare a classes section in the config, or spell out %s", name, specSyntax(name))
+	case strings.HasPrefix(name, "wfq:"):
+		classes, err := parseClassSpec(name[len("wfq:"):], true)
+		if err != nil {
+			return nil, fmt.Errorf("scheduler %q: %w", name, err)
+		}
+		return qdisc.NewWFQ(packets, classes, qdisc.ClassifierByPort(classes)), nil
+	case strings.HasPrefix(name, "sp:"):
+		classes, err := parseClassSpec(name[len("sp:"):], false)
+		if err != nil {
+			return nil, fmt.Errorf("scheduler %q: %w", name, err)
+		}
+		return qdisc.NewSP(packets, classes, qdisc.ClassifierByPort(classes)), nil
 	default:
-		return nil, fmt.Errorf("unknown scheduler %q (want sfq, fifo, fqcodel, codel, red, drr, pie, or prio:<port>)", name)
+		return nil, fmt.Errorf("unknown scheduler %q (want sfq, fifo, fqcodel, codel, red, drr, pie, prio:<port>, sp:<port>/..., or wfq:<port>=<weight>/...)", name)
 	}
+}
+
+func specSyntax(mode string) string {
+	if mode == "wfq" {
+		return "wfq:<port>=<weight>[/<port>=<weight>...]"
+	}
+	return "sp:<port>[/<port>...]"
+}
+
+// parseClassSpec parses the inline class grammar shared by the sp: and
+// wfq: scheduler specs: "/"-separated destination ports, each optionally
+// weighted as <port>=<weight> when weighted is true. The separator is
+// "/" rather than "," so a full spec survives as one sweep-grid axis
+// value (exp.ParseGrid splits values on commas). Classes are named
+// "p<port>"; packets matching no class fall to the last listed one.
+func parseClassSpec(spec string, weighted bool) ([]qdisc.Class, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("empty class list")
+	}
+	seen := make(map[int]bool)
+	var classes []qdisc.Class
+	for _, tok := range strings.Split(spec, "/") {
+		portStr, weightStr, hasWeight := strings.Cut(tok, "=")
+		if hasWeight && !weighted {
+			return nil, fmt.Errorf("class %q carries a weight, but strict priority takes no weights (weights are a wfq-mode feature)", tok)
+		}
+		port, err := strconv.Atoi(portStr)
+		if err != nil || port < 1 || port > 65535 {
+			return nil, fmt.Errorf("bad class port %q (want 1-65535)", portStr)
+		}
+		if seen[port] {
+			return nil, fmt.Errorf("duplicate class port %d", port)
+		}
+		seen[port] = true
+		weight := 1.0
+		if hasWeight {
+			weight, err = strconv.ParseFloat(weightStr, 64)
+			if err != nil || math.IsNaN(weight) || math.IsInf(weight, 0) || weight <= 0 {
+				return nil, fmt.Errorf("bad weight %q for port %d (want a positive, finite number)", weightStr, port)
+			}
+		}
+		classes = append(classes, qdisc.Class{Name: "p" + portStr, Port: uint16(port), Weight: weight})
+	}
+	return classes, nil
 }
 
 // --- experiment adapters ---
@@ -432,7 +499,7 @@ func (fctExp) Params() []exp.Param {
 	return []exp.Param{
 		{Name: "mode", Default: "bundler", Help: `"statusquo", "bundler", or "innetwork"`},
 		{Name: "alg", Default: "copa", Help: `inner-loop algorithm: "copa", "basicdelay", "bbr"`},
-		{Name: "sched", Default: "sfq", Help: `sendbox scheduler: "sfq", "fifo", "fqcodel", "prio:<port>", ...`},
+		{Name: "sched", Default: "sfq", Help: `sendbox scheduler: "sfq", "fifo", "fqcodel", "prio:<port>", "sp:<p1>/<p2>", "wfq:<p1>=<w1>/<p2>=<w2>", ...`},
 		{Name: "endhost", Default: "cubic", Help: `endhost congestion control: "cubic", "reno", "bbr"`},
 		{Name: "rate", Default: "96e6", Help: "bottleneck rate, bits/s"},
 		{Name: "rtt", Default: "50ms", Help: "path round-trip propagation delay"},

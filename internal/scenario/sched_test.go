@@ -1,0 +1,109 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"bundler/internal/pkt"
+	"bundler/internal/qdisc"
+	"bundler/internal/sim"
+)
+
+// TestParseSchedulerSpecs pins the inline sp:/wfq: class-spec grammar —
+// every malformed spec a config or -sched flag can carry must come back
+// as an error naming the problem, and well-formed specs must build the
+// scheduler they name. The "/" separator (not ",") is load-bearing: a
+// spec must survive as a single sweep-grid axis value.
+func TestParseSchedulerSpecs(t *testing.T) {
+	eng := sim.NewEngine(1)
+	good := []struct {
+		name string
+		spec string
+	}{
+		{"sp two ports", "sp:8443/80"},
+		{"sp one port", "sp:53"},
+		{"wfq weighted", "wfq:8443=8/80=1"},
+		{"wfq default weight", "wfq:8443/80"},
+		{"wfq fractional weight", "wfq:8443=2.5/80=1"},
+	}
+	for _, tc := range good {
+		t.Run(tc.name, func(t *testing.T) {
+			q, err := ParseScheduler(eng, tc.spec, 100)
+			if err != nil {
+				t.Fatalf("ParseScheduler(%q): %v", tc.spec, err)
+			}
+			if q == nil {
+				t.Fatalf("ParseScheduler(%q) returned nil qdisc", tc.spec)
+			}
+		})
+	}
+
+	bad := []struct {
+		name string
+		spec string
+		want string // error substring
+	}{
+		{"bare wfq", "wfq", "needs classes"},
+		{"bare sp", "sp", "needs classes"},
+		{"sp empty list", "sp:", "empty class list"},
+		{"wfq empty list", "wfq:", "empty class list"},
+		{"weights on sp", "sp:8443=4/80", "takes no weights"},
+		{"bad port", "wfq:notaport=1", "bad class port"},
+		{"port zero", "sp:0/80", "bad class port"},
+		{"port too big", "sp:70000", "bad class port"},
+		{"duplicate port", "wfq:80=4/80=1", "duplicate class port"},
+		{"negative weight", "wfq:8443=-2/80=1", "bad weight"},
+		{"zero weight", "wfq:8443=0/80=1", "bad weight"},
+		{"nan weight", "wfq:8443=NaN/80=1", "bad weight"},
+		{"inf weight", "wfq:8443=+Inf/80=1", "bad weight"},
+		{"garbage weight", "wfq:8443=heavy/80=1", "bad weight"},
+		{"unknown name", "hfsc", "unknown scheduler"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseScheduler(eng, tc.spec, 100); err == nil {
+				t.Fatalf("ParseScheduler(%q) accepted a bad spec", tc.spec)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("ParseScheduler(%q) error %q does not mention %q", tc.spec, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseSchedulerSpecSemantics: a built sp: spec actually prioritizes
+// its first port, and a wfq: spec routes unmatched traffic to the last
+// class rather than dropping or misclassifying it.
+func TestParseSchedulerSpecSemantics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	mk := func(port uint16, size int) *pkt.Packet {
+		return &pkt.Packet{Dst: pkt.Addr{Host: 2, Port: port}, Proto: pkt.ProtoTCP, Size: size}
+	}
+
+	sp, err := ParseScheduler(eng, "sp:8443/80", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Enqueue(mk(80, 100))
+	sp.Enqueue(mk(8443, 100))
+	if p := sp.Dequeue(); p.Dst.Port != 8443 {
+		t.Fatalf("sp served port %d first, want 8443", p.Dst.Port)
+	}
+
+	wq, err := ParseScheduler(eng, "wfq:8443=8/80=1", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := wq.(*qdisc.WFQ)
+	if !ok {
+		t.Fatalf("wfq spec built %T", wq)
+	}
+	// Unmatched port 443 lands in the last class ("p80"): it must still
+	// be queued and come back out.
+	w.Enqueue(mk(443, 100))
+	if w.Len() != 1 {
+		t.Fatal("unmatched packet not queued")
+	}
+	if p := w.Dequeue(); p == nil || p.Dst.Port != 443 {
+		t.Fatal("unmatched packet lost")
+	}
+}

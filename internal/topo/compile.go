@@ -2,6 +2,7 @@ package topo
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"time"
 
@@ -121,11 +122,39 @@ func (b *binder) bytes(field, s string, def int64) int64 {
 	return int64(f)
 }
 
+// weight parses a scheduler class weight; absent means def. Range
+// checks (positive, finite) are the caller's, so the error can name the
+// class.
+func (b *binder) weight(field, s string, def float64) float64 {
+	v := b.str(field, s)
+	if v == "" {
+		return def
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		b.fail(field, v, "weight", err)
+		return def
+	}
+	return f
+}
+
 // webOut is one web workload's live state during a run.
 type webOut struct {
 	Host     string
+	Class    string // traffic class, "" when the scenario declares none
 	Requests int
 	Rec      *workload.Recorder
+}
+
+// meterOut is one bundle's scheduler meter: per-class byte counts and
+// the attempt/serve tally behind the work-conservation ratio, plus the
+// unloaded path rate that normalizes utilization in the fairness
+// report.
+type meterOut struct {
+	Host  string
+	Sched string  // scheduler mode label ("fifo", "wfq", ...)
+	Rate  float64 // unloaded bottleneck rate (bits/s) of the host's path
+	Meter *qdisc.Meter
 }
 
 // bulkOut is one bulk workload's live state.
@@ -170,6 +199,7 @@ type compiled struct {
 	pings  []pingOut
 	cbrs   []cbrOut
 	fluids []fluidOut
+	meters []meterOut
 }
 
 var innerAlgs = map[string]bool{"": true, "copa": true, "basicdelay": true, "bbr": true}
@@ -186,10 +216,15 @@ func compile(sc Scenario, seed int64, pv map[string]string) (*compiled, error) {
 	}
 
 	if sc.Mesh != nil {
-		if len(sc.Links) > 0 || len(sc.Hosts) > 0 || len(sc.Bundles) > 0 || len(sc.Workloads) > 0 {
+		if len(sc.Links) > 0 || len(sc.Hosts) > 0 || len(sc.Bundles) > 0 || len(sc.Workloads) > 0 || len(sc.Classes) > 0 {
 			return nil, fmt.Errorf("a mesh scenario generates its own links/hosts/bundles/workloads; remove the explicit sections")
 		}
 		return compileMesh(sc, seed, b, rtt)
+	}
+
+	classes, classPort, err := compileClasses(b, sc.Classes)
+	if err != nil {
+		return nil, err
 	}
 
 	if len(sc.Links) == 0 {
@@ -241,7 +276,7 @@ func compile(sc Scenario, seed int64, pv map[string]string) (*compiled, error) {
 			} else {
 				continue
 			}
-			link, entry, err := buildLink(b, eng, l, rtt, dst)
+			link, entry, err := buildLink(b, eng, l, rtt, dst, classes)
 			if err != nil {
 				return nil, err
 			}
@@ -308,6 +343,7 @@ func compile(sc Scenario, seed int64, pv map[string]string) (*compiled, error) {
 		if _, ok := decl[attach]; !ok {
 			return nil, fmt.Errorf("host %q attaches to unknown link %q", h.Name, attach)
 		}
+		oRate, oRTT := pathOracle(b, decl, attach, rtt)
 		var bcfg *bundle.Config
 		if bd, ok := bundleFor[h.Name]; ok {
 			alg := b.str("bundle alg", bd.Alg)
@@ -315,12 +351,25 @@ func compile(sc Scenario, seed int64, pv map[string]string) (*compiled, error) {
 				return nil, fmt.Errorf("bundle on %q: unknown inner algorithm %q (want copa, basicdelay, or bbr)", h.Name, alg)
 			}
 			queue := b.count("bundle queue", bd.Queue, 1000)
-			sched, err := scenario.ParseScheduler(eng, b.str("bundle sched", bd.Sched), queue)
+			schedName := b.str("bundle sched", bd.Sched)
+			sched, err := buildSched(eng, schedName, queue, classes)
 			if b.err != nil {
 				return nil, b.err
 			}
 			if err != nil {
 				return nil, fmt.Errorf("bundle on %q: %w", h.Name, err)
+			}
+			// With a classes section, every bundle's scheduler is wrapped
+			// in a meter so the fairness report covers fifo and sfq cells
+			// exactly the way it covers wfq and sp cells.
+			if len(classes) > 0 {
+				label := schedName
+				if label == "" {
+					label = "sfq"
+				}
+				m := qdisc.NewMeter(sched, classes)
+				sched = m
+				c.meters = append(c.meters, meterOut{Host: h.Name, Sched: label, Rate: oRate, Meter: m})
 			}
 			bcfg = &bundle.Config{Algorithm: alg, TunnelMode: bd.Tunnel, Scheduler: sched}
 		}
@@ -328,7 +377,7 @@ func compile(sc Scenario, seed int64, pv map[string]string) (*compiled, error) {
 		c.sites = append(c.sites, site)
 		siteByName[h.Name] = site
 		hostLink[h.Name] = links[attach]
-		oracleRate[h.Name], oracleRTT[h.Name] = pathOracle(b, decl, attach, rtt)
+		oracleRate[h.Name], oracleRTT[h.Name] = oRate, oRTT
 	}
 	if b.err != nil {
 		return nil, b.err
@@ -340,6 +389,9 @@ func compile(sc Scenario, seed int64, pv map[string]string) (*compiled, error) {
 		site, ok := siteByName[w.Host]
 		if !ok {
 			return nil, fmt.Errorf("workload %d (%s) on unknown host %q", i, w.Kind, w.Host)
+		}
+		if w.Class != "" && w.Kind != "web" {
+			return nil, fmt.Errorf("workload %d on %q: class is only for web workloads (got kind %q)", i, w.Host, w.Kind)
 		}
 		switch w.Kind {
 		case "web":
@@ -360,6 +412,16 @@ func compile(sc Scenario, seed int64, pv map[string]string) (*compiled, error) {
 			if dstPort > 65535 {
 				return nil, fmt.Errorf("web workload on %q: dstport %d outside [0, 65535]", w.Host, dstPort)
 			}
+			if w.Class != "" {
+				if w.DstPort != "" {
+					return nil, fmt.Errorf("web workload on %q: give class or dstport, not both", w.Host)
+				}
+				port, ok := classPort[w.Class]
+				if !ok {
+					return nil, fmt.Errorf("web workload on %q: unknown class %q", w.Host, w.Class)
+				}
+				dstPort = int(port)
+			}
 			tr := scenario.Traffic{
 				Dist:          dist,
 				OfferedBps:    load,
@@ -374,7 +436,9 @@ func compile(sc Scenario, seed int64, pv map[string]string) (*compiled, error) {
 			if b.err != nil {
 				return nil, b.err
 			}
-			c.webs = append(c.webs, webOut{Host: w.Host, Requests: requests, Rec: site.RunOpenLoop(tr)})
+			rec := site.RunOpenLoop(tr)
+			rec.Class = w.Class
+			c.webs = append(c.webs, webOut{Host: w.Host, Class: w.Class, Requests: requests, Rec: rec})
 			if requests > maxRequests {
 				maxRequests = requests
 			}
@@ -533,6 +597,62 @@ func compileMesh(sc Scenario, seed int64, b *binder, rtt sim.Time) (*compiled, e
 	return c, nil
 }
 
+// compileClasses validates a scenario's classes section into the qdisc
+// form plus a name→port lookup for class-assigned workloads. Weights
+// default to 1 (equal shares) when omitted.
+func compileClasses(b *binder, decls []ClassDecl) ([]qdisc.Class, map[string]uint16, error) {
+	if len(decls) == 0 {
+		return nil, nil, nil
+	}
+	classes := make([]qdisc.Class, 0, len(decls))
+	byName := make(map[string]uint16, len(decls))
+	ports := make(map[int]string, len(decls))
+	for i, d := range decls {
+		if d.Name == "" {
+			return nil, nil, fmt.Errorf("class %d has no name", i)
+		}
+		if _, dup := byName[d.Name]; dup {
+			return nil, nil, fmt.Errorf("duplicate class %q", d.Name)
+		}
+		port := b.count("class "+d.Name+" port", d.Port, 0)
+		weight := b.weight("class "+d.Name+" weight", d.Weight, 1)
+		if b.err != nil {
+			return nil, nil, b.err
+		}
+		if port < 1 || port > 65535 {
+			return nil, nil, fmt.Errorf("class %q: port %d outside [1, 65535]", d.Name, port)
+		}
+		if prev, dup := ports[port]; dup {
+			return nil, nil, fmt.Errorf("classes %q and %q share port %d", prev, d.Name, port)
+		}
+		if weight <= 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+			return nil, nil, fmt.Errorf("class %q: weight must be positive and finite (got %g)", d.Name, weight)
+		}
+		ports[port] = d.Name
+		byName[d.Name] = uint16(port)
+		classes = append(classes, qdisc.Class{Name: d.Name, Port: uint16(port), Weight: weight})
+	}
+	return classes, byName, nil
+}
+
+// buildSched resolves a scheduler name against the scenario's declared
+// classes: bare "wfq" and "sp" take their class lists from the classes
+// section; everything else — fifo, sfq, prio:<port>, and the inline
+// "wfq:<port>=<weight>/..." spellings — goes through
+// scenario.ParseScheduler unchanged (which rejects bare wfq/sp with a
+// "needs classes" error when no section is declared).
+func buildSched(eng *sim.Engine, name string, packets int, classes []qdisc.Class) (qdisc.Qdisc, error) {
+	if len(classes) > 0 {
+		switch name {
+		case "wfq":
+			return qdisc.NewWFQ(packets, classes, qdisc.ClassifierByPort(classes)), nil
+		case "sp":
+			return qdisc.NewSP(packets, classes, qdisc.ClassifierByPort(classes)), nil
+		}
+	}
+	return scenario.ParseScheduler(eng, name, packets)
+}
+
 // linkTo resolves a link's downstream name ("dst" default).
 func linkTo(l Link) string {
 	if l.To == "" {
@@ -543,7 +663,7 @@ func linkTo(l Link) string {
 
 // buildLink constructs one netem.Link (and its loss wrapper, if any)
 // delivering into dst.
-func buildLink(b *binder, eng *sim.Engine, l Link, rtt sim.Time, dst netem.Receiver) (*netem.Link, netem.Receiver, error) {
+func buildLink(b *binder, eng *sim.Engine, l Link, rtt sim.Time, dst netem.Receiver, classes []qdisc.Class) (*netem.Link, netem.Receiver, error) {
 	rate := b.rate("link "+l.Name+" rate", l.Rate, 0)
 	delay := b.dur("link "+l.Name+" delay", l.Delay, 0)
 	if b.err != nil {
@@ -560,7 +680,7 @@ func buildLink(b *binder, eng *sim.Engine, l Link, rtt sim.Time, dst netem.Recei
 	if bufBytes < pkt.MTU {
 		return nil, nil, fmt.Errorf("link %q buffer %d below one MTU (%d bytes)", l.Name, bufBytes, pkt.MTU)
 	}
-	q, err := linkQdisc(b, eng, l, int(bufBytes))
+	q, err := linkQdisc(b, eng, l, int(bufBytes), classes)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -594,7 +714,7 @@ func buildLink(b *binder, eng *sim.Engine, l Link, rtt sim.Time, dst netem.Recei
 
 // linkQdisc builds a link's queueing discipline with a byte budget:
 // FIFO takes it directly, packet-budgeted disciplines get bufBytes/MTU.
-func linkQdisc(b *binder, eng *sim.Engine, l Link, bufBytes int) (qdisc.Qdisc, error) {
+func linkQdisc(b *binder, eng *sim.Engine, l Link, bufBytes int, classes []qdisc.Class) (qdisc.Qdisc, error) {
 	name := b.str("link "+l.Name+" qdisc", l.Qdisc)
 	if b.err != nil {
 		return nil, b.err
@@ -604,7 +724,7 @@ func linkQdisc(b *binder, eng *sim.Engine, l Link, bufBytes int) (qdisc.Qdisc, e
 		// NetConfig's 2×BDP dumbbell bottleneck byte for byte.
 		return qdisc.NewFIFO(bufBytes), nil
 	}
-	q, err := scenario.ParseScheduler(eng, name, bufBytes/pkt.MTU)
+	q, err := buildSched(eng, name, bufBytes/pkt.MTU, classes)
 	if err != nil {
 		return nil, fmt.Errorf("link %q: %w", l.Name, err)
 	}

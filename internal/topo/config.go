@@ -137,6 +137,23 @@ type MeshDecl struct {
 	Sketch string `json:"sketch,omitempty"`
 }
 
+// ClassDecl declares one scheduler traffic class: flows whose
+// destination port matches Port belong to the class. One declaration
+// drives every mode of a scheduler sweep — WFQ divides service by the
+// Weights, strict priority ("sp") serves classes in declaration order
+// (first = highest) and ignores the weights, and any other scheduler
+// (FIFO included) still gets per-class metering, so a fifo/sp/wfq grid
+// reports the same fairness section for every cell. Packets matching no
+// declared class fall to the last class for scheduling and to an
+// "other" bucket in the metering.
+type ClassDecl struct {
+	Name string `json:"name"`
+	// Port is the destination port selecting the class (1-65535).
+	Port string `json:"port"`
+	// Weight is the WFQ service weight (positive; default 1).
+	Weight string `json:"weight,omitempty"`
+}
+
 // Host declares one source-site/destination-site pairing (a
 // scenario.Site): a cluster of endpoints whose egress enters the forward
 // path at Attach and whose ingress hangs off the destination demux.
@@ -154,7 +171,10 @@ type Bundle struct {
 	// Alg names the inner-loop controller: "copa" (default),
 	// "basicdelay", or "bbr".
 	Alg string `json:"alg,omitempty"`
-	// Sched names the sendbox scheduler (default "sfq").
+	// Sched names the sendbox scheduler (default "sfq"). Bare "wfq" and
+	// "sp" resolve against the scenario's classes section; the inline
+	// "wfq:<port>=<weight>/..." and "sp:<port>/..." spellings carry their
+	// own class lists.
 	Sched string `json:"sched,omitempty"`
 	// Queue is the sendbox scheduler depth in packets (default 1000).
 	Queue string `json:"queue,omitempty"`
@@ -195,6 +215,10 @@ type Workload struct {
 	// DstPort overrides the flows' destination port (the §7.2 priority
 	// experiments classify on it; web kind).
 	DstPort string `json:"dstport,omitempty"`
+	// Class assigns the flows to a declared scheduler class by name,
+	// setting their destination port to the class's port (web kind; give
+	// class or dstport, not both).
+	Class string `json:"class,omitempty"`
 	// Warmup excludes flows arriving before this virtual time from the
 	// statistics (web kind).
 	Warmup string `json:"warmup,omitempty"`
@@ -224,11 +248,14 @@ type Scenario struct {
 	// Horizon bounds the run in virtual time. Default: load-scaled, 10 ms
 	// per web request with a 120 s floor (the FCT experiments' rule);
 	// required when no web workload gates completion.
-	Horizon   string     `json:"horizon,omitempty"`
-	Links     []Link     `json:"links,omitempty"`
-	Hosts     []Host     `json:"hosts,omitempty"`
-	Bundles   []Bundle   `json:"bundles,omitempty"`
-	Workloads []Workload `json:"workloads,omitempty"`
+	Horizon string `json:"horizon,omitempty"`
+	// Classes declares the scheduler traffic classes workloads may join
+	// and the bare "wfq"/"sp" bundle scheduler modes resolve against.
+	Classes   []ClassDecl `json:"classes,omitempty"`
+	Links     []Link      `json:"links,omitempty"`
+	Hosts     []Host      `json:"hosts,omitempty"`
+	Bundles   []Bundle    `json:"bundles,omitempty"`
+	Workloads []Workload  `json:"workloads,omitempty"`
 	// Mesh generates an N-site mesh topology instead of the explicit
 	// sections above (which must then be absent).
 	Mesh *MeshDecl `json:"mesh,omitempty"`
@@ -409,6 +436,9 @@ func merged(base Scenario, r Run) Scenario {
 	}
 	if r.Horizon != "" {
 		sc.Horizon = r.Horizon
+	}
+	if len(r.Classes) > 0 {
+		sc.Classes = r.Classes
 	}
 	if len(r.Links) > 0 {
 		sc.Links = r.Links

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"bundler/internal/exp"
+	"bundler/internal/report"
 	"bundler/internal/scenario"
 	"bundler/internal/sim"
 )
@@ -209,7 +210,45 @@ func fctResult(cfg *Config, seed int64, p exp.Params, header string, outs []outc
 	scenario.WriteFCTRows(&w, rows)
 	res := exp.Result{Experiment: cfg.Name, Seed: seed, Params: p, Report: w.String()}
 	scenario.AddFCTRowMetrics(&res, rows)
+	// Runs with a classes section carry scheduler meters; append their
+	// fairness blocks after the FCT table. Class-less configs (every
+	// pre-existing figure) emit nothing here, keeping their reports
+	// byte-identical.
+	var fw strings.Builder
+	for _, o := range outs {
+		if len(o.c.meters) == 0 {
+			continue
+		}
+		fmt.Fprintf(&fw, "%s fairness:\n", o.label)
+		addFairness(&fw, &res, strings.ReplaceAll(o.label, " ", "_")+"/", o)
+	}
+	res.Report += fw.String()
 	return res
+}
+
+// addFairness renders the scheduler-fairness section for one run — one
+// block per metered bundle — and registers the matching metrics so
+// sweeps and diffs can track fairness per cell. Only runs whose
+// scenario declares classes have meters.
+func addFairness(w *strings.Builder, res *exp.Result, prefix string, o outcome) {
+	for _, m := range o.c.meters {
+		stats := m.Meter.Stats()
+		shares := make([]report.ClassShare, len(stats))
+		for i, st := range stats {
+			shares[i] = report.ClassShare{Name: st.Class.Name, Weight: st.Class.Weight, Bytes: st.Bytes}
+		}
+		f := report.ComputeFairness(shares, m.Meter.Served(), m.Meter.Attempts(), m.Rate, o.stop.Seconds())
+		fmt.Fprintf(w, "  fair %-12s sched=%s\n", m.Host, m.Sched)
+		f.WriteText(w, "    ")
+		base := prefix + "fair-" + m.Host
+		res.AddMetric(base+"/jain", f.Jain, "")
+		res.AddMetric(base+"/work-conservation", f.WorkConservation, "")
+		for _, cs := range f.Classes {
+			res.AddMetric(base+"/"+cs.Name+"/share", cs.Share, "")
+			res.AddMetric(base+"/"+cs.Name+"/Mbps", cs.Mbps, "Mbps")
+			res.AddMetric(base+"/"+cs.Name+"/utilization", cs.Utilization, "")
+		}
+	}
 }
 
 // summaryResult renders per-run, per-workload statistics.
@@ -222,11 +261,18 @@ func summaryResult(cfg *Config, seed int64, p exp.Params, header string, outs []
 		prefix := strings.ReplaceAll(o.label, " ", "_") + "/"
 		for _, web := range o.c.webs {
 			s := web.Rec.Slowdowns.Summarize()
+			// Class-assigned workloads report as host.class: a host can
+			// carry one web workload per class, and the names must not
+			// collide in the metric namespace.
+			name := web.Host
+			if web.Class != "" {
+				name = web.Host + "." + web.Class
+			}
 			fmt.Fprintf(&w, "  web  %-12s completed %d/%d, slowdown p50=%.2f p90=%.2f p99=%.2f\n",
-				web.Host, web.Rec.Completed, web.Requests, s.P50, s.P90, s.P99)
-			res.AddMetric(prefix+"web-"+web.Host+"/completed", float64(web.Rec.Completed), "requests")
-			res.AddMetric(prefix+"web-"+web.Host+"/median-slowdown", s.P50, "")
-			res.AddMetric(prefix+"web-"+web.Host+"/p99-slowdown", s.P99, "")
+				name, web.Rec.Completed, web.Requests, s.P50, s.P90, s.P99)
+			res.AddMetric(prefix+"web-"+name+"/completed", float64(web.Rec.Completed), "requests")
+			res.AddMetric(prefix+"web-"+name+"/median-slowdown", s.P50, "")
+			res.AddMetric(prefix+"web-"+name+"/p99-slowdown", s.P99, "")
 		}
 		for _, bk := range o.c.bulks {
 			var acked int64
@@ -256,6 +302,7 @@ func summaryResult(cfg *Config, seed int64, p exp.Params, header string, outs []
 			res.AddMetric(prefix+"fluid-"+fl.Host+"/Mbps", mbps, "Mbps")
 			res.AddMetric(prefix+"fluid-"+fl.Host+"/lost-bytes", fl.Agg.LostBytes(), "bytes")
 		}
+		addFairness(&w, &res, prefix, o)
 	}
 	res.Report = w.String()
 	return res

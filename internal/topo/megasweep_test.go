@@ -1,0 +1,247 @@
+package topo
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"bundler/internal/exp"
+	"bundler/internal/report"
+	"bundler/internal/runstore"
+)
+
+// megasweepGrid is the shipped scheduler-mode grid (see the header of
+// examples/configs/megasweep.json): 3 modes × 8 base latencies × 2
+// interactive loads × 3 bottleneck delays = 144 cells, with the
+// per-cell cost knobs (requests, horizon) turned down so the full grid
+// stays a unit test — each cell completes its 30-per-class requests in
+// about a second of virtual time, with a 4s horizon catching the
+// high-latency stragglers. -short (the race-checked CI job) keeps the
+// full mode axis and trims the others to a 6-cell subset.
+func megasweepGrid(t *testing.T) exp.Grid {
+	t.Helper()
+	spec := "mode=fifo,sp,wfq;baselatency=10ms,50ms,100ms,200ms,300ms,400ms,500ms,1000ms;" +
+		"load=10e6,30e6;delay=24ms,16ms,10ms;bulkload=48e6;requests=30;horizon=4s;seed=1"
+	want := 144
+	if testing.Short() {
+		spec = "mode=fifo,sp,wfq;baselatency=50ms,200ms;load=10e6;delay=24ms;" +
+			"bulkload=48e6;requests=30;horizon=4s;seed=1"
+		want = 6
+	}
+	g, err := exp.ParseGrid(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != want {
+		t.Fatalf("megasweep grid has %d cells, want %d", g.Size(), want)
+	}
+	return g
+}
+
+// assertFairnessCell checks one sweep cell carries a complete, sane
+// fairness section: finite Jain index, a work-conservation ratio in
+// (0, 1], and per-class shares that account for (essentially) all
+// served bytes.
+func assertFairnessCell(t *testing.T, r exp.Result) {
+	t.Helper()
+	cell := r.Params["mode"] + "/" + r.Params["baselatency"] + "/" + r.Params["load"] + "/" + r.Params["delay"]
+	jain := r.Metric("run/fair-edge/jain")
+	if math.IsNaN(jain) || jain <= 0 || jain > 1.0000001 {
+		t.Fatalf("cell %s: jain=%v, want finite in (0, 1]", cell, jain)
+	}
+	wc := r.Metric("run/fair-edge/work-conservation")
+	if math.IsNaN(wc) || wc <= 0 || wc > 1.0000001 {
+		t.Fatalf("cell %s: work-conservation=%v, want in (0, 1]", cell, wc)
+	}
+	var shares float64
+	for _, class := range []string{"interactive", "bulk"} {
+		s := r.Metric("run/fair-edge/" + class + "/share")
+		if math.IsNaN(s) {
+			t.Fatalf("cell %s: missing share metric for class %s", cell, class)
+		}
+		shares += s
+	}
+	// The two declared classes carry every web flow; the meter's "other"
+	// bucket should hold nothing, so the shares must account for all
+	// served bytes (shares are 0 only in a cell that served nothing).
+	if shares != 0 && math.Abs(shares-1) > 1e-6 {
+		t.Fatalf("cell %s: class shares sum to %v, want 1", cell, shares)
+	}
+	if !strings.Contains(r.Report, "jain=") {
+		t.Fatalf("cell %s: report lacks a fairness section:\n%s", cell, r.Report)
+	}
+}
+
+// TestMegasweepResume is the tentpole acceptance test: the full
+// scheduler-mode grid swept through the run store's resume path. A
+// sweep resumed from a half-populated store must emit bytes identical
+// to an uninterrupted run, a cache-warm re-run must execute zero cells,
+// and every cell — fifo, sp, and wfq alike — must carry the fairness
+// section.
+func TestMegasweepResume(t *testing.T) {
+	cfg, err := Load(filepath.Join(configsDir, "megasweep.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Experiment(cfg)
+	g := megasweepGrid(t)
+	par := runtime.GOMAXPROCS(0)
+
+	emit := func(results []exp.Result) []byte {
+		var b bytes.Buffer
+		if err := exp.WriteJSON(&b, results); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+
+	fresh, st, err := exp.SweepOpts(e, g, exp.Options{Parallel: par})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Executed != g.Size() {
+		t.Fatalf("fresh sweep executed %d of %d cells", st.Executed, g.Size())
+	}
+	for _, r := range fresh {
+		assertFairnessCell(t, r)
+	}
+	want := emit(fresh)
+
+	// "Interrupt" the sweep by pre-populating only half the cells, then
+	// resume over the full grid.
+	s, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := g.Points()[:g.Size()/2]
+	for _, pt := range half {
+		res, err := e.Run(pt.Seed, pt.Params.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Save(e, pt, res, time.Millisecond)
+	}
+	resumed, st2, err := exp.SweepOpts(e, g, exp.Options{Parallel: par, Cache: s, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Cached != len(half) || st2.Executed != g.Size()-len(half) {
+		t.Fatalf("resume stats %+v, want %d cached %d executed", st2, len(half), g.Size()-len(half))
+	}
+	if got := emit(resumed); !bytes.Equal(got, want) {
+		t.Fatal("resumed sweep output differs from the uninterrupted run")
+	}
+
+	// Cache-warm re-run: every cell served from the store.
+	warm, st3, err := exp.SweepOpts(e, g, exp.Options{Parallel: par, Cache: s, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Executed != 0 || st3.Cached != g.Size() {
+		t.Fatalf("warm re-run stats %+v, want 0 executed %d cached", st3, g.Size())
+	}
+	if got := emit(warm); !bytes.Equal(got, want) {
+		t.Fatal("cache-warm sweep output differs from the uninterrupted run")
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fairGoldConfig is a two-class dumbbell where both classes offer 40 of
+// the bottleneck's 48 Mbit/s — both stay backlogged, so the scheduler
+// alone decides the split. Under wfq (weights 4:1) the weight-normalized
+// throughputs equalize and Jain's index approaches 1; under fifo both
+// classes get roughly equal service, which against 4:1 weights scores
+// (6+24)²/(2·(6²+24²)) ≈ 0.74.
+func fairGoldConfig(t *testing.T, sched string) *Config {
+	t.Helper()
+	// 8 virtual seconds even under -short: the first couple of seconds
+	// are slow-start transient, and a shorter window leaves the fifo
+	// baseline's split too noisy to bound.
+	horizon := "8s"
+	cfg, err := Parse([]byte(`{
+	  "name": "fairgold",
+	  "base": {
+	    "rtt": "40ms",
+	    "horizon": "` + horizon + `",
+	    "links": [{"name": "bn", "rate": "48e6", "delay": "20ms"}],
+	    "hosts": [{"name": "edge"}],
+	    "classes": [
+	      {"name": "interactive", "port": "8443", "weight": "4"},
+	      {"name": "bulk", "port": "80", "weight": "1"}
+	    ],
+	    "bundles": [{"host": "edge", "sched": "` + sched + `"}],
+	    "workloads": [
+	      {"host": "edge", "kind": "web", "class": "interactive", "load": "40e6", "requests": "100000"},
+	      {"host": "edge", "kind": "web", "class": "bulk", "load": "40e6", "requests": "100000"}
+	    ]
+	  },
+	  "runs": [{"label": "run"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestFairnessGoldenJainDelta pins the fairness report end to end: an
+// unfair FIFO cell against a WFQ cell of the same scenario must show a
+// large Jain's-index gap, and bundler-report's results diff must
+// surface that gap as a finding on the jain metric.
+func TestFairnessGoldenJainDelta(t *testing.T) {
+	run := func(sched string) exp.Result {
+		res, err := Experiment(fairGoldConfig(t, sched)).Run(1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fifo, wfq := run("fifo"), run("wfq")
+
+	fifoJain := fifo.Metric("run/fair-edge/jain")
+	wfqJain := wfq.Metric("run/fair-edge/jain")
+	if !(wfqJain > 0.95) {
+		t.Errorf("wfq jain = %v, want > 0.95 (weight-proportional service)", wfqJain)
+	}
+	if !(fifoJain < 0.85) {
+		t.Errorf("fifo jain = %v, want < 0.85 (equal service under 4:1 weights)", fifoJain)
+	}
+	// The weighted split itself: interactive holds about 4/5 of the link
+	// under wfq. The band here is looser than the 5% the qdisc-level
+	// tests pin because endhost congestion control moves the offered
+	// load: bulk's flows keep backing off from drops, so interactive
+	// picks up some of the slack beyond its 0.8 guarantee.
+	if share := wfq.Metric("run/fair-edge/interactive/share"); math.Abs(share-0.8) > 0.1 {
+		t.Errorf("wfq interactive share = %v, want 0.8 ± 0.1", share)
+	}
+
+	// The diff surfaces the gap: comparing the fifo baseline against the
+	// wfq run (same experiment, seed, and params, so the cells match)
+	// must flag the jain metric beyond a 5% tolerance.
+	r := report.DiffResults([]exp.Result{fifo}, []exp.Result{wfq}, report.Options{MetricTol: 0.05})
+	var found *report.Finding
+	for i, f := range r.Findings {
+		if f.Metric == "run/fair-edge/jain" {
+			found = &r.Findings[i]
+			break
+		}
+	}
+	if found == nil {
+		t.Fatalf("no jain finding in diff: %+v", r.Findings)
+	}
+	if found.Severity != "fail" || found.DeltaPct == nil || *found.DeltaPct < 5 {
+		t.Fatalf("jain finding %+v, want severity=fail with delta > 5%%", found)
+	}
+	var w strings.Builder
+	if err := r.WriteText(&w); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(w.String(), "jain") {
+		t.Fatalf("bundler-report output lacks the jain finding:\n%s", w.String())
+	}
+}

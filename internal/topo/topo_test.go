@@ -152,10 +152,127 @@ func TestRejections(t *testing.T) {
 		},
 		{
 			name: "bad qdisc name",
-			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6","qdisc":"wfq"}],
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6","qdisc":"hfsc"}],
 				"hosts":[{"name":"h"}],
 				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
 			want: "unknown scheduler",
+		},
+		{
+			name: "bare wfq qdisc without classes",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6","qdisc":"wfq"}],
+				"hosts":[{"name":"h"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "needs classes",
+		},
+		{
+			name: "bare wfq bundle sched without classes",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"bundles":[{"host":"h","sched":"wfq"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "needs classes",
+		},
+		{
+			name: "weights on sp spec",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"bundles":[{"host":"h","sched":"sp:8443=4/80"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "takes no weights",
+		},
+		{
+			name: "class without name",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"classes":[{"port":"8443"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "has no name",
+		},
+		{
+			name: "class without port",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"classes":[{"name":"a"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "outside [1, 65535]",
+		},
+		{
+			name: "class port out of range",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"classes":[{"name":"a","port":"70000"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "outside [1, 65535]",
+		},
+		{
+			name: "duplicate class name",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"classes":[{"name":"a","port":"80"},{"name":"a","port":"81"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "duplicate class",
+		},
+		{
+			name: "duplicate class port",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"classes":[{"name":"a","port":"80"},{"name":"b","port":"80"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "share port 80",
+		},
+		{
+			name: "negative class weight",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"classes":[{"name":"a","port":"80","weight":"-2"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "weight must be positive",
+		},
+		{
+			name: "zero class weight",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"classes":[{"name":"a","port":"80","weight":"0"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "weight must be positive",
+		},
+		{
+			name: "infinite class weight",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"classes":[{"name":"a","port":"80","weight":"+Inf"}],
+				"workloads":[{"host":"h","kind":"web","load":"10e6","requests":"100"}]}}`,
+			want: "weight must be positive",
+		},
+		{
+			name: "workload references unknown class",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"classes":[{"name":"a","port":"80"}],
+				"workloads":[{"host":"h","kind":"web","class":"b","load":"10e6","requests":"100"}]}}`,
+			want: "unknown class \"b\"",
+		},
+		{
+			name: "workload with class and dstport",
+			json: `{"name":"t","base":{"links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"classes":[{"name":"a","port":"80"}],
+				"workloads":[{"host":"h","kind":"web","class":"a","dstport":"80","load":"10e6","requests":"100"}]}}`,
+			want: "not both",
+		},
+		{
+			name: "class on non-web workload",
+			json: `{"name":"t","base":{"horizon":"10s","links":[{"name":"l1","rate":"96e6"}],
+				"hosts":[{"name":"h"}],
+				"classes":[{"name":"a","port":"80"}],
+				"workloads":[{"host":"h","kind":"bulk","class":"a"}]}}`,
+			want: "class is only for web workloads",
+		},
+		{
+			name: "mesh with classes",
+			json: `{"name":"t","base":{"mesh":{"sites":"4"},
+				"classes":[{"name":"a","port":"80"}]}}`,
+			want: "generates its own links",
 		},
 		{
 			name: "bad bundle scheduler",

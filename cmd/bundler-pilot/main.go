@@ -1,0 +1,126 @@
+// Command bundler-pilot runs the real-clock pilot datapath: one process
+// per side of the paper's dumbbell (a Sendbox in front of real TCP-model
+// senders, a Receivebox in front of the receivers), exchanging UDP
+// datagrams — the same bundle/tcp/netem code the simulator drives, paced
+// by clock.Wall instead of virtual time.
+//
+// Both sides, plus the -role sim twin, derive the identical workload
+// from -seed, and both result-producing roles emit the same report
+// schema, so bundler-report can diff emulation against simulation:
+//
+//	bundler-pilot -role recv -listen 127.0.0.1:9001 -peer 127.0.0.1:9000 &
+//	bundler-pilot -role send -listen 127.0.0.1:9000 -peer 127.0.0.1:9001 -out pilot.json
+//	bundler-pilot -role sim -out sim.json
+//	bundler-report -tol $(bundler-pilot -print-tol) sim.json pilot.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"bundler/internal/clock"
+	"bundler/internal/exp"
+	"bundler/internal/pilot"
+)
+
+func main() {
+	var (
+		role     = flag.String("role", "", `"send", "recv", or "sim" (the simulated twin)`)
+		listen   = flag.String("listen", "127.0.0.1:0", "local UDP address to bind (send/recv roles)")
+		peer     = flag.String("peer", "", "peer process's UDP address (send/recv roles)")
+		seed     = flag.Int64("seed", 1, "workload seed — must match on send, recv, and sim")
+		rate     = flag.Float64("rate", 0, "bottleneck rate, bits/s (0 = pilot default)")
+		rtt      = flag.Duration("rtt", 0, "emulated path RTT (0 = pilot default)")
+		requests = flag.Int("requests", 0, "number of web-CDF transfers (0 = pilot default)")
+		offered  = flag.Float64("offered", 0, "offered load, bits/s (0 = pilot default)")
+		alg      = flag.String("alg", "", `bundle inner-loop algorithm (empty = pilot default)`)
+		horizon  = flag.Duration("horizon", 0, "abort if the workload has not drained by then")
+		outPath  = flag.String("out", "", "write the result JSON here instead of stdout (send/sim roles)")
+		printTol = flag.Bool("print-tol", false,
+			"print the declared pilot-vs-sim tolerance for bundler-report and exit")
+	)
+	flag.Parse()
+
+	if *printTol {
+		fmt.Println(pilot.Tolerance)
+		return
+	}
+
+	cfg := pilot.Config{
+		Seed:       *seed,
+		Rate:       *rate,
+		RTT:        clock.Time(*rtt),
+		Requests:   *requests,
+		OfferedBps: *offered,
+		Algorithm:  *alg,
+		Horizon:    *horizon,
+	}
+
+	switch *role {
+	case "send", "recv":
+		laddr, err := net.ResolveUDPAddr("udp", *listen)
+		if err != nil {
+			fatal(fmt.Errorf("-listen: %w", err))
+		}
+		if *peer == "" {
+			fatal(fmt.Errorf("-role %s needs -peer", *role))
+		}
+		paddr, err := net.ResolveUDPAddr("udp", *peer)
+		if err != nil {
+			fatal(fmt.Errorf("-peer: %w", err))
+		}
+		conn, err := net.ListenUDP("udp", laddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer conn.Close()
+		if *role == "recv" {
+			if err := pilot.RunRecv(cfg, conn, paddr); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		start := time.Now()
+		res, err := pilot.RunSend(cfg, conn, paddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pilot: workload drained in %.1fs wall time\n",
+			time.Since(start).Seconds())
+		emit(res, *outPath)
+	case "sim":
+		res, err := pilot.RunTwin(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit(res, *outPath)
+	case "":
+		fatal(fmt.Errorf("-role is required (send, recv, or sim)"))
+	default:
+		fatal(fmt.Errorf("unknown -role %q (want send, recv, or sim)", *role))
+	}
+}
+
+// emit writes the single-result array bundler-report expects.
+func emit(res exp.Result, outPath string) {
+	w := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := exp.WriteJSON(w, []exp.Result{res}); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bundler-pilot:", err)
+	os.Exit(1)
+}

@@ -17,17 +17,17 @@
 // power of two so stale receivebox epochs stay strict sub/supersets.
 //
 // All rates (pacing, measured send/receive) are bits/second; byte counts
-// are int64 bytes; every timer and timestamp is sim.Time.
+// are int64 bytes; every timer and timestamp is clock.Time.
 package bundle
 
 import (
 	"math"
 
 	"bundler/internal/ccalg"
+	"bundler/internal/clock"
 	"bundler/internal/netem"
 	"bundler/internal/pkt"
 	"bundler/internal/qdisc"
-	"bundler/internal/sim"
 	"bundler/internal/stats"
 )
 
@@ -96,7 +96,7 @@ type Config struct {
 	// InitialRate seeds the pacer before the first measurement.
 	InitialRate float64
 	// ControlInterval is the CCP invocation cadence (§6.2). Default 10 ms.
-	ControlInterval sim.Time
+	ControlInterval clock.Time
 	// OOOThreshold is the out-of-order fraction above which multipath
 	// imbalance is declared (§7.6 determines 5 %).
 	OOOThreshold float64
@@ -126,7 +126,7 @@ type Config struct {
 	DisableTelemetry bool
 }
 
-func (c *Config) fillDefaults(eng *sim.Engine) {
+func (c *Config) fillDefaults() {
 	if c.Algorithm == "" {
 		c.Algorithm = "copa"
 	}
@@ -152,7 +152,7 @@ func (c *Config) fillDefaults(eng *sim.Engine) {
 		c.InitialRate = 10e6
 	}
 	if c.ControlInterval == 0 {
-		c.ControlInterval = 10 * sim.Millisecond
+		c.ControlInterval = 10 * clock.Millisecond
 	}
 	if c.OOOThreshold == 0 {
 		c.OOOThreshold = 0.05
@@ -160,7 +160,6 @@ func (c *Config) fillDefaults(eng *sim.Engine) {
 	if c.MeasurementWindowRTTs == 0 {
 		c.MeasurementWindowRTTs = 1
 	}
-	_ = eng
 }
 
 // boundary is the sendbox's record of one epoch boundary packet.
@@ -170,14 +169,14 @@ func (c *Config) fillDefaults(eng *sim.Engine) {
 type boundary struct {
 	hash      uint64
 	seq       uint64 // dequeue order
-	tsent     sim.Time
+	tsent     clock.Time
 	bytesSent int64
 }
 
 // epochMeasurement is one matched (boundary, congestion-ACK) sample.
 type epochMeasurement struct {
-	at       sim.Time
-	rtt      sim.Time
+	at       clock.Time
+	rtt      clock.Time
 	sendRate float64
 	recvRate float64
 }
@@ -185,7 +184,7 @@ type epochMeasurement struct {
 // ackPoint is one congestion-ACK arrival, kept for multi-epoch rate
 // computation.
 type ackPoint struct {
-	at    sim.Time
+	at    clock.Time
 	bytes int64
 }
 
@@ -197,7 +196,7 @@ const oooWindowSize = 256
 // feed it the site's egress packets (and the receivebox's control
 // messages returning on the reverse path).
 type Sendbox struct {
-	eng        *sim.Engine
+	eng        clock.Clock
 	cfg        Config
 	link       *netem.Link
 	downstream netem.Receiver
@@ -224,13 +223,13 @@ type Sendbox struct {
 	arrivalEwma   float64 // smoothed bundle arrival rate, bits/s
 
 	lastAcked      *boundary
-	lastAckArrival sim.Time
+	lastAckArrival clock.Time
 	lastBytesRcvd  int64
 	ackHistory     []ackPoint // recent ACK arrivals for multi-epoch rates
 
 	window     []epochMeasurement
-	minRTT     sim.Time
-	latestRTT  sim.Time
+	minRTT     clock.Time
+	latestRTT  clock.Time
 	muFilter   muMaxFilter
 	muSmooth   float64
 	lastEpochZ float64
@@ -241,20 +240,20 @@ type Sendbox struct {
 	oooTotal int
 
 	elasticVotes  []bool
-	lastDetectAt  sim.Time
-	modeChangedAt sim.Time
+	lastDetectAt  clock.Time
+	modeChangedAt clock.Time
 	dqEwma        float64 // smoothed in-network queueing delay, seconds
 	xcEwma        float64 // smoothed cross-traffic estimate, bits/s
-	starvedSince  sim.Time
+	starvedSince  clock.Time
 	ipid          uint16
-	ticker        *sim.Ticker
+	ticker        clock.Ticker
 	bFree         []*boundary // boundary record free list
 	pool          *pkt.Pool
 
 	// OnEpochSample, when set, observes every matched epoch measurement
 	// (the Figure 5/6 microbenchmark pairs these against per-packet
 	// ground truth recorded at the emulated bottleneck).
-	OnEpochSample func(hash uint64, rtt sim.Time, at sim.Time)
+	OnEpochSample func(hash uint64, rtt clock.Time, at clock.Time)
 
 	// Telemetry for experiments.
 	RTTEstimates  stats.TimeSeries // milliseconds
@@ -271,8 +270,8 @@ type Sendbox struct {
 // path). ctlAddr is this box's control-plane address (congestion ACKs are
 // sent to it); peerCtl is the receivebox's control address for epoch-size
 // updates.
-func NewSendbox(eng *sim.Engine, cfg Config, downstream netem.Receiver, ctlAddr, peerCtl pkt.Addr) *Sendbox {
-	cfg.fillDefaults(eng)
+func NewSendbox(eng clock.Clock, cfg Config, downstream netem.Receiver, ctlAddr, peerCtl pkt.Addr) *Sendbox {
+	cfg.fillDefaults()
 	s := &Sendbox{
 		eng:        eng,
 		cfg:        cfg,
@@ -291,7 +290,7 @@ func NewSendbox(eng *sim.Engine, cfg Config, downstream netem.Receiver, ctlAddr,
 	// in the prototype (§6.1).
 	s.link = netem.NewLink(eng, "sendbox-pacer", cfg.InitialRate, 0, cfg.Scheduler, downstream)
 	s.link.OnTransmitted(s.onTransmitted)
-	s.ticker = sim.Tick(eng, cfg.ControlInterval, s.controlTick)
+	s.ticker = eng.Tick(cfg.ControlInterval, s.controlTick)
 	return s
 }
 
@@ -386,8 +385,8 @@ func (s *Sendbox) freeBoundary(b *boundary) {
 // packet's ACK, yielding a garbage RTT and a phantom reordering signal.
 func (s *Sendbox) evictStaleBoundaries() {
 	maxAge := 8 * s.latestRTT
-	if maxAge < sim.Second {
-		maxAge = sim.Second
+	if maxAge < clock.Second {
+		maxAge = clock.Second
 	}
 	cutoff := s.eng.Now() - maxAge
 	for len(s.boundaryOrder) > 0 {
@@ -459,7 +458,7 @@ func (s *Sendbox) onCtlAck(ack *CtlAck) {
 				first, last := s.ackHistory[0], s.ackHistory[n-1]
 				if last.at > first.at {
 					muSample := float64(last.bytes-first.bytes) * 8 / (last.at - first.at).Seconds()
-					s.muFilter.update(now, muSample, 10*sim.Second)
+					s.muFilter.update(now, muSample, 10*clock.Second)
 				}
 			}
 			// Instantaneous cross-traffic estimate from this epoch pair.
@@ -571,12 +570,12 @@ func floorPow2(x float64) uint64 {
 // currentMeasurement averages the epoch window spanning the last RTT.
 func (s *Sendbox) currentMeasurement() (ccalg.Measurement, bool) {
 	now := s.eng.Now()
-	horizon := sim.Time(float64(s.latestRTT) * s.cfg.MeasurementWindowRTTs)
-	if floor := sim.Time(float64(50*sim.Millisecond) * s.cfg.MeasurementWindowRTTs); horizon < floor {
+	horizon := clock.Time(float64(s.latestRTT) * s.cfg.MeasurementWindowRTTs)
+	if floor := clock.Time(float64(50*clock.Millisecond) * s.cfg.MeasurementWindowRTTs); horizon < floor {
 		horizon = floor
 	}
-	if horizon < 10*sim.Millisecond {
-		horizon = 10 * sim.Millisecond
+	if horizon < 10*clock.Millisecond {
+		horizon = 10 * clock.Millisecond
 	}
 	cutoff := now - horizon
 	keep := s.window[:0]
@@ -590,14 +589,14 @@ func (s *Sendbox) currentMeasurement() (ccalg.Measurement, bool) {
 		return ccalg.Measurement{}, false
 	}
 	var m ccalg.Measurement
-	var rttSum sim.Time
+	var rttSum clock.Time
 	for _, e := range s.window {
 		rttSum += e.rtt
 		m.SendRate += e.sendRate
 		m.RecvRate += e.recvRate
 	}
 	n := float64(len(s.window))
-	m.RTT = rttSum / sim.Time(len(s.window))
+	m.RTT = rttSum / clock.Time(len(s.window))
 	m.SendRate /= n
 	m.RecvRate /= n
 	m.MinRTT = s.minRTT
@@ -716,7 +715,7 @@ func (s *Sendbox) decayMu() {
 
 // updateMode runs the §5 state machine: multipath imbalance dominates;
 // otherwise elasticity votes flip between delay control and pass-through.
-func (s *Sendbox) updateMode(haveMeas bool, now sim.Time) {
+func (s *Sendbox) updateMode(haveMeas bool, now clock.Time) {
 	if *s.cfg.EnableMultipathDetection && s.oooTotal >= 32 {
 		frac := s.OOOFraction()
 		if s.mode != ModeDisabled && frac > s.cfg.OOOThreshold {
@@ -724,7 +723,7 @@ func (s *Sendbox) updateMode(haveMeas bool, now sim.Time) {
 			return
 		}
 		if s.mode == ModeDisabled {
-			if frac < s.cfg.OOOThreshold/4 && now-s.modeChangedAt > 5*sim.Second {
+			if frac < s.cfg.OOOThreshold/4 && now-s.modeChangedAt > 5*clock.Second {
 				s.setMode(ModeDelayControl, now)
 			}
 			return
@@ -751,7 +750,7 @@ func (s *Sendbox) updateMode(haveMeas bool, now sim.Time) {
 			if s.starvedSince == 0 {
 				s.starvedSince = now
 			}
-			if now-s.starvedSince > 2*sim.Second {
+			if now-s.starvedSince > 2*clock.Second {
 				s.pi.Reset(s.link.Rate(), now)
 				s.setMode(ModePassThrough, now)
 				return
@@ -759,7 +758,7 @@ func (s *Sendbox) updateMode(haveMeas bool, now sim.Time) {
 		}
 	}
 	// Evaluate elasticity every 100 ms.
-	if now-s.lastDetectAt < 100*sim.Millisecond || !s.detector.Ready() {
+	if now-s.lastDetectAt < 100*clock.Millisecond || !s.detector.Ready() {
 		return
 	}
 	s.lastDetectAt = now
@@ -808,13 +807,13 @@ func (s *Sendbox) updateMode(haveMeas bool, now sim.Time) {
 		queueCalm := s.dqEwma < math.Max(0.25*s.minRTT.Seconds(), 0.005)
 		selfInflicted := s.xcEwma < 0.3*s.mu()
 		if len(s.elasticVotes) >= 20 && all == 0 && (queueCalm || selfInflicted) &&
-			now-s.modeChangedAt > 2*sim.Second {
+			now-s.modeChangedAt > 2*clock.Second {
 			s.setMode(ModeDelayControl, now)
 		}
 	}
 }
 
-func (s *Sendbox) setMode(m Mode, now sim.Time) {
+func (s *Sendbox) setMode(m Mode, now clock.Time) {
 	s.mode = m
 	s.modeChangedAt = now
 	s.elasticVotes = s.elasticVotes[:0]
@@ -825,9 +824,9 @@ func (s *Sendbox) Mode() Mode { return s.mode }
 
 // QueueDelay reports the sendbox queue's drain time at the capacity
 // estimate.
-func (s *Sendbox) QueueDelay() sim.Time {
+func (s *Sendbox) QueueDelay() clock.Time {
 	mu := s.mu()
-	return sim.Time(float64(s.link.Queue().Bytes()*8) / mu * float64(sim.Second))
+	return clock.Time(float64(s.link.Queue().Bytes()*8) / mu * float64(clock.Second))
 }
 
 // QueueBytes reports the sendbox queue occupancy.
@@ -840,7 +839,7 @@ func (s *Sendbox) CurrentRate() float64 { return s.link.Rate() }
 func (s *Sendbox) EpochN() uint64 { return s.epochN }
 
 // MinRTT reports the minimum RTT the inner loop has observed.
-func (s *Sendbox) MinRTT() sim.Time { return s.minRTT }
+func (s *Sendbox) MinRTT() clock.Time { return s.minRTT }
 
 // Measurement exposes the current windowed measurement for tests and
 // experiment harnesses.
@@ -855,11 +854,11 @@ type muMaxFilter struct {
 }
 
 type muSample struct {
-	at sim.Time
+	at clock.Time
 	v  float64
 }
 
-func (m *muMaxFilter) update(now sim.Time, v float64, window sim.Time) {
+func (m *muMaxFilter) update(now clock.Time, v float64, window clock.Time) {
 	cut := 0
 	for cut < len(m.samples) && now-m.samples[cut].at > window {
 		cut++
@@ -883,7 +882,7 @@ func (m *muMaxFilter) get() float64 {
 // ingress, register Receive at the site mux under the box's control
 // address, and point out at the reverse path toward the sendbox.
 type Receivebox struct {
-	eng     *sim.Engine
+	eng     clock.Clock
 	out     netem.Receiver
 	addr    pkt.Addr
 	peerCtl pkt.Addr
@@ -902,7 +901,7 @@ type Receivebox struct {
 
 // NewReceivebox builds the destination-site box. out carries congestion
 // ACKs back toward the sendbox (they are addressed to peerCtl).
-func NewReceivebox(eng *sim.Engine, out netem.Receiver, addr, peerCtl pkt.Addr, initialEpochN uint64) *Receivebox {
+func NewReceivebox(eng clock.Clock, out netem.Receiver, addr, peerCtl pkt.Addr, initialEpochN uint64) *Receivebox {
 	if initialEpochN == 0 {
 		initialEpochN = 16
 	}

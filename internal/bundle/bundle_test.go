@@ -332,7 +332,7 @@ func TestModeStringAndDefaults(t *testing.T) {
 		}
 	}
 	var cfg Config
-	cfg.fillDefaults(sim.NewEngine(1))
+	cfg.fillDefaults()
 	if cfg.Algorithm != "copa" || cfg.InitialEpochN != 16 || !*cfg.EnablePulses {
 		t.Fatalf("defaults wrong: %+v", cfg)
 	}

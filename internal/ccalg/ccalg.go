@@ -13,24 +13,24 @@ package ccalg
 import (
 	"math"
 
+	"bundler/internal/clock"
 	"bundler/internal/fft"
 	"bundler/internal/pkt"
-	"bundler/internal/sim"
 )
 
 // Measurement is one windowed congestion sample: the sendbox averages
 // epoch measurements over a sliding window of about one RTT (§4.5).
 type Measurement struct {
-	RTT      sim.Time // windowed RTT
-	MinRTT   sim.Time // minimum RTT observed for the bundle
-	SendRate float64  // bits/s measured across send epochs
-	RecvRate float64  // bits/s measured across congestion-ACK arrivals
-	Mu       float64  // bottleneck capacity estimate (windowed max recv rate)
+	RTT      clock.Time // windowed RTT
+	MinRTT   clock.Time // minimum RTT observed for the bundle
+	SendRate float64    // bits/s measured across send epochs
+	RecvRate float64    // bits/s measured across congestion-ACK arrivals
+	Mu       float64    // bottleneck capacity estimate (windowed max recv rate)
 	// LatestRTT is the most recent single-epoch RTT sample (0 if unset).
 	// Algorithms that maintain their own filters (Copa's standing-RTT
 	// window) consume this: filtering an already window-averaged RTT
 	// doubles the smoothing lag.
-	LatestRTT sim.Time
+	LatestRTT clock.Time
 }
 
 // Alg computes the bundle's base sending rate from measurements.
@@ -38,9 +38,9 @@ type Alg interface {
 	// Name identifies the algorithm in reports.
 	Name() string
 	// OnMeasurement feeds one new windowed measurement.
-	OnMeasurement(m Measurement, now sim.Time)
+	OnMeasurement(m Measurement, now clock.Time)
 	// Rate returns the base sending rate in bits/s.
-	Rate(now sim.Time) float64
+	Rate(now clock.Time) float64
 }
 
 // minRatePkts floors internal windows so algorithms can always probe.
@@ -57,19 +57,19 @@ type Copa struct {
 	vel   float64
 	dir   float64
 	// Velocity doubles at most once per RTT while direction persists.
-	lastVelUpdate sim.Time
+	lastVelUpdate clock.Time
 	lastDir       float64
 
 	// Standing RTT: minimum over the most recent half-RTT of samples.
 	recent []rttSample
 
 	lastRate float64
-	lastTime sim.Time
+	lastTime clock.Time
 }
 
 type rttSample struct {
-	at  sim.Time
-	rtt sim.Time
+	at  clock.Time
+	rtt clock.Time
 }
 
 // NewCopa returns a Copa controller with the default δ = 0.5.
@@ -81,7 +81,7 @@ func NewCopa() *Copa {
 func (c *Copa) Name() string { return "copa" }
 
 // OnMeasurement implements Alg.
-func (c *Copa) OnMeasurement(m Measurement, now sim.Time) {
+func (c *Copa) OnMeasurement(m Measurement, now clock.Time) {
 	if m.RTT <= 0 || m.MinRTT <= 0 {
 		return
 	}
@@ -182,7 +182,7 @@ func (c *Copa) OnMeasurement(m Measurement, now sim.Time) {
 }
 
 // Rate implements Alg.
-func (c *Copa) Rate(sim.Time) float64 {
+func (c *Copa) Rate(clock.Time) float64 {
 	if c.lastRate == 0 {
 		return float64(2*minCwndPkts) * pkt.MTU * 8 / 0.1
 	}
@@ -213,7 +213,7 @@ func NewBasicDelay() *BasicDelay {
 func (b *BasicDelay) Name() string { return "basicdelay" }
 
 // OnMeasurement implements Alg.
-func (b *BasicDelay) OnMeasurement(m Measurement, now sim.Time) {
+func (b *BasicDelay) OnMeasurement(m Measurement, now clock.Time) {
 	if m.MinRTT <= 0 || m.Mu <= 0 {
 		return
 	}
@@ -261,7 +261,7 @@ func (b *BasicDelay) OnMeasurement(m Measurement, now sim.Time) {
 }
 
 // Rate implements Alg.
-func (b *BasicDelay) Rate(sim.Time) float64 {
+func (b *BasicDelay) Rate(clock.Time) float64 {
 	if b.rate == 0 {
 		return 1e6
 	}
@@ -274,10 +274,10 @@ func (b *BasicDelay) Rate(sim.Time) float64 {
 // the delay controllers at the sendbox.
 type BBRBundle struct {
 	mu         float64 // windowed max recv rate
-	muAt       sim.Time
-	minRTT     sim.Time
+	muAt       clock.Time
+	minRTT     clock.Time
 	cycleIdx   int
-	cycleStart sim.Time
+	cycleStart clock.Time
 	started    bool
 	startup    bool
 	lastMu     float64
@@ -293,8 +293,8 @@ func NewBBRBundle() *BBRBundle { return &BBRBundle{startup: true} }
 func (b *BBRBundle) Name() string { return "bbr" }
 
 // OnMeasurement implements Alg.
-func (b *BBRBundle) OnMeasurement(m Measurement, now sim.Time) {
-	if m.RecvRate > b.mu || now-b.muAt > 10*sim.Second {
+func (b *BBRBundle) OnMeasurement(m Measurement, now clock.Time) {
+	if m.RecvRate > b.mu || now-b.muAt > 10*clock.Second {
 		b.mu = m.RecvRate
 		b.muAt = now
 	}
@@ -319,15 +319,15 @@ func (b *BBRBundle) OnMeasurement(m Measurement, now sim.Time) {
 	}
 }
 
-func (b *BBRBundle) rtprop() sim.Time {
+func (b *BBRBundle) rtprop() clock.Time {
 	if b.minRTT == 0 {
-		return 100 * sim.Millisecond
+		return 100 * clock.Millisecond
 	}
 	return b.minRTT
 }
 
 // Rate implements Alg.
-func (b *BBRBundle) Rate(sim.Time) float64 {
+func (b *BBRBundle) Rate(clock.Time) float64 {
 	if !b.started || b.mu == 0 {
 		return 1e6
 	}
@@ -366,10 +366,10 @@ func CrossTrafficRate(m Measurement) float64 {
 
 // queueBusyThreshold is the queueing delay below which the bottleneck is
 // treated as effectively idle for cross-traffic estimation.
-func queueBusyThreshold(minRTT sim.Time) sim.Time {
+func queueBusyThreshold(minRTT clock.Time) clock.Time {
 	th := minRTT / 20
-	if th < 2*sim.Millisecond {
-		th = 2 * sim.Millisecond
+	if th < 2*clock.Millisecond {
+		th = 2 * clock.Millisecond
 	}
 	return th
 }
@@ -396,14 +396,14 @@ func New(name string) Alg {
 // A = μ/4 (§5.1).
 type Pulser struct {
 	// Period is the pulse period T.
-	Period sim.Time
+	Period clock.Time
 	// AmplitudeFrac is A as a fraction of the capacity estimate μ.
 	AmplitudeFrac float64
 }
 
 // NewPulser returns the paper's pulser configuration.
 func NewPulser() *Pulser {
-	return &Pulser{Period: 200 * sim.Millisecond, AmplitudeFrac: 0.25}
+	return &Pulser{Period: 200 * clock.Millisecond, AmplitudeFrac: 0.25}
 }
 
 // Offset returns the rate offset at time now for capacity estimate mu.
@@ -412,7 +412,7 @@ func NewPulser() *Pulser {
 // buffer-filler, and an attenuated pulse would be invisible in the cross
 // traffic's response. The caller floors the summed rate so the down-pulse
 // cannot stall the pacer.
-func (p *Pulser) Offset(now sim.Time, mu float64) float64 {
+func (p *Pulser) Offset(now clock.Time, mu float64) float64 {
 	if mu <= 0 {
 		return 0
 	}
@@ -579,22 +579,22 @@ func bandMax(spec []float64, center, halfWidth int) float64 {
 type PIController struct {
 	Alpha, Beta float64
 	// Target is q_T, expressed as queueing delay.
-	Target sim.Time
+	Target clock.Time
 
 	rate     float64
-	lastQ    sim.Time
-	lastTime sim.Time
+	lastQ    clock.Time
+	lastTime clock.Time
 }
 
 // NewPIController returns the paper's configuration: α = β = 10 and a
 // 10 ms target (8 ms for the up-pulse area plus 2 ms cushion).
 func NewPIController() *PIController {
-	return &PIController{Alpha: 10, Beta: 10, Target: 10 * sim.Millisecond}
+	return &PIController{Alpha: 10, Beta: 10, Target: 10 * clock.Millisecond}
 }
 
 // Reset initializes the controller when pass-through mode engages,
 // starting from the given rate.
-func (pi *PIController) Reset(rate float64, now sim.Time) {
+func (pi *PIController) Reset(rate float64, now clock.Time) {
 	pi.rate = rate
 	pi.lastQ = 0
 	pi.lastTime = now
@@ -603,7 +603,7 @@ func (pi *PIController) Reset(rate float64, now sim.Time) {
 // Update advances the controller: q is the current sendbox queueing delay
 // and mu the capacity estimate used for normalization. It returns the new
 // base rate.
-func (pi *PIController) Update(q sim.Time, mu float64, now sim.Time) float64 {
+func (pi *PIController) Update(q clock.Time, mu float64, now clock.Time) float64 {
 	dt := (now - pi.lastTime).Seconds()
 	if dt <= 0 {
 		return pi.rate

@@ -5,10 +5,10 @@ import (
 	"math/rand"
 	"testing"
 
-	"bundler/internal/sim"
+	"bundler/internal/clock"
 )
 
-func meas(rtt, minRTT sim.Time, send, recv, mu float64) Measurement {
+func meas(rtt, minRTT clock.Time, send, recv, mu float64) Measurement {
 	return Measurement{RTT: rtt, MinRTT: minRTT, SendRate: send, RecvRate: recv, Mu: mu}
 }
 
@@ -16,11 +16,11 @@ func meas(rtt, minRTT sim.Time, send, recv, mu float64) Measurement {
 // algorithm's rate fills a queue drained at capacity mu, and the measured
 // RTT reflects the resulting queueing delay. It returns the final rate and
 // queueing delay.
-func driveToEquilibrium(t *testing.T, alg Alg, mu float64, minRTT sim.Time, seconds float64) (rate float64, qdelay sim.Time) {
+func driveToEquilibrium(t *testing.T, alg Alg, mu float64, minRTT clock.Time, seconds float64) (rate float64, qdelay clock.Time) {
 	t.Helper()
 	var qBits float64
-	now := sim.Time(0)
-	const tick = 10 * sim.Millisecond
+	now := clock.Time(0)
+	const tick = 10 * clock.Millisecond
 	rate = mu / 2
 	for now.Seconds() < seconds {
 		now += tick
@@ -29,7 +29,7 @@ func driveToEquilibrium(t *testing.T, alg Alg, mu float64, minRTT sim.Time, seco
 		if qBits < 0 {
 			qBits = 0
 		}
-		qd := sim.Time(qBits / mu * float64(sim.Second))
+		qd := clock.Time(qBits / mu * float64(clock.Second))
 		recv := mu
 		if rate < mu && qBits == 0 {
 			recv = rate
@@ -37,31 +37,31 @@ func driveToEquilibrium(t *testing.T, alg Alg, mu float64, minRTT sim.Time, seco
 		alg.OnMeasurement(meas(minRTT+qd, minRTT, rate, recv, mu), now)
 		rate = alg.Rate(now)
 	}
-	return rate, sim.Time(qBits / mu * float64(sim.Second))
+	return rate, clock.Time(qBits / mu * float64(clock.Second))
 }
 
 func TestCopaConvergesToCapacityWithSmallQueue(t *testing.T) {
-	rate, qd := driveToEquilibrium(t, NewCopa(), 96e6, 50*sim.Millisecond, 30)
+	rate, qd := driveToEquilibrium(t, NewCopa(), 96e6, 50*clock.Millisecond, 30)
 	if rate < 0.85*96e6 || rate > 1.3*96e6 {
 		t.Fatalf("copa rate %.1f Mbit/s, want ≈ 96", rate/1e6)
 	}
-	if qd > 15*sim.Millisecond {
+	if qd > 15*clock.Millisecond {
 		t.Fatalf("copa standing queue %v, want small (<15ms)", qd)
 	}
 }
 
 func TestBasicDelayConvergesToCapacityWithSmallQueue(t *testing.T) {
-	rate, qd := driveToEquilibrium(t, NewBasicDelay(), 48e6, 40*sim.Millisecond, 30)
+	rate, qd := driveToEquilibrium(t, NewBasicDelay(), 48e6, 40*clock.Millisecond, 30)
 	if rate < 0.85*48e6 || rate > 1.3*48e6 {
 		t.Fatalf("basicdelay rate %.1f Mbit/s, want ≈ 48", rate/1e6)
 	}
-	if qd > 15*sim.Millisecond {
+	if qd > 15*clock.Millisecond {
 		t.Fatalf("basicdelay standing queue %v, want <15ms", qd)
 	}
 }
 
 func TestBBRBundleMaintainsStandingQueue(t *testing.T) {
-	rate, _ := driveToEquilibrium(t, NewBBRBundle(), 48e6, 40*sim.Millisecond, 30)
+	rate, _ := driveToEquilibrium(t, NewBBRBundle(), 48e6, 40*clock.Millisecond, 30)
 	// BBR paces around capacity; its probing keeps rate ≈ mu (cycle mean
 	// slightly above due to queue it creates).
 	if rate < 0.7*48e6 || rate > 1.5*48e6 {
@@ -71,11 +71,11 @@ func TestBBRBundleMaintainsStandingQueue(t *testing.T) {
 
 func TestCopaDrainsQueueWhenAboveTarget(t *testing.T) {
 	c := NewCopa()
-	now := sim.Time(0)
+	now := clock.Time(0)
 	// Large persistent queueing delay: Copa must reduce its window.
 	for i := 0; i < 200; i++ {
-		now += 10 * sim.Millisecond
-		c.OnMeasurement(meas(150*sim.Millisecond, 50*sim.Millisecond, 96e6, 96e6, 96e6), now)
+		now += 10 * clock.Millisecond
+		c.OnMeasurement(meas(150*clock.Millisecond, 50*clock.Millisecond, 96e6, 96e6, 96e6), now)
 	}
 	got := c.Rate(now)
 	// Copa reduces toward — but not below — 80 % of the receive rate the
@@ -111,7 +111,7 @@ func TestPulserZeroMean(t *testing.T) {
 	const steps = 20000
 	sum := 0.0
 	for i := 0; i < steps; i++ {
-		now := sim.Time(i) * p.Period / steps
+		now := clock.Time(i) * p.Period / steps
 		sum += p.Offset(now, 100e6)
 	}
 	mean := sum / steps
@@ -131,7 +131,7 @@ func TestPulserUpPulseAreaMatchesPaper(t *testing.T) {
 	dt := p.Period.Seconds() / steps
 	area := 0.0
 	for i := 0; i < steps; i++ {
-		now := sim.Time(i) * p.Period / steps
+		now := clock.Time(i) * p.Period / steps
 		if off := p.Offset(now, mu); off > 0 {
 			area += off * dt
 		}
@@ -213,10 +213,10 @@ func TestPIControllerReachesQueueTarget(t *testing.T) {
 	mu := 96e6
 	arrival := 96e6
 	var qBits float64
-	now := sim.Time(0)
+	now := clock.Time(0)
 	pi.Reset(mu, now)
-	const tick = 10 * sim.Millisecond
-	var lastQ sim.Time
+	const tick = 10 * clock.Millisecond
+	var lastQ clock.Time
 	for i := 0; i < 3000; i++ {
 		now += tick
 		rate := pi.Rate()
@@ -224,10 +224,10 @@ func TestPIControllerReachesQueueTarget(t *testing.T) {
 		if qBits < 0 {
 			qBits = 0
 		}
-		lastQ = sim.Time(qBits / mu * float64(sim.Second))
+		lastQ = clock.Time(qBits / mu * float64(clock.Second))
 		pi.Update(lastQ, mu, now)
 	}
-	if lastQ < 5*sim.Millisecond || lastQ > 20*sim.Millisecond {
+	if lastQ < 5*clock.Millisecond || lastQ > 20*clock.Millisecond {
 		t.Fatalf("PI settled at queue %v, want ≈ 10ms", lastQ)
 	}
 }
@@ -237,14 +237,14 @@ func TestPIControllerRateBounds(t *testing.T) {
 	pi.Reset(1e6, 0)
 	// Huge queue for a long time must not blow past 4·mu.
 	for i := 1; i <= 1000; i++ {
-		pi.Update(10*sim.Second, 10e6, sim.Time(i)*10*sim.Millisecond)
+		pi.Update(10*clock.Second, 10e6, clock.Time(i)*10*clock.Millisecond)
 	}
 	if pi.Rate() > 40e6+1 {
 		t.Fatalf("rate %v exceeded 4·mu bound", pi.Rate())
 	}
 	// Empty queue forever must not go below 1% mu.
 	for i := 1001; i <= 3000; i++ {
-		pi.Update(0, 10e6, sim.Time(i)*10*sim.Millisecond)
+		pi.Update(0, 10e6, clock.Time(i)*10*clock.Millisecond)
 	}
 	if pi.Rate() < 0.1e6-1 {
 		t.Fatalf("rate %v fell below 1%% mu floor", pi.Rate())

@@ -1,0 +1,71 @@
+package clock_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"bundler/internal/clock"
+	"bundler/internal/clock/clocktest"
+)
+
+// TestWallContract runs the shared conformance suite against the
+// real-time implementation.
+func TestWallContract(t *testing.T) {
+	clocktest.Run(t, func(t *testing.T) (clock.Clock, func(clock.Time)) {
+		w := clock.NewWall(1)
+		t.Cleanup(w.Close)
+		wait := func(horizon clock.Time) {
+			done := make(chan struct{})
+			clock.At(w, horizon, func() { close(done) })
+			<-done
+		}
+		return w, wait
+	})
+}
+
+// TestWallCloseIdempotent: Close may be called repeatedly, including
+// concurrently, and scheduling after Close is a silent no-op.
+func TestWallCloseIdempotent(t *testing.T) {
+	w := clock.NewWall(1)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); w.Close() }()
+	}
+	wg.Wait()
+	w.Close()
+	clock.After(w, 0, func() { t.Error("callback ran after Close") })
+	w.NewTimer(func() { t.Error("timer fired after Close") }).ArmAfter(0)
+}
+
+// TestWallCrossGoroutineScheduling: the wall clock accepts scheduling
+// from arbitrary goroutines (how UDP readers inject packets into the
+// clock domain) and still serializes all callbacks.
+func TestWallCrossGoroutineScheduling(t *testing.T) {
+	w := clock.NewWall(1)
+	defer w.Close()
+	const producers, perProducer = 8, 50
+	var active, total int32
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				clock.After(w, 0, func() {
+					if atomic.AddInt32(&active, 1) != 1 {
+						t.Error("two callbacks ran concurrently")
+					}
+					atomic.AddInt32(&active, -1)
+					if atomic.AddInt32(&total, 1) == producers*perProducer {
+						close(done)
+					}
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+}

@@ -17,15 +17,15 @@ package fluid
 import (
 	"fmt"
 
+	"bundler/internal/clock"
 	"bundler/internal/netem"
 	"bundler/internal/pkt"
-	"bundler/internal/sim"
 )
 
 // DefaultStep is the rate-ODE integration step. 10 ms is well under the
 // RTTs the scenarios use (20–100 ms), so the AIMD dynamics are resolved,
 // while a 60 s horizon costs only 6000 ticks per aggregate.
-const DefaultStep = 10 * sim.Millisecond
+const DefaultStep = 10 * clock.Millisecond
 
 // ForegroundHeadroom is the capacity fraction fluid aggregates can never
 // take from the foreground. A fluid model has no per-packet round-robin
@@ -48,7 +48,7 @@ type Class struct {
 	Users int
 	// RTT is the aggregate's feedback delay: the additive-increase and
 	// multiplicative-decrease clock.
-	RTT sim.Time
+	RTT clock.Time
 	// MSS is the emulated segment size in bytes (pkt.MSS when zero).
 	MSS int
 	// BufBytes is the virtual buffer backing the aggregate; backlog
@@ -62,7 +62,7 @@ type classState struct {
 	Class
 	rate      float64 // current aggregate send rate, bits/s
 	backlog   float64 // bytes standing in the virtual buffer
-	lastCut   sim.Time
+	lastCut   clock.Time
 	cutValid  bool
 	delivered float64 // cumulative drained bytes
 	lost      float64 // cumulative overflow bytes
@@ -78,25 +78,25 @@ func (c *classState) floor() float64 {
 // the link's own engine, so in a sharded mesh every site's aggregate
 // ticks inside that site's shard — no cross-shard state.
 type Aggregate struct {
-	eng     *sim.Engine
+	eng     clock.Clock
 	link    *netem.Link
-	step    sim.Time
+	step    clock.Time
 	classes []*classState
 
 	lastPktBytes int64 // link.BytesSent() at the previous tick
-	ticker       *sim.Ticker
+	ticker       clock.Ticker
 }
 
 // Attach builds an aggregate over link, ticking every step (DefaultStep
 // if step is zero). Classes are added with AddClass before the first
 // tick fires; the aggregate starts influencing the link once a class
 // exists.
-func Attach(eng *sim.Engine, link *netem.Link, step sim.Time) *Aggregate {
+func Attach(eng clock.Clock, link *netem.Link, step clock.Time) *Aggregate {
 	if step <= 0 {
 		step = DefaultStep
 	}
 	a := &Aggregate{eng: eng, link: link, step: step, lastPktBytes: link.BytesSent()}
-	a.ticker = sim.Tick(eng, step, a.tick)
+	a.ticker = eng.Tick(step, a.tick)
 	return a
 }
 

@@ -6,17 +6,18 @@
 // multipath load balancer for the §5.2 / §7.6 experiments.
 //
 // Components implement Receiver and are wired explicitly into a forwarding
-// graph; all behaviour unfolds on the shared sim.Engine's virtual clock.
-// Link rates are bits/second, delays are sim.Time, queue budgets are
+// graph; all behaviour unfolds on a shared clock.Clock — the simulator's
+// virtual clock in experiments, a clock.Wall in the pilot datapath.
+// Link rates are bits/second, delays are clock.Time, queue budgets are
 // whatever the attached qdisc counts (bytes or packets).
 package netem
 
 import (
 	"fmt"
 
+	"bundler/internal/clock"
 	"bundler/internal/pkt"
 	"bundler/internal/qdisc"
-	"bundler/internal/sim"
 )
 
 // Receiver consumes packets. Links, boxes, endpoints, and taps all
@@ -45,7 +46,7 @@ type BoundaryPort interface {
 	// ReceiveAt takes ownership of p for delivery on the remote shard at
 	// virtual time arrive, which must be at or beyond the shard window's
 	// lookahead bound.
-	ReceiveAt(p *pkt.Packet, arrive sim.Time)
+	ReceiveAt(p *pkt.Packet, arrive clock.Time)
 }
 
 // Sink discards packets, counting them.
@@ -63,10 +64,10 @@ func (s *Sink) Receive(p *pkt.Packet) {
 // Bundler sendbox enforces its pacing rate (a token-bucket filter whose
 // rate the control plane rewrites).
 type Link struct {
-	eng   *sim.Engine
+	eng   clock.Clock
 	name  string
 	rate  float64 // bits per second
-	delay sim.Time
+	delay clock.Time
 	q     qdisc.Qdisc
 	dst   Receiver
 
@@ -98,7 +99,7 @@ type Link struct {
 	delivered     int
 	bytesSent     int64
 	rejected      int
-	onDequeue     func(p *pkt.Packet, qdelay sim.Time)
+	onDequeue     func(p *pkt.Packet, qdelay clock.Time)
 	onTransmitted func(p *pkt.Packet)
 	onDelivery    func(p *pkt.Packet)
 }
@@ -108,7 +109,7 @@ const MinRate = 1e3 // 1 kbit/s
 
 // NewLink builds a link. rate is in bits/second; delay is one-way
 // propagation; q is the queueing discipline holding backlogged packets.
-func NewLink(eng *sim.Engine, name string, rate float64, delay sim.Time, q qdisc.Qdisc, dst Receiver) *Link {
+func NewLink(eng clock.Clock, name string, rate float64, delay clock.Time, q qdisc.Qdisc, dst Receiver) *Link {
 	if rate < MinRate {
 		panic(fmt.Sprintf("netem: link %s rate %.0f below minimum", name, rate))
 	}
@@ -157,8 +158,8 @@ func (l *Link) transmitNext() {
 	if l.onDequeue != nil {
 		l.onDequeue(p, l.eng.Now()-p.EnqueuedAt)
 	}
-	ideal := float64(p.Size*8)/l.effRate()*float64(sim.Second) + l.txCarry
-	tx := sim.Time(ideal)
+	ideal := float64(p.Size*8)/l.effRate()*float64(clock.Second) + l.txCarry
+	tx := clock.Time(ideal)
 	if tx < 1 {
 		// Sub-nanosecond serialization rounds up to the clock tick; the
 		// carry resets so the (conservative) excess is not paid back.
@@ -264,7 +265,7 @@ func (l *Link) FluidBps() float64 { return l.fluidBps }
 func (l *Link) FluidBacklogBytes() float64 { return l.fluidBacklog }
 
 // Delay returns the propagation delay.
-func (l *Link) Delay() sim.Time { return l.delay }
+func (l *Link) Delay() clock.Time { return l.delay }
 
 // Queue exposes the link's qdisc (the sendbox reads its occupancy, and
 // tests inspect drops).
@@ -277,11 +278,11 @@ func (l *Link) Queue() qdisc.Qdisc { return l.q }
 // backlog, so foreground control loops observe the occupancy the
 // emulated users create. The fluid-free expression is untouched —
 // byte-identical golden output depends on it.
-func (l *Link) QueueDelay() sim.Time {
+func (l *Link) QueueDelay() clock.Time {
 	if l.fluidBacklog != 0 {
-		return sim.Time((float64(l.q.Bytes())+l.fluidBacklog)*8/l.rate*float64(sim.Second) + 0.5)
+		return clock.Time((float64(l.q.Bytes())+l.fluidBacklog)*8/l.rate*float64(clock.Second) + 0.5)
 	}
-	return sim.Time(float64(l.q.Bytes()*8)/l.rate*float64(sim.Second) + 0.5)
+	return clock.Time(float64(l.q.Bytes()*8)/l.rate*float64(clock.Second) + 0.5)
 }
 
 // Delivered reports packets fully serialized.
@@ -295,7 +296,7 @@ func (l *Link) Rejected() int { return l.rejected }
 
 // OnDequeue registers a hook called as each packet leaves the queue, with
 // its queueing delay. Used by experiments to trace where queues build.
-func (l *Link) OnDequeue(fn func(p *pkt.Packet, qdelay sim.Time)) { l.onDequeue = fn }
+func (l *Link) OnDequeue(fn func(p *pkt.Packet, qdelay clock.Time)) { l.onDequeue = fn }
 
 // OnTransmitted registers a hook called the instant each packet finishes
 // serializing (before propagation). The sendbox timestamps epoch
@@ -313,7 +314,7 @@ func (l *Link) OnDelivery(fn func(p *pkt.Packet)) { l.onDelivery = fn }
 // time At (relative to when the schedule starts), the link's drain rate
 // becomes Bps.
 type RateStep struct {
-	At  sim.Time
+	At  clock.Time
 	Bps float64
 }
 
@@ -322,7 +323,7 @@ type RateStep struct {
 // sorted by At. With period > 0 the trace repeats every period (each
 // step's At must then be < period); with period 0 it plays once. Rates
 // below MinRate are clamped by SetRate, like any other rate change.
-func ScheduleRate(eng *sim.Engine, l *Link, steps []RateStep, period sim.Time) {
+func ScheduleRate(eng clock.Clock, l *Link, steps []RateStep, period clock.Time) {
 	if len(steps) == 0 {
 		return
 	}
@@ -334,14 +335,14 @@ func ScheduleRate(eng *sim.Engine, l *Link, steps []RateStep, period sim.Time) {
 	if period > 0 && steps[len(steps)-1].At >= period {
 		panic("netem: rate trace step beyond the repeat period")
 	}
-	var cycle func(base sim.Time)
-	cycle = func(base sim.Time) {
+	var cycle func(base clock.Time)
+	cycle = func(base clock.Time) {
 		for _, s := range steps {
 			bps := s.Bps
-			eng.At(base+s.At, func() { l.SetRate(bps) })
+			clock.At(eng, base+s.At, func() { l.SetRate(bps) })
 		}
 		if period > 0 {
-			eng.At(base+period, func() { cycle(base + period) })
+			clock.At(eng, base+period, func() { cycle(base + period) })
 		}
 	}
 	cycle(eng.Now())
@@ -350,13 +351,13 @@ func ScheduleRate(eng *sim.Engine, l *Link, steps []RateStep, period sim.Time) {
 // Pipe delivers packets after a fixed delay with no queueing or rate
 // limit: an uncongested path segment.
 type Pipe struct {
-	eng   *sim.Engine
-	delay sim.Time
+	eng   clock.Clock
+	delay clock.Time
 	dst   Receiver
 }
 
 // NewPipe builds a pure-delay element.
-func NewPipe(eng *sim.Engine, delay sim.Time, dst Receiver) *Pipe {
+func NewPipe(eng clock.Clock, delay clock.Time, dst Receiver) *Pipe {
 	return &Pipe{eng: eng, delay: delay, dst: dst}
 }
 
@@ -424,7 +425,7 @@ func (t *Tap) Receive(p *pkt.Packet) {
 // failure injection for resilience tests (e.g. Bundler's control channel
 // losing congestion ACKs or epoch-size updates).
 type Lossy struct {
-	eng  *sim.Engine
+	eng  clock.Clock
 	prob float64
 	dst  Receiver
 	// Dropped counts discarded packets.
@@ -435,7 +436,7 @@ type Lossy struct {
 
 // NewLossy builds a Bernoulli-loss element using the engine's
 // deterministic randomness.
-func NewLossy(eng *sim.Engine, prob float64, dst Receiver) *Lossy {
+func NewLossy(eng clock.Clock, prob float64, dst Receiver) *Lossy {
 	if prob < 0 || prob > 1 {
 		panic("netem: loss probability out of range")
 	}
@@ -462,15 +463,15 @@ func (l *Lossy) Receive(p *pkt.Packet) {
 // without reordering, and an emulated element that invents reordering
 // falsely trips the §5.2 multipath detector.
 type Jitter struct {
-	eng     *sim.Engine
-	max     sim.Time
+	eng     clock.Clock
+	max     clock.Time
 	dst     Receiver
 	ordered bool
-	lastDue sim.Time // latest scheduled delivery (ordered mode)
+	lastDue clock.Time // latest scheduled delivery (ordered mode)
 }
 
 // NewJitter builds a uniform-jitter element that may reorder.
-func NewJitter(eng *sim.Engine, max sim.Time, dst Receiver) *Jitter {
+func NewJitter(eng clock.Clock, max clock.Time, dst Receiver) *Jitter {
 	if max < 0 {
 		panic("netem: negative jitter")
 	}
@@ -483,7 +484,7 @@ func NewJitter(eng *sim.Engine, max sim.Time, dst Receiver) *Jitter {
 // equal timestamps FIFO). Per-packet draws consume the engine RNG exactly
 // as NewJitter does, so swapping modes changes scheduling, not the random
 // stream.
-func NewOrderedJitter(eng *sim.Engine, max sim.Time, dst Receiver) *Jitter {
+func NewOrderedJitter(eng clock.Clock, max clock.Time, dst Receiver) *Jitter {
 	j := NewJitter(eng, max, dst)
 	j.ordered = true
 	return j
@@ -491,9 +492,9 @@ func NewOrderedJitter(eng *sim.Engine, max sim.Time, dst Receiver) *Jitter {
 
 // Receive implements Receiver.
 func (j *Jitter) Receive(p *pkt.Packet) {
-	d := sim.Time(0)
+	d := clock.Time(0)
 	if j.max > 0 {
-		d = sim.Time(j.eng.Rand().Int63n(int64(j.max)))
+		d = clock.Time(j.eng.Rand().Int63n(int64(j.max)))
 	}
 	if j.ordered {
 		due := j.eng.Now() + d
@@ -528,14 +529,14 @@ const (
 // of an independent chain (typically a Link with its own delay/queue) that
 // eventually converges on the same downstream receiver.
 type LoadBalancer struct {
-	eng   *sim.Engine
+	eng   clock.Clock
 	paths []Receiver
 	mode  BalanceMode
 	sent  []int
 }
 
 // NewLoadBalancer builds a balancer over the given paths.
-func NewLoadBalancer(eng *sim.Engine, mode BalanceMode, paths ...Receiver) *LoadBalancer {
+func NewLoadBalancer(eng clock.Clock, mode BalanceMode, paths ...Receiver) *LoadBalancer {
 	if len(paths) == 0 {
 		panic("netem: load balancer needs at least one path")
 	}

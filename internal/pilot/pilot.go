@@ -1,0 +1,283 @@
+package pilot
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"time"
+
+	"bundler/internal/bundle"
+	"bundler/internal/clock"
+	"bundler/internal/exp"
+	"bundler/internal/netem"
+	"bundler/internal/pkt"
+	"bundler/internal/qdisc"
+	"bundler/internal/tcp"
+	"bundler/internal/workload"
+)
+
+// Control-channel addresses, fixed on both sides (the pilot runs exactly
+// one bundle). ctlHost routes Bundler control messages around the data
+// tap, mirroring the scenario fabric's demux wiring.
+const ctlHost = 1 << 30
+
+var (
+	sbCtl = pkt.Addr{Host: ctlHost, Port: 1}
+	rbCtl = pkt.Addr{Host: ctlHost, Port: 2}
+)
+
+// hostBase is where per-flow endpoint addresses start.
+const hostBase = 1 << 16
+
+// reverseRate / reverseBuf describe the uncongested reverse path, same
+// values as the simulator's scenario fabric.
+const (
+	reverseRate = 10e9
+	reverseBuf  = 1 << 26
+)
+
+// warmup delays the first arrival past process start-up so both clock
+// domains are settled; the simulated twin applies the identical offset,
+// so it cancels out of every FCT.
+const warmup = 200 * clock.Millisecond
+
+// Tolerance is the declared pilot-vs-sim relative tolerance band, used
+// by TestPilotMatchesSim and printed by `bundler-pilot -print-tol` so
+// the CI bundler-report gate cannot drift from the tested value.
+//
+// Justification: the twin and the pilot share every deterministic input
+// — workload, topology parameters, control algorithms — so divergence
+// comes only from the real clock: timer-dispatch jitter (≲1 ms per
+// event), loopback socket latency (tens of µs per hop), and goroutine
+// scheduling delay under CI load. Against a 40 ms RTT and p50 FCTs of
+// ~45-90 ms these shift individual FCTs by a few percent, but they also
+// perturb the Sendbox control loop's sampling phase, which can move the
+// p50/p90 of a 60-flow run by tens of percent run-to-run. 0.45 relative
+// tolerance holds comfortably across seeds and loaded machines while
+// still catching real integration regressions, which show up as ~2×
+// drift (lost epoch accounting → rate collapse) or as incomplete flows
+// — the latter caught exactly by the completed/bytes metrics, which
+// must match to the byte.
+const Tolerance = 0.45
+
+// Config parameterizes one pilot run. The zero value plus fill() is the
+// CI smoke configuration: a small dumbbell that completes in a few
+// seconds of wall time.
+type Config struct {
+	Seed       int64
+	Rate       float64    // bottleneck bits/s
+	RTT        clock.Time // end-to-end propagation RTT
+	BufBytes   int        // bottleneck buffer; 0 → 2 BDP
+	Requests   int        // number of web-CDF transfers
+	OfferedBps float64    // open-loop offered load
+	Algorithm  string     // bundle inner-loop controller
+	// Horizon bounds the real (or virtual) run time; expiring is an
+	// error (flows stuck).
+	Horizon time.Duration
+}
+
+func (c *Config) fill() {
+	if c.Rate == 0 {
+		c.Rate = 24e6
+	}
+	if c.RTT == 0 {
+		c.RTT = 40 * clock.Millisecond
+	}
+	if c.BufBytes == 0 {
+		c.BufBytes = 2 * int(c.Rate/8*c.RTT.Seconds())
+	}
+	if c.Requests == 0 {
+		c.Requests = 60
+	}
+	if c.OfferedBps == 0 {
+		c.OfferedBps = 16e6
+	}
+	if c.Algorithm == "" {
+		c.Algorithm = "copa"
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 60 * time.Second
+	}
+}
+
+func (c Config) bundleConfig() bundle.Config {
+	return bundle.Config{Algorithm: c.Algorithm, DisableTelemetry: true}
+}
+
+// params is the cell identity bundler-report matches pilot and twin
+// results on — it must be identical across RunSend and RunTwin.
+func (c Config) params() exp.Params {
+	return exp.Params{
+		"algorithm":    c.Algorithm,
+		"rate-mbps":    strconv.FormatFloat(c.Rate/1e6, 'g', -1, 64),
+		"rtt-ms":       strconv.FormatFloat(c.RTT.Millis(), 'g', -1, 64),
+		"offered-mbps": strconv.FormatFloat(c.OfferedBps/1e6, 'g', -1, 64),
+		"requests":     strconv.Itoa(c.Requests),
+	}
+}
+
+// FlowSpec is one precomputed transfer. The whole workload is derived
+// from Config.Seed alone, so the sending process, the receiving process,
+// and the simulated twin agree on every arrival time, size, address, and
+// flow ID without exchanging a byte.
+type FlowSpec struct {
+	At       clock.Time
+	Size     int64
+	Src, Dst pkt.Addr
+	ID       uint64
+}
+
+// Flows expands cfg into its deterministic workload: Poisson arrivals at
+// the offered load over the paper's web-size CDF, like
+// workload.Arrivals, but from a dedicated RNG (never the clock's — a
+// wall clock's draw interleaving is not reproducible) and with gaps
+// accumulated from nominal arrival times so the list is closed-form.
+func Flows(cfg Config) []FlowSpec {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dist := workload.PaperWebCDF()
+	lambda := cfg.OfferedBps / 8 / dist.Mean()
+	specs := make([]FlowSpec, cfg.Requests)
+	host := uint32(hostBase)
+	at := warmup + clock.FromSeconds(rng.ExpFloat64()/lambda)
+	for i := range specs {
+		specs[i] = FlowSpec{
+			At:   at,
+			Size: dist.Sample(rng),
+			Src:  pkt.Addr{Host: host, Port: 5000},
+			Dst:  pkt.Addr{Host: host + 1, Port: 80},
+			ID:   uint64(i + 1),
+		}
+		host += 2
+		at += clock.FromSeconds(rng.ExpFloat64() / lambda)
+	}
+	return specs
+}
+
+// buildResult renders a recorder into the report schema shared by pilot
+// and twin. Only distribution-robust metrics are emitted — no Summaries
+// block: bundler-report compares summaries on exact counts and extreme
+// quantiles (min/max/p99), which real-clock jitter would flake on, while
+// completed/bytes are exact-matchable and the p50/p90 quantiles are
+// stable within the declared tolerance.
+func buildResult(cfg Config, rec *workload.Recorder) exp.Result {
+	res := exp.Result{Experiment: "pilot-fct", Seed: cfg.Seed, Params: cfg.params()}
+	res.AddMetric("completed", float64(rec.Completed), "requests")
+	res.AddMetric("bytes", float64(rec.Bytes), "B")
+	res.AddMetric("fct-p50", rec.FCTms.Quantile(0.5), "ms")
+	res.AddMetric("slowdown-p50", rec.Slowdowns.Quantile(0.5), "")
+	res.AddMetric("slowdown-p90", rec.Slowdowns.Quantile(0.9), "")
+	return res
+}
+
+// RunSend is process A: endhost senders behind a Sendbox whose paced
+// output drains through the emulated bottleneck link into the UDP
+// socket. It blocks until every flow completes (returning the pilot's
+// result) or the horizon expires (an error). conn is the local bound
+// socket; peer is process B's address.
+func RunSend(cfg Config, conn *net.UDPConn, peer *net.UDPAddr) (exp.Result, error) {
+	cfg.fill()
+	w := clock.NewWall(cfg.Seed)
+	defer w.Close()
+
+	muxA := tcp.NewMux()
+	tr := &transport{w: w, conn: conn, peer: peer}
+	bottleneck := netem.NewLink(w, "bottleneck", cfg.Rate, cfg.RTT/2, qdisc.NewFIFO(cfg.BufBytes), tr)
+	sb := bundle.NewSendbox(w, cfg.bundleConfig(), bottleneck, sbCtl, rbCtl)
+	muxA.Register(sbCtl, sb)
+
+	flows := Flows(cfg)
+	rec := workload.NewRecorder(cfg.Rate, cfg.RTT)
+	remaining := len(flows)
+	done := make(chan struct{})
+	for i := range flows {
+		f := flows[i]
+		clock.At(w, f.At, func() {
+			var snd *tcp.Sender
+			snd = tcp.NewSender(w, sb, f.Src, f.Dst, f.ID, f.Size, tcp.NewEndhostCC("cubic"), func(now clock.Time) {
+				muxA.Unregister(f.Src)
+				rec.Record(f.Size, now-snd.StartedAt)
+				remaining--
+				if remaining == 0 {
+					// Workload drained: tell B it can exit. The DONE
+					// datagram is repeated in case the socket drops it.
+					tr.SendDone()
+					clock.After(w, 50*clock.Millisecond, tr.SendDone)
+					clock.After(w, 100*clock.Millisecond, func() {
+						tr.SendDone()
+						close(done)
+					})
+				}
+			})
+			muxA.Register(f.Src, snd)
+			snd.Start()
+		})
+	}
+	// Everything is wired; open the inbound floodgate last so the reader
+	// goroutine observes fully-initialized state.
+	tr.deliver = muxA
+	go tr.readLoop()
+
+	select {
+	case <-done:
+	case <-time.After(cfg.Horizon):
+		w.Close()
+		return exp.Result{}, fmt.Errorf("pilot: send horizon %v expired with %d/%d flows incomplete",
+			cfg.Horizon, remaining, len(flows))
+	}
+	// Close stops the clock goroutine; after it returns, rec and sendErr
+	// are safe to read from here.
+	w.Close()
+	if tr.sendErr != nil {
+		return exp.Result{}, fmt.Errorf("pilot: socket send: %w", tr.sendErr)
+	}
+	return buildResult(cfg, rec), nil
+}
+
+// RunRecv is process B: the Receivebox tapping the inbound datagrams,
+// endhost receivers ACKing through the emulated reverse link back into
+// the socket. Receivers for the whole (deterministic) workload are
+// registered up front — they are passive until data arrives. Blocks
+// until A signals DONE or the horizon expires.
+func RunRecv(cfg Config, conn *net.UDPConn, peer *net.UDPAddr) error {
+	cfg.fill()
+	// Seed differs from A's on purpose: nothing on the pilot path may
+	// depend on the two processes drawing identical RNG streams.
+	w := clock.NewWall(cfg.Seed + 1)
+	defer w.Close()
+
+	tr := &transport{w: w, conn: conn, peer: peer}
+	muxB := tcp.NewMux()
+	reverse := netem.NewLink(w, "reverse", reverseRate, cfg.RTT/2, qdisc.NewFIFO(reverseBuf), tr)
+	rb := bundle.NewReceivebox(w, reverse, rbCtl, sbCtl, cfg.bundleConfig().InitialEpochN)
+	muxB.Register(rbCtl, rb)
+	for _, f := range Flows(cfg) {
+		muxB.Register(f.Dst, tcp.NewReceiver(w, reverse, f.Dst, f.Src, f.ID, f.Size, nil))
+	}
+	ingress := netem.NewTap(rb.Observe, muxB)
+
+	done := make(chan struct{})
+	tr.deliver = netem.ReceiverFunc(func(p *pkt.Packet) {
+		// Control messages go straight to the box — the data tap must not
+		// observe them (same routing as the scenario fabric's demux).
+		if p.Dst.Host == ctlHost {
+			muxB.Receive(p)
+			return
+		}
+		ingress.Receive(p)
+	})
+	tr.onDone = func() { close(done) }
+	go tr.readLoop()
+
+	select {
+	case <-done:
+	case <-time.After(cfg.Horizon):
+		return fmt.Errorf("pilot: recv horizon %v expired without DONE", cfg.Horizon)
+	}
+	w.Close()
+	if tr.sendErr != nil {
+		return fmt.Errorf("pilot: socket send: %w", tr.sendErr)
+	}
+	return nil
+}

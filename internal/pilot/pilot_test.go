@@ -1,0 +1,185 @@
+package pilot
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"bundler/internal/bundle"
+	"bundler/internal/exp"
+	"bundler/internal/pkt"
+	"bundler/internal/report"
+)
+
+// TestCodecRoundTrip: every field the emulated stack reads survives the
+// wire, including control payloads and SACK blocks.
+func TestCodecRoundTrip(t *testing.T) {
+	cases := []*pkt.Packet{
+		{IPID: 7, Src: pkt.Addr{Host: 65536, Port: 5000}, Dst: pkt.Addr{Host: 65537, Port: 80},
+			Proto: pkt.ProtoTCP, Size: 1500, Seq: 1 << 40, Ack: 3, Flags: pkt.FlagACK, FlowID: 42,
+			Retransmit: true, NSACK: 2,
+			SACK: [4]pkt.SACKBlock{{Start: 10, End: 20}, {Start: 40, End: 90}}},
+		{Proto: pkt.ProtoCtl, Dst: sbCtl, Size: bundle.CtlPacketSize,
+			Payload: &bundle.CtlAck{Hash: 0xdeadbeef, BytesRcvd: 1 << 33}},
+		{Proto: pkt.ProtoCtl, Dst: rbCtl, Size: bundle.CtlPacketSize,
+			Payload: &bundle.CtlEpochUpdate{N: 128}},
+		{Proto: pkt.ProtoUDP, Tunneled: true, TunnelSeq: 99, Size: 60},
+	}
+	var buf [maxWire]byte
+	for i, want := range cases {
+		b, err := marshal(want, buf[:])
+		if err != nil {
+			t.Fatalf("case %d: marshal: %v", i, err)
+		}
+		got, err := unmarshal(b[1:])
+		if err != nil {
+			t.Fatalf("case %d: unmarshal: %v", i, err)
+		}
+		if got.IPID != want.IPID || got.Src != want.Src || got.Dst != want.Dst ||
+			got.Proto != want.Proto || got.Size != want.Size || got.Seq != want.Seq ||
+			got.Ack != want.Ack || got.Flags != want.Flags || got.FlowID != want.FlowID ||
+			got.Retransmit != want.Retransmit || got.Tunneled != want.Tunneled ||
+			got.TunnelSeq != want.TunnelSeq || got.NSACK != want.NSACK || got.SACK != want.SACK {
+			t.Fatalf("case %d: round trip mangled header:\n got %+v\nwant %+v", i, got, want)
+		}
+		switch w := want.Payload.(type) {
+		case *bundle.CtlAck:
+			g, ok := got.Payload.(*bundle.CtlAck)
+			if !ok || *g != *w {
+				t.Fatalf("case %d: payload %+v, want %+v", i, got.Payload, w)
+			}
+		case *bundle.CtlEpochUpdate:
+			g, ok := got.Payload.(*bundle.CtlEpochUpdate)
+			if !ok || *g != *w {
+				t.Fatalf("case %d: payload %+v, want %+v", i, got.Payload, w)
+			}
+		default:
+			if got.Payload != nil {
+				t.Fatalf("case %d: unexpected payload %+v", i, got.Payload)
+			}
+		}
+		got.Payload = nil // struct payloads are not pool-reusable state
+		pkt.Put(got)
+	}
+}
+
+// TestCodecRejectsGarbage: truncated or corrupt datagrams error instead
+// of panicking or leaking half-decoded packets.
+func TestCodecRejectsGarbage(t *testing.T) {
+	p := &pkt.Packet{Proto: pkt.ProtoTCP, Size: 1500, NSACK: 1, SACK: [4]pkt.SACKBlock{{Start: 1, End: 2}}}
+	var buf [maxWire]byte
+	b, err := marshal(p, buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 5, len(b) - 2} {
+		if _, err := unmarshal(b[1:min(1+n, len(b))]); err == nil {
+			t.Fatalf("unmarshal of %d-byte truncation succeeded", n)
+		}
+	}
+}
+
+// TestFlowsDeterministic: the workload is a pure function of the seed —
+// the property that lets two processes and the twin agree without
+// coordination.
+func TestFlowsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 5}
+	a, b := Flows(cfg), Flows(cfg)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flow %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := Flows(Config{Seed: 6})
+	same := true
+	for i := range a {
+		if a[i].At != c[i].At || a[i].Size != c[i].Size {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+// TestPilotMatchesSim is the cross-validation gate: two wall-clock
+// domains exchanging real UDP datagrams over loopback must reproduce
+// the simulated twin's FCT distribution within Tolerance (see its
+// declaration for the justification of the band).
+func TestPilotMatchesSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time pilot run (a few seconds of wall clock)")
+	}
+	cfg := Config{Seed: 1, Horizon: 90 * time.Second}
+
+	connA, connB := loopbackPair(t)
+	recvErr := make(chan error, 1)
+	go func() {
+		recvErr <- RunRecv(cfg, connB, connA.LocalAddr().(*net.UDPAddr))
+	}()
+	pilotRes, err := RunSend(cfg, connA, connB.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatalf("RunSend: %v", err)
+	}
+	if err := <-recvErr; err != nil {
+		t.Fatalf("RunRecv: %v", err)
+	}
+
+	twinRes, err := RunTwin(cfg)
+	if err != nil {
+		t.Fatalf("RunTwin: %v", err)
+	}
+
+	if got, want := metric(t, pilotRes, "completed"), float64(cfg.bothRequests()); got != want {
+		t.Fatalf("pilot completed %v flows, want %v", got, want)
+	}
+	if got, want := metric(t, pilotRes, "bytes"), metric(t, twinRes, "bytes"); got != want {
+		t.Fatalf("pilot moved %v bytes, twin %v — workloads diverged", got, want)
+	}
+
+	// The same comparison CI runs via bundler-report.
+	r := report.DiffResults([]exp.Result{twinRes}, []exp.Result{pilotRes},
+		report.Options{MetricTol: Tolerance})
+	if !r.OK {
+		var buf strings.Builder
+		r.WriteText(&buf)
+		t.Fatalf("pilot vs sim beyond %.0f%% tolerance:\npilot: %+v\ntwin:  %+v\n%s",
+			Tolerance*100, pilotRes.Metrics, twinRes.Metrics, buf.String())
+	}
+	t.Logf("pilot fct-p50=%.1fms slowdown-p50=%.2f | twin fct-p50=%.1fms slowdown-p50=%.2f",
+		metric(t, pilotRes, "fct-p50"), metric(t, pilotRes, "slowdown-p50"),
+		metric(t, twinRes, "fct-p50"), metric(t, twinRes, "slowdown-p50"))
+}
+
+func (c Config) bothRequests() int {
+	c.fill()
+	return c.Requests
+}
+
+func loopbackPair(t *testing.T) (a, b *net.UDPConn) {
+	t.Helper()
+	for i, conn := range []**net.UDPConn{&a, &b} {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatalf("bind %d: %v", i, err)
+		}
+		t.Cleanup(func() { c.Close() })
+		*conn = c
+	}
+	return a, b
+}
+
+func metric(t *testing.T, res exp.Result, name string) float64 {
+	t.Helper()
+	for _, m := range res.Metrics {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	t.Fatalf("result has no metric %q (have %+v)", name, res.Metrics)
+	return 0
+}

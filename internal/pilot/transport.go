@@ -1,0 +1,96 @@
+package pilot
+
+import (
+	"net"
+
+	"bundler/internal/clock"
+	"bundler/internal/netem"
+	"bundler/internal/pkt"
+)
+
+// transport bridges a wall clock's packet graph to a UDP socket. It is
+// a netem.Receiver, so it terminates an emulated link chain: packets
+// handed to Receive (on the clock goroutine) are marshalled, written to
+// the peer, and released — the wire crossing is the pool-ownership
+// boundary between the two processes' packet domains. A reader
+// goroutine does the reverse: datagrams from the peer are decoded into
+// fresh pooled packets and injected into the clock domain via
+// CallAfter(0, ...), which serializes them with every other callback.
+//
+// Construction is two-phase: fill w/conn/peer, wire the rest of the
+// graph, set deliver (and optionally onDone), then `go readLoop()` last
+// — the goroutine start publishes all prior writes to the reader.
+type transport struct {
+	w    *clock.Wall
+	conn *net.UDPConn
+	peer *net.UDPAddr
+	// deliver consumes inbound packets on the clock goroutine.
+	deliver netem.Receiver
+	// onDone runs (once, on the clock goroutine) when the peer signals
+	// end of workload. nil ignores the signal.
+	onDone   func()
+	doneSeen bool
+	wbuf     [maxWire]byte
+
+	// sendErr records the first socket write failure (clock goroutine
+	// only); the run loop surfaces it after shutdown.
+	sendErr error
+}
+
+// Receive implements netem.Receiver on the clock goroutine.
+func (t *transport) Receive(p *pkt.Packet) {
+	b, err := marshal(p, t.wbuf[:])
+	pkt.Put(p)
+	if err == nil {
+		_, err = t.conn.WriteToUDP(b, t.peer)
+	}
+	if err != nil && t.sendErr == nil {
+		t.sendErr = err
+	}
+}
+
+// SendDone signals end-of-workload to the peer. Datagrams can be lost,
+// so callers repeat it; the receiver deduplicates.
+func (t *transport) SendDone() {
+	t.conn.WriteToUDP([]byte{kindDone}, t.peer)
+}
+
+// readLoop pumps the socket until it is closed. It runs off the clock
+// goroutine and touches the clock only through the thread-safe
+// scheduling API.
+func (t *transport) readLoop() {
+	buf := make([]byte, 2048)
+	for {
+		n, _, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed: shutdown
+		}
+		if n == 0 {
+			continue
+		}
+		switch buf[0] {
+		case kindDone:
+			t.w.CallAfter(0, transportDone, t, nil)
+		case kindPacket:
+			p, err := unmarshal(buf[1:n])
+			if err != nil {
+				continue // drop garbage, exactly like a real NIC
+			}
+			t.w.CallAfter(0, transportDeliver, t, p)
+		}
+	}
+}
+
+func transportDeliver(a0, a1 any) {
+	t, p := a0.(*transport), a1.(*pkt.Packet)
+	t.deliver.Receive(p)
+}
+
+func transportDone(a0, _ any) {
+	t := a0.(*transport)
+	if t.doneSeen || t.onDone == nil {
+		return
+	}
+	t.doneSeen = true
+	t.onDone()
+}

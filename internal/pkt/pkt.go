@@ -11,7 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"bundler/internal/sim"
+	"bundler/internal/clock"
 )
 
 // Proto distinguishes transport protocols. Bundler itself is
@@ -115,10 +115,10 @@ type Packet struct {
 	TunnelSeq uint64
 
 	// EnqueuedAt is stamped by queues to trace per-queue delays.
-	EnqueuedAt sim.Time
+	EnqueuedAt clock.Time
 	// SentAt is stamped when the packet first leaves its origin host, for
 	// end-to-end latency statistics.
-	SentAt sim.Time
+	SentAt clock.Time
 
 	// pooled marks a packet currently resting in the free list; Put uses
 	// it to catch double releases (a lifecycle bug that would otherwise

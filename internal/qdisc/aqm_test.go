@@ -1,7 +1,6 @@
 package qdisc
 
 import (
-	"math/rand"
 	"testing"
 
 	"bundler/internal/pkt"
@@ -59,7 +58,7 @@ func TestCoDelHardLimit(t *testing.T) {
 }
 
 func TestREDNoDropsBelowMinThreshold(t *testing.T) {
-	r := NewRED(sim.NewEngine(1), rand.New(rand.NewSource(1)), 100*pkt.MTU)
+	r := NewRED(sim.NewEngine(1), 100*pkt.MTU)
 	// Keep occupancy well below limit/4.
 	for i := 0; i < 2000; i++ {
 		if !r.Enqueue(mkpkt(0, pkt.MTU)) {
@@ -73,7 +72,7 @@ func TestREDNoDropsBelowMinThreshold(t *testing.T) {
 }
 
 func TestREDEarlyDropsBetweenThresholds(t *testing.T) {
-	r := NewRED(sim.NewEngine(1), rand.New(rand.NewSource(2)), 100*pkt.MTU)
+	r := NewRED(sim.NewEngine(2), 100*pkt.MTU)
 	// Hold occupancy around half the limit so the EWMA settles between
 	// the thresholds.
 	accepted, offered := 0, 0
@@ -95,7 +94,7 @@ func TestREDEarlyDropsBetweenThresholds(t *testing.T) {
 }
 
 func TestREDFullQueueAlwaysDrops(t *testing.T) {
-	r := NewRED(sim.NewEngine(1), rand.New(rand.NewSource(3)), 10*pkt.MTU)
+	r := NewRED(sim.NewEngine(3), 10*pkt.MTU)
 	for i := 0; i < 20; i++ {
 		r.Enqueue(mkpkt(0, pkt.MTU))
 	}
@@ -182,7 +181,7 @@ func TestDRROverflowDropsFromFattest(t *testing.T) {
 
 func TestPIEKeepsDelayNearTarget(t *testing.T) {
 	eng := sim.NewEngine(1)
-	p := NewPIE(eng, eng.Rand(), 10000)
+	p := NewPIE(eng, 10000)
 	defer p.Stop()
 	// Overload: 1.2x the drain rate; PIE should hold the queue near its
 	// 15 ms target rather than letting it grow to the limit.
@@ -207,7 +206,7 @@ func TestPIEKeepsDelayNearTarget(t *testing.T) {
 
 func TestPIENoDropsWhenIdle(t *testing.T) {
 	eng := sim.NewEngine(1)
-	p := NewPIE(eng, eng.Rand(), 100)
+	p := NewPIE(eng, 100)
 	defer p.Stop()
 	for i := 0; i < 500; i++ {
 		eng.RunUntil(eng.Now() + sim.Millisecond)
@@ -226,7 +225,7 @@ func TestAQMConservation(t *testing.T) {
 	eng := sim.NewEngine(9)
 	builders := map[string]func() Qdisc{
 		"codel": func() Qdisc { return NewCoDel(eng, 60) },
-		"red":   func() Qdisc { return NewRED(eng, eng.Rand(), 60*pkt.MTU) },
+		"red":   func() Qdisc { return NewRED(eng, 60*pkt.MTU) },
 		"drr":   func() Qdisc { return NewDRR(60) },
 	}
 	for name, build := range builders {

@@ -1,8 +1,8 @@
 package qdisc
 
 import (
+	"bundler/internal/clock"
 	"bundler/internal/pkt"
-	"bundler/internal/sim"
 )
 
 // CoDel is the standalone Controlled-Delay AQM (Nichols & Jacobson, [38]
@@ -11,28 +11,28 @@ import (
 // logic per flow; the standalone variant is useful as a bottleneck AQM and
 // as a sendbox policy that bounds delay without per-flow state.
 type CoDel struct {
-	eng      *sim.Engine
+	eng      clock.Clock
 	q        []*pkt.Packet
 	head     int
 	bytes    int
 	limit    int // packets
 	drops    int
-	target   sim.Time
-	interval sim.Time
+	target   clock.Time
+	interval clock.Time
 	st       codelState
 }
 
 // NewCoDel returns a CoDel queue with RFC 8289 defaults (5 ms target,
 // 100 ms interval) and a droptail packet limit as a backstop.
-func NewCoDel(eng *sim.Engine, limitPackets int) *CoDel {
+func NewCoDel(eng clock.Clock, limitPackets int) *CoDel {
 	if limitPackets <= 0 {
 		panic("qdisc: CoDel limit must be positive")
 	}
 	return &CoDel{
 		eng:      eng,
 		limit:    limitPackets,
-		target:   5 * sim.Millisecond,
-		interval: 100 * sim.Millisecond,
+		target:   5 * clock.Millisecond,
+		interval: 100 * clock.Millisecond,
 	}
 }
 
@@ -75,7 +75,7 @@ func (c *CoDel) peek() *pkt.Packet {
 
 // shouldDrop evaluates the head's sojourn time against the CoDel state
 // machine. It returns (candidate, queueNonEmpty).
-func (c *CoDel) shouldDrop(now sim.Time) (bool, bool) {
+func (c *CoDel) shouldDrop(now clock.Time) (bool, bool) {
 	head := c.peek()
 	if head == nil {
 		c.st.firstAboveTime = 0

@@ -3,8 +3,8 @@ package qdisc
 import (
 	"math"
 
+	"bundler/internal/clock"
 	"bundler/internal/pkt"
-	"bundler/internal/sim"
 )
 
 // FQCoDel implements the FQ-CoDel queue discipline (RFC 8290): per-flow
@@ -13,7 +13,7 @@ import (
 // evaluates it as an alternative sendbox policy in §7.2, reporting ~97 %
 // lower median end-to-end RTTs.
 type FQCoDel struct {
-	eng      *sim.Engine
+	eng      clock.Clock
 	flows    []fqFlow
 	newFlows []int
 	oldFlows []int
@@ -22,8 +22,8 @@ type FQCoDel struct {
 	count    int
 	bytes    int
 	drops    int
-	target   sim.Time
-	interval sim.Time
+	target   clock.Time
+	interval clock.Time
 }
 
 type fqFlow struct {
@@ -44,15 +44,15 @@ const (
 )
 
 type codelState struct {
-	firstAboveTime sim.Time
-	dropNext       sim.Time
+	firstAboveTime clock.Time
+	dropNext       clock.Time
 	dropCount      int
 	lastDropCount  int
 	dropping       bool
 }
 
 // NewFQCoDel returns an FQ-CoDel instance with RFC 8290 defaults.
-func NewFQCoDel(eng *sim.Engine, nflows, limitPackets int) *FQCoDel {
+func NewFQCoDel(eng clock.Clock, nflows, limitPackets int) *FQCoDel {
 	if nflows <= 0 || limitPackets <= 0 {
 		panic("qdisc: FQCoDel sizes must be positive")
 	}
@@ -61,8 +61,8 @@ func NewFQCoDel(eng *sim.Engine, nflows, limitPackets int) *FQCoDel {
 		flows:    make([]fqFlow, nflows),
 		quantum:  pkt.MTU,
 		limit:    limitPackets,
-		target:   5 * sim.Millisecond,
-		interval: 100 * sim.Millisecond,
+		target:   5 * clock.Millisecond,
+		interval: 100 * clock.Millisecond,
 	}
 }
 
@@ -246,7 +246,7 @@ func (f *FQCoDel) dropPacket(fl *fqFlow) {
 // codelShouldDrop evaluates the head packet's sojourn time. It returns
 // (head, true) when the head is above target long enough to be a drop
 // candidate, (nil, true) when below target, and (nil, false) when empty.
-func (f *FQCoDel) codelShouldDrop(fl *fqFlow, now sim.Time) (*pkt.Packet, bool) {
+func (f *FQCoDel) codelShouldDrop(fl *fqFlow, now clock.Time) (*pkt.Packet, bool) {
 	if fl.len() == 0 {
 		fl.codel.firstAboveTime = 0
 		return nil, false
@@ -267,8 +267,8 @@ func (f *FQCoDel) codelShouldDrop(fl *fqFlow, now sim.Time) (*pkt.Packet, bool) 
 	return head, true
 }
 
-func controlLaw(t, interval sim.Time, count int) sim.Time {
-	return t + sim.Time(float64(interval)/math.Sqrt(float64(count)))
+func controlLaw(t, interval clock.Time, count int) clock.Time {
+	return t + clock.Time(float64(interval)/math.Sqrt(float64(count)))
 }
 
 // Len implements Qdisc.

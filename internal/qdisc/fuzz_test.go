@@ -124,9 +124,9 @@ func FuzzQdiscAccounting(f *testing.F) {
 		case 1:
 			q = NewFQCoDel(eng, 16, 128)
 		case 2:
-			q = NewRED(eng, eng.Rand(), 128*pkt.MTU)
+			q = NewRED(eng, 128*pkt.MTU)
 		case 3:
-			p := NewPIE(eng, eng.Rand(), 128)
+			p := NewPIE(eng, 128)
 			defer p.Stop()
 			q = p
 		case 4:

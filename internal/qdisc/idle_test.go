@@ -1,7 +1,6 @@
 package qdisc
 
 import (
-	"math/rand"
 	"testing"
 
 	"bundler/internal/pkt"
@@ -17,7 +16,7 @@ import (
 // passes untouched.
 func TestREDIdleDecayRegression(t *testing.T) {
 	eng := sim.NewEngine(1)
-	r := NewRED(eng, rand.New(rand.NewSource(1)), 100*pkt.MTU)
+	r := NewRED(eng, 100*pkt.MTU)
 
 	// Fill the queue to its hard limit...
 	for r.Enqueue(mkpkt(0, pkt.MTU)) {
@@ -68,7 +67,7 @@ func TestREDIdleDecayRegression(t *testing.T) {
 // abandoned on queue-empty, so idle time never enters a measurement.
 func TestPIEIdleWindowRegression(t *testing.T) {
 	eng := sim.NewEngine(1)
-	p := NewPIE(eng, eng.Rand(), 10000)
+	p := NewPIE(eng, 10000)
 	defer p.Stop()
 
 	// Busy period: 300 packets drained at 1 ms per MTU ⇒ 1.5 MB/s.
@@ -102,7 +101,7 @@ func TestPIEIdleWindowRegression(t *testing.T) {
 // winValid makes t = 0 a first-class window start.
 func TestPIETimeZeroWindowRegression(t *testing.T) {
 	eng := sim.NewEngine(1)
-	p := NewPIE(eng, eng.Rand(), 10000)
+	p := NewPIE(eng, 10000)
 	defer p.Stop()
 
 	// A 100-packet burst served instantaneously at t = 0, then empty.
@@ -140,8 +139,8 @@ func TestAQMIdleBurstNoSpuriousDrops(t *testing.T) {
 	}{
 		{"codel", func(eng *sim.Engine) Qdisc { return NewCoDel(eng, 400) }},
 		{"fqcodel", func(eng *sim.Engine) Qdisc { return NewFQCoDel(eng, 64, 400) }},
-		{"red", func(eng *sim.Engine) Qdisc { return NewRED(eng, eng.Rand(), 200*pkt.MTU) }},
-		{"pie", func(eng *sim.Engine) Qdisc { return NewPIE(eng, eng.Rand(), 400) }},
+		{"red", func(eng *sim.Engine) Qdisc { return NewRED(eng, 200*pkt.MTU) }},
+		{"pie", func(eng *sim.Engine) Qdisc { return NewPIE(eng, 400) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,10 +1,8 @@
 package qdisc
 
 import (
-	"math/rand"
-
+	"bundler/internal/clock"
 	"bundler/internal/pkt"
-	"bundler/internal/sim"
 )
 
 // PIE implements the Proportional-Integral-controller-Enhanced AQM (Pan et
@@ -12,8 +10,7 @@ import (
 // the estimated queueing delay and its trend, targeting a configured
 // latency without per-packet timestamps.
 type PIE struct {
-	eng *sim.Engine
-	rng *rand.Rand
+	eng clock.Clock
 
 	q     []*pkt.Packet
 	head  int
@@ -21,11 +18,11 @@ type PIE struct {
 	limit int
 	drops int
 
-	target     sim.Time
+	target     clock.Time
 	alpha      float64 // per (delay error in s)
 	beta       float64 // per (delay delta in s)
 	dropProb   float64
-	lastQDelay sim.Time
+	lastQDelay clock.Time
 	drainRate  float64 // bytes/s EWMA, estimated from dequeues
 
 	// Departure-rate measurement window. winValid is an explicit "a
@@ -34,24 +31,25 @@ type PIE struct {
 	// whenever the queue empties, so a measurement never spans an idle
 	// gap (which would divide real departures by idle wall-time and
 	// collapse the drain-rate EWMA).
-	winStart sim.Time
+	winStart clock.Time
 	winBytes int
 	winValid bool
 
-	ticker *sim.Ticker
+	ticker clock.Ticker
 }
 
 // NewPIE builds a PIE queue with the RFC 8033 defaults: 15 ms target,
-// 15 ms update interval, α = 0.125, β = 1.25.
-func NewPIE(eng *sim.Engine, rng *rand.Rand, limitPackets int) *PIE {
+// 15 ms update interval, α = 0.125, β = 1.25. Random drop decisions draw
+// from the clock's RNG (eng.Rand()), so simulated runs stay reproducible.
+func NewPIE(eng clock.Clock, limitPackets int) *PIE {
 	if limitPackets <= 0 {
 		panic("qdisc: PIE limit must be positive")
 	}
 	p := &PIE{
-		eng: eng, rng: rng, limit: limitPackets,
-		target: 15 * sim.Millisecond, alpha: 0.125, beta: 1.25,
+		eng: eng, limit: limitPackets,
+		target: 15 * clock.Millisecond, alpha: 0.125, beta: 1.25,
 	}
-	p.ticker = sim.Tick(eng, 15*sim.Millisecond, p.update)
+	p.ticker = eng.Tick(15*clock.Millisecond, p.update)
 	return p
 }
 
@@ -60,14 +58,14 @@ func (p *PIE) Stop() { p.ticker.Stop() }
 
 // qdelay estimates current queueing delay via Little's law from the
 // departure-rate estimate.
-func (p *PIE) qdelay() sim.Time {
+func (p *PIE) qdelay() clock.Time {
 	if p.drainRate <= 0 {
 		if p.Len() == 0 {
 			return 0
 		}
 		return p.target // no estimate yet: assume at target
 	}
-	return sim.FromSeconds(float64(p.bytes) / p.drainRate)
+	return clock.FromSeconds(float64(p.bytes) / p.drainRate)
 }
 
 func (p *PIE) update() {
@@ -93,7 +91,7 @@ func (p *PIE) Enqueue(pk *pkt.Packet) bool {
 		return false
 	}
 	// Don't early-drop when nearly empty (burst allowance).
-	if p.bytes > 2*pkt.MTU && p.rng.Float64() < p.dropProb {
+	if p.bytes > 2*pkt.MTU && p.eng.Rand().Float64() < p.dropProb {
 		p.drops++
 		return false
 	}
@@ -126,7 +124,7 @@ func (p *PIE) Dequeue() *pkt.Packet {
 		p.winValid = true
 	}
 	p.winBytes += out.Size
-	if dt := now - p.winStart; dt >= 100*sim.Millisecond {
+	if dt := now - p.winStart; dt >= 100*clock.Millisecond {
 		rate := float64(p.winBytes) / dt.Seconds()
 		if p.drainRate == 0 {
 			p.drainRate = rate

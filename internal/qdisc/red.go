@@ -2,25 +2,23 @@ package qdisc
 
 import (
 	"math"
-	"math/rand"
 
+	"bundler/internal/clock"
 	"bundler/internal/pkt"
-	"bundler/internal/sim"
 )
 
 // redFallbackTx is the transmission-slot estimate used for the idle-time
 // correction before any back-to-back dequeue spacing has been observed
 // (one MTU at ~12 Mbit/s). It only matters for the very first idle
 // period; afterwards the measured service-time EWMA takes over.
-const redFallbackTx = sim.Millisecond
+const redFallbackTx = clock.Millisecond
 
 // RED implements Random Early Detection (Floyd & Jacobson, [18] in the
 // paper): arriving packets are dropped with a probability that grows
 // linearly as the EWMA of the queue size moves between two thresholds,
 // signalling endhost loops before the buffer overflows.
 type RED struct {
-	eng *sim.Engine
-	rng *rand.Rand
+	eng clock.Clock
 
 	q     []*pkt.Packet
 	head  int
@@ -41,24 +39,23 @@ type RED struct {
 	// transmitted into an empty queue, where m = idle time / estimated
 	// transmission slot. Without this, avg is only touched on enqueue and
 	// a stale high average early-drops the first packets of a new burst.
-	emptySince sim.Time // when the queue last became empty
-	emptyValid bool     // emptySince is meaningful (queue currently idle)
-	txEst      sim.Time // EWMA of back-to-back dequeue spacing (service time)
-	lastDeqAt  sim.Time
+	emptySince clock.Time // when the queue last became empty
+	emptyValid bool       // emptySince is meaningful (queue currently idle)
+	txEst      clock.Time // EWMA of back-to-back dequeue spacing (service time)
+	lastDeqAt  clock.Time
 	busyTail   bool // queue was non-empty after the previous dequeue
 }
 
 // NewRED builds a RED queue over a hard byte limit, with the classic
 // thresholds min=limit/4, max=3·limit/4, maxP=0.1 and EWMA weight 0.002.
-// The engine supplies virtual time for the idle-period average decay;
-// the rng must be the simulation's deterministic source.
-func NewRED(eng *sim.Engine, rng *rand.Rand, limitBytes int) *RED {
+// The clock supplies time for the idle-period average decay and the RNG
+// for the drop decisions (deterministic on the simulator).
+func NewRED(eng clock.Clock, limitBytes int) *RED {
 	if limitBytes <= 0 {
 		panic("qdisc: RED limit must be positive")
 	}
 	return &RED{
 		eng:    eng,
-		rng:    rng,
 		limit:  limitBytes,
 		minTh:  limitBytes / 4,
 		maxTh:  limitBytes * 3 / 4,
@@ -103,7 +100,7 @@ func (r *RED) Enqueue(p *pkt.Packet) bool {
 		if pa < 0 || pa > 1 {
 			pa = 1
 		}
-		if r.rng.Float64() < pa {
+		if r.eng.Rand().Float64() < pa {
 			r.drops++
 			r.count = 0
 			return false

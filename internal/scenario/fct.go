@@ -401,11 +401,11 @@ func ParseScheduler(eng *sim.Engine, name string, packets int) (qdisc.Qdisc, err
 	case name == "codel":
 		return qdisc.NewCoDel(eng, packets), nil
 	case name == "red":
-		return qdisc.NewRED(eng, eng.Rand(), packets*pkt.MTU), nil
+		return qdisc.NewRED(eng, packets*pkt.MTU), nil
 	case name == "drr":
 		return qdisc.NewDRR(packets), nil
 	case name == "pie":
-		return qdisc.NewPIE(eng, eng.Rand(), packets), nil
+		return qdisc.NewPIE(eng, packets), nil
 	case len(name) > 5 && name[:5] == "prio:":
 		var port int
 		if _, err := fmt.Sscanf(name[5:], "%d", &port); err != nil || port < 0 || port > 65535 {

@@ -1,0 +1,20 @@
+package sim_test
+
+import (
+	"testing"
+
+	"bundler/internal/clock"
+	"bundler/internal/clock/clocktest"
+	"bundler/internal/sim"
+)
+
+// TestEngineClockContract runs the shared clock conformance suite
+// against the simulator engine — the same suite internal/clock runs
+// against the wall clock, so the two implementations cannot drift on
+// the contract the migrated components rely on.
+func TestEngineClockContract(t *testing.T) {
+	clocktest.Run(t, func(t *testing.T) (clock.Clock, func(clock.Time)) {
+		eng := sim.NewEngine(1)
+		return eng, func(horizon clock.Time) { eng.RunUntil(horizon) }
+	})
+}

@@ -11,36 +11,35 @@
 // Units convention: Time is integer nanoseconds of virtual time, used
 // for both timestamps and durations; rates elsewhere in the repository
 // are float64 bits/second.
+//
+// The Engine satisfies clock.Clock, the injectable scheduling interface
+// in internal/clock; components written against that interface run
+// unchanged on this engine or on a real-time clock.Wall.
 package sim
 
 import (
 	"fmt"
 	"math/rand"
+
+	"bundler/internal/clock"
 )
 
-// Time is a virtual timestamp or duration in nanoseconds.
-type Time int64
+// Time is a virtual timestamp or duration in nanoseconds. It is an alias
+// for clock.Time: simulator timestamps and wall-clock timestamps are the
+// same type, so components migrated to the clock.Clock interface
+// interoperate with sim-era code without conversions.
+type Time = clock.Time
 
-// Common durations.
+// Common durations, re-exported from internal/clock.
 const (
-	Nanosecond  Time = 1
-	Microsecond Time = 1000 * Nanosecond
-	Millisecond Time = 1000 * Microsecond
-	Second      Time = 1000 * Millisecond
+	Nanosecond  = clock.Nanosecond
+	Microsecond = clock.Microsecond
+	Millisecond = clock.Millisecond
+	Second      = clock.Second
 )
-
-// Seconds converts t to floating-point seconds.
-func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
-
-// Millis converts t to floating-point milliseconds.
-func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
 
 // FromSeconds converts floating-point seconds to a Time.
-func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
-
-func (t Time) String() string {
-	return fmt.Sprintf("%.6fs", t.Seconds())
-}
+func FromSeconds(s float64) Time { return clock.FromSeconds(s) }
 
 // Event is a scheduled callback. It is returned by the scheduling methods
 // so callers can cancel it before it fires.
@@ -271,6 +270,25 @@ func (e *Engine) CallAfter(d Time, fn func(a0, a1 any), a0, a1 any) {
 	}
 	e.CallAt(e.now+d, fn, a0, a1)
 }
+
+// NewTimer implements clock.Clock: it returns an unarmed Timer bound to
+// fn. Components holding their Timer by value should keep calling
+// (*Timer).Init instead; this constructor exists for code written
+// against the interface.
+func (e *Engine) NewTimer(fn func()) clock.Timer {
+	t := &Timer{}
+	t.Init(e, fn)
+	return t
+}
+
+// Tick implements clock.Clock; it is Tick(e, period, fn).
+func (e *Engine) Tick(period Time, fn func()) clock.Ticker {
+	return Tick(e, period, fn)
+}
+
+// The engine is the virtual-time implementation of the scheduling
+// interface; clock.Wall is the real-time one.
+var _ clock.Clock = (*Engine)(nil)
 
 // release returns a pooled event to the free list, dropping references
 // so the pool never retains callbacks or packet arguments.

@@ -3,8 +3,8 @@ package tcp
 import (
 	"math"
 
+	"bundler/internal/clock"
 	"bundler/internal/pkt"
-	"bundler/internal/sim"
 )
 
 // Congestion is the endhost congestion-control plug-in interface. All
@@ -12,11 +12,11 @@ import (
 type Congestion interface {
 	// OnAck is called for each cumulative ACK advancing the window by
 	// acked bytes, with the latest RTT sample (0 if none was available).
-	OnAck(acked int, rtt, now sim.Time)
+	OnAck(acked int, rtt, now clock.Time)
 	// OnLoss is called on a fast-retransmit loss event.
-	OnLoss(now sim.Time)
+	OnLoss(now clock.Time)
 	// OnTimeout is called when the retransmission timer fires.
-	OnTimeout(now sim.Time)
+	OnTimeout(now clock.Time)
 	// CwndBytes returns the current congestion window.
 	CwndBytes() float64
 	// PacingRate returns the pacing rate in bits/second, or 0 for pure
@@ -38,7 +38,7 @@ func NewReno() *Reno {
 }
 
 // OnAck implements Congestion.
-func (r *Reno) OnAck(acked int, _, _ sim.Time) {
+func (r *Reno) OnAck(acked int, _, _ clock.Time) {
 	if r.cwnd < r.ssthresh {
 		r.cwnd += float64(acked)
 	} else {
@@ -47,13 +47,13 @@ func (r *Reno) OnAck(acked int, _, _ sim.Time) {
 }
 
 // OnLoss implements Congestion.
-func (r *Reno) OnLoss(sim.Time) {
+func (r *Reno) OnLoss(clock.Time) {
 	r.ssthresh = math.Max(r.cwnd/2, 2*mssF)
 	r.cwnd = r.ssthresh
 }
 
 // OnTimeout implements Congestion.
-func (r *Reno) OnTimeout(sim.Time) {
+func (r *Reno) OnTimeout(clock.Time) {
 	r.ssthresh = math.Max(r.cwnd/2, 2*mssF)
 	r.cwnd = mssF
 }
@@ -71,7 +71,7 @@ type Cubic struct {
 	cwnd       float64 // bytes
 	ssthresh   float64
 	wMax       float64 // segments
-	epochStart sim.Time
+	epochStart clock.Time
 	k          float64 // seconds
 	originWin  float64 // segments
 }
@@ -88,7 +88,7 @@ func NewCubic() *Cubic {
 }
 
 // OnAck implements Congestion.
-func (c *Cubic) OnAck(acked int, _, now sim.Time) {
+func (c *Cubic) OnAck(acked int, _, now clock.Time) {
 	if c.cwnd < c.ssthresh {
 		c.cwnd += float64(acked)
 		return
@@ -119,7 +119,7 @@ func (c *Cubic) OnAck(acked int, _, now sim.Time) {
 }
 
 // OnLoss implements Congestion.
-func (c *Cubic) OnLoss(sim.Time) {
+func (c *Cubic) OnLoss(clock.Time) {
 	segs := c.cwnd / mssF
 	// Fast convergence: release bandwidth faster when wMax shrinks.
 	if segs < c.wMax {
@@ -133,7 +133,7 @@ func (c *Cubic) OnLoss(sim.Time) {
 }
 
 // OnTimeout implements Congestion.
-func (c *Cubic) OnTimeout(sim.Time) {
+func (c *Cubic) OnTimeout(clock.Time) {
 	c.OnLoss(0)
 	c.cwnd = mssF
 	c.epochStart = 0
@@ -153,17 +153,17 @@ func (c *Cubic) PacingRate() float64 { return 0 }
 type BBR struct {
 	state      bbrState
 	btlBw      maxFilter
-	minRTT     sim.Time
-	minRTTAt   sim.Time
+	minRTT     clock.Time
+	minRTTAt   clock.Time
 	cycleIdx   int
-	cycleStart sim.Time
+	cycleStart clock.Time
 	fullBw     float64
 	fullBwCnt  int
 	pacingGain float64
 	cwndGain   float64
 	delivered  int64
-	lastAckAt  sim.Time
-	drainUntil sim.Time
+	lastAckAt  clock.Time
+	drainUntil clock.Time
 }
 
 type bbrState int
@@ -184,8 +184,8 @@ func NewBBR() *BBR {
 }
 
 // OnAck implements Congestion.
-func (b *BBR) OnAck(acked int, rtt, now sim.Time) {
-	if rtt > 0 && (b.minRTT == 0 || rtt < b.minRTT || now-b.minRTTAt > 10*sim.Second) {
+func (b *BBR) OnAck(acked int, rtt, now clock.Time) {
+	if rtt > 0 && (b.minRTT == 0 || rtt < b.minRTT || now-b.minRTTAt > 10*clock.Second) {
 		b.minRTT = rtt
 		b.minRTTAt = now
 	}
@@ -229,18 +229,18 @@ func (b *BBR) OnAck(acked int, rtt, now sim.Time) {
 	}
 }
 
-func (b *BBR) rtprop() sim.Time {
+func (b *BBR) rtprop() clock.Time {
 	if b.minRTT == 0 {
-		return 100 * sim.Millisecond
+		return 100 * clock.Millisecond
 	}
 	return b.minRTT
 }
 
 // OnLoss implements Congestion. BBRv1 ignores individual losses.
-func (b *BBR) OnLoss(sim.Time) {}
+func (b *BBR) OnLoss(clock.Time) {}
 
 // OnTimeout implements Congestion.
-func (b *BBR) OnTimeout(sim.Time) {}
+func (b *BBR) OnTimeout(clock.Time) {}
 
 func (b *BBR) bdp() float64 {
 	bw := b.btlBw.get()
@@ -277,11 +277,11 @@ type maxFilter struct {
 }
 
 type maxSample struct {
-	at sim.Time
+	at clock.Time
 	v  float64
 }
 
-func (m *maxFilter) update(now sim.Time, v float64, window sim.Time) {
+func (m *maxFilter) update(now clock.Time, v float64, window clock.Time) {
 	// Expire from the front.
 	cut := 0
 	for cut < len(m.samples) && now-m.samples[cut].at > window {
@@ -311,13 +311,13 @@ type FixedCwnd struct{ w float64 }
 func NewFixedCwnd(segs int) *FixedCwnd { return &FixedCwnd{w: float64(segs) * mssF} }
 
 // OnAck implements Congestion.
-func (f *FixedCwnd) OnAck(int, sim.Time, sim.Time) {}
+func (f *FixedCwnd) OnAck(int, clock.Time, clock.Time) {}
 
 // OnLoss implements Congestion.
-func (f *FixedCwnd) OnLoss(sim.Time) {}
+func (f *FixedCwnd) OnLoss(clock.Time) {}
 
 // OnTimeout implements Congestion.
-func (f *FixedCwnd) OnTimeout(sim.Time) {}
+func (f *FixedCwnd) OnTimeout(clock.Time) {}
 
 // CwndBytes implements Congestion.
 func (f *FixedCwnd) CwndBytes() float64 { return f.w }

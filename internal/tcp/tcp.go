@@ -11,23 +11,23 @@
 // sender to receiver; the receiver ACKs every data packet (no delayed
 // ACKs) and reports up to four SACK blocks, matching a modern Linux stack.
 // Windows and transfer sizes are bytes, pacing rates bits/second, and all
-// timers run on sim.Time.
+// timers run on clock.Time.
 package tcp
 
 import (
 	"fmt"
 	"sync"
 
+	"bundler/internal/clock"
 	"bundler/internal/netem"
 	"bundler/internal/pkt"
-	"bundler/internal/sim"
 )
 
 // Timer constants (RFC 6298, with the common Linux-style 200 ms floor).
 const (
-	minRTO     = 200 * sim.Millisecond
-	initialRTO = 1 * sim.Second
-	maxRTO     = 60 * sim.Second
+	minRTO     = 200 * clock.Millisecond
+	initialRTO = 1 * clock.Second
+	maxRTO     = 60 * clock.Second
 )
 
 // InitialCwnd is the initial congestion window in segments (RFC 6928).
@@ -48,7 +48,7 @@ type SACKBlock = pkt.SACKBlock
 type segment struct {
 	seq      int64
 	length   int
-	sentAt   sim.Time
+	sentAt   clock.Time
 	retx     bool // ever retransmitted (Karn: no RTT samples)
 	sacked   bool
 	lost     bool
@@ -60,7 +60,7 @@ var segPool = sync.Pool{New: func() any { return new(segment) }}
 // Sender transmits Size payload bytes to Dst and consumes the ACK stream.
 // It implements netem.Receiver for incoming ACKs.
 type Sender struct {
-	eng    *sim.Engine
+	eng    clock.Clock
 	out    netem.Receiver
 	src    pkt.Addr
 	dst    pkt.Addr
@@ -78,20 +78,20 @@ type Sender struct {
 	recovery  bool
 	recoverPt int64
 
-	srtt, rttvar, rto sim.Time
-	lastRTT           sim.Time
-	rtoTimer          sim.Timer
+	srtt, rttvar, rto clock.Time
+	lastRTT           clock.Time
+	rtoTimer          clock.Timer
 
 	ipid       uint16
-	nextSendAt sim.Time
-	paceTimer  sim.Timer
+	nextSendAt clock.Time
+	paceTimer  clock.Timer
 	pool       *pkt.Pool
 
 	started    bool
 	done       bool
-	StartedAt  sim.Time
-	DoneAt     sim.Time
-	onComplete func(now sim.Time)
+	StartedAt  clock.Time
+	DoneAt     clock.Time
+	onComplete func(now clock.Time)
 
 	// Counters for tests and stats.
 	DataSent    int
@@ -102,7 +102,7 @@ type Sender struct {
 // NewSender constructs a sender for a size-byte transfer. out is the first
 // hop of the egress path; onComplete (optional) fires when the final byte
 // is cumulatively acknowledged.
-func NewSender(eng *sim.Engine, out netem.Receiver, src, dst pkt.Addr, flowID uint64, size int64, cc Congestion, onComplete func(now sim.Time)) *Sender {
+func NewSender(eng clock.Clock, out netem.Receiver, src, dst pkt.Addr, flowID uint64, size int64, cc Congestion, onComplete func(now clock.Time)) *Sender {
 	if size <= 0 {
 		panic("tcp: transfer size must be positive")
 	}
@@ -110,8 +110,8 @@ func NewSender(eng *sim.Engine, out netem.Receiver, src, dst pkt.Addr, flowID ui
 		eng: eng, out: out, src: src, dst: dst, flowID: flowID, size: size,
 		cc: cc, rto: initialRTO, onComplete: onComplete,
 	}
-	s.rtoTimer.Init(eng, s.onRTO)
-	s.paceTimer.Init(eng, s.trySend)
+	s.rtoTimer = eng.NewTimer(s.onRTO)
+	s.paceTimer = eng.NewTimer(s.trySend)
 	return s
 }
 
@@ -234,7 +234,7 @@ func (s *Sender) emit(sg *segment, retx bool) {
 		if s.nextSendAt < now {
 			s.nextSendAt = now
 		}
-		s.nextSendAt += sim.Time(float64(p.Size*8) / pr * float64(sim.Second))
+		s.nextSendAt += clock.Time(float64(p.Size*8) / pr * float64(clock.Second))
 	}
 	if !s.rtoTimer.Pending() {
 		s.rtoTimer.ArmAfter(s.rto)
@@ -402,8 +402,8 @@ func (s *Sender) markLost() bool {
 // estimator from the newest popped segment that was never retransmitted
 // (Karn's algorithm). The scoreboard is ordered by sequence, so this is
 // O(newly acked).
-func (s *Sender) popAcked(ack int64, now sim.Time) {
-	var bestSent sim.Time
+func (s *Sender) popAcked(ack int64, now clock.Time) {
+	var bestSent clock.Time
 	haveBest := false
 	i := 0
 	for ; i < len(s.segs); i++ {
@@ -455,7 +455,7 @@ func (s *Sender) popAcked(ack int64, now sim.Time) {
 	}
 }
 
-func (s *Sender) complete(now sim.Time) {
+func (s *Sender) complete(now clock.Time) {
 	s.done = true
 	s.DoneAt = now
 	s.rtoTimer.Stop()
@@ -477,7 +477,7 @@ func (s *Sender) releaseScoreboard() {
 
 // SRTT exposes the smoothed RTT estimate (for tests and the §7.5 proxy
 // discussion).
-func (s *Sender) SRTT() sim.Time { return s.srtt }
+func (s *Sender) SRTT() clock.Time { return s.srtt }
 
 // Abort stops the transfer immediately without marking it complete:
 // timers are cancelled and no further packets are sent. Experiments use it
@@ -493,7 +493,7 @@ func (s *Sender) Abort() {
 // an ACK (with up to four SACK blocks) per packet on its egress. It
 // implements netem.Receiver.
 type Receiver struct {
-	eng    *sim.Engine
+	eng    clock.Clock
 	out    netem.Receiver
 	addr   pkt.Addr
 	peer   pkt.Addr
@@ -506,8 +506,8 @@ type Receiver struct {
 	pool   *pkt.Pool
 
 	done       bool
-	DoneAt     sim.Time
-	onComplete func(now sim.Time)
+	DoneAt     clock.Time
+	onComplete func(now clock.Time)
 
 	// DataReceived counts data packets (including spurious retransmits).
 	DataReceived int
@@ -518,7 +518,7 @@ type interval struct{ start, end int64 }
 // NewReceiver constructs the receiving endpoint of a size-byte transfer.
 // out is the first hop of the reverse (ACK) path; onComplete fires when
 // the last payload byte arrives in order.
-func NewReceiver(eng *sim.Engine, out netem.Receiver, addr, peer pkt.Addr, flowID uint64, size int64, onComplete func(now sim.Time)) *Receiver {
+func NewReceiver(eng clock.Clock, out netem.Receiver, addr, peer pkt.Addr, flowID uint64, size int64, onComplete func(now clock.Time)) *Receiver {
 	return &Receiver{eng: eng, out: out, addr: addr, peer: peer, flowID: flowID, size: size, onComplete: onComplete}
 }
 

@@ -5,9 +5,9 @@
 package udpapp
 
 import (
+	"bundler/internal/clock"
 	"bundler/internal/netem"
 	"bundler/internal/pkt"
-	"bundler/internal/sim"
 	"bundler/internal/stats"
 )
 
@@ -18,14 +18,14 @@ const RequestSize = 40
 // sent as soon as the previous response arrives. It implements
 // netem.Receiver for responses.
 type PingClient struct {
-	eng    *sim.Engine
+	eng    clock.Clock
 	out    netem.Receiver
 	addr   pkt.Addr
 	server pkt.Addr
 	flowID uint64
 
 	ipid    uint16
-	lastReq sim.Time
+	lastReq clock.Time
 	waiting bool
 	pool    *pkt.Pool
 
@@ -36,7 +36,7 @@ type PingClient struct {
 }
 
 // NewPingClient builds a closed-loop probe client targeting server.
-func NewPingClient(eng *sim.Engine, out netem.Receiver, addr, server pkt.Addr, flowID uint64) *PingClient {
+func NewPingClient(eng clock.Clock, out netem.Receiver, addr, server pkt.Addr, flowID uint64) *PingClient {
 	return &PingClient{eng: eng, out: out, addr: addr, server: server, flowID: flowID}
 }
 
@@ -80,7 +80,7 @@ func (c *PingClient) Receive(p *pkt.Packet) {
 // PingServer echoes each request back to its source. It implements
 // netem.Receiver.
 type PingServer struct {
-	eng  *sim.Engine
+	eng  clock.Clock
 	out  netem.Receiver
 	addr pkt.Addr
 	ipid uint16
@@ -92,7 +92,7 @@ type PingServer struct {
 
 // NewPingServer builds an echo server at addr whose responses leave via
 // out.
-func NewPingServer(eng *sim.Engine, out netem.Receiver, addr pkt.Addr) *PingServer {
+func NewPingServer(eng clock.Clock, out netem.Receiver, addr pkt.Addr) *PingServer {
 	return &PingServer{eng: eng, out: out, addr: addr}
 }
 
@@ -125,7 +125,7 @@ func (s *PingServer) Receive(p *pkt.Packet) {
 // application-limited source that never fills buffers, the "paced video
 // stream" class of cross traffic from §3.
 type CBRStream struct {
-	eng     *sim.Engine
+	eng     clock.Clock
 	out     netem.Receiver
 	src     pkt.Addr
 	dst     pkt.Addr
@@ -133,7 +133,7 @@ type CBRStream struct {
 	rate    float64 // bits per second
 	pktSize int
 	ipid    uint16
-	ticker  *sim.Ticker
+	ticker  clock.Ticker
 	pool    *pkt.Pool
 
 	// Sent counts emitted packets.
@@ -142,7 +142,7 @@ type CBRStream struct {
 
 // NewCBRStream builds a constant-bit-rate source. pktSize is the wire size
 // per packet.
-func NewCBRStream(eng *sim.Engine, out netem.Receiver, src, dst pkt.Addr, flowID uint64, rateBps float64, pktSize int) *CBRStream {
+func NewCBRStream(eng clock.Clock, out netem.Receiver, src, dst pkt.Addr, flowID uint64, rateBps float64, pktSize int) *CBRStream {
 	if rateBps <= 0 || pktSize <= 0 {
 		panic("udpapp: CBR rate and packet size must be positive")
 	}
@@ -155,11 +155,11 @@ func (c *CBRStream) SetPool(pl *pkt.Pool) { c.pool = pl }
 
 // Start begins emission; Stop ends it.
 func (c *CBRStream) Start() {
-	interval := sim.Time(float64(c.pktSize*8) / c.rate * float64(sim.Second))
+	interval := clock.Time(float64(c.pktSize*8) / c.rate * float64(clock.Second))
 	if interval < 1 {
 		interval = 1
 	}
-	c.ticker = sim.Tick(c.eng, interval, c.emit)
+	c.ticker = c.eng.Tick(interval, c.emit)
 }
 
 // Stop halts the stream.

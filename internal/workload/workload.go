@@ -4,7 +4,7 @@
 // 5 MB and 100 MB), open-loop Poisson arrivals at a configured offered
 // load, and flow-completion-time bookkeeping with the paper's "slowdown"
 // metric (FCT divided by the unloaded completion time). Flow sizes are
-// bytes, offered loads are bits/second, completion times are sim.Time
+// bytes, offered loads are bits/second, completion times are clock.Time
 // (recorded in milliseconds).
 package workload
 
@@ -13,8 +13,8 @@ import (
 	"math"
 	"math/rand"
 
+	"bundler/internal/clock"
 	"bundler/internal/pkt"
-	"bundler/internal/sim"
 	"bundler/internal/stats"
 )
 
@@ -111,23 +111,23 @@ func (d *SizeDist) Mean() float64 {
 // Arrivals schedules fn for n Poisson arrivals whose mean rate sustains
 // offeredBps of load given the distribution's mean flow size. fn receives
 // the drawn flow size. Arrival times use the engine's deterministic RNG.
-func Arrivals(eng *sim.Engine, d *SizeDist, offeredBps float64, n int, fn func(size int64)) {
+func Arrivals(eng clock.Clock, d *SizeDist, offeredBps float64, n int, fn func(size int64)) {
 	if offeredBps <= 0 || n <= 0 {
 		panic("workload: offered load and request count must be positive")
 	}
 	lambda := offeredBps / 8 / d.Mean() // requests per second
-	var schedule func(i int, at sim.Time)
-	schedule = func(i int, at sim.Time) {
+	var schedule func(i int, at clock.Time)
+	schedule = func(i int, at clock.Time) {
 		if i >= n {
 			return
 		}
-		eng.At(at, func() {
+		clock.At(eng, at, func() {
 			fn(d.Sample(eng.Rand()))
-			gap := sim.FromSeconds(eng.Rand().ExpFloat64() / lambda)
+			gap := clock.FromSeconds(eng.Rand().ExpFloat64() / lambda)
 			schedule(i+1, eng.Now()+gap)
 		})
 	}
-	first := eng.Now() + sim.FromSeconds(eng.Rand().ExpFloat64()/lambda)
+	first := eng.Now() + clock.FromSeconds(eng.Rand().ExpFloat64()/lambda)
 	schedule(0, first)
 }
 
@@ -135,14 +135,14 @@ func Arrivals(eng *sim.Engine, d *SizeDist, offeredBps float64, n int, fn func(s
 // slow-start round trips from a 10-segment initial window plus
 // transmission time. This is the denominator of the paper's slowdown
 // metric.
-func OracleFCT(size int64, linkRate float64, rtt sim.Time) sim.Time {
+func OracleFCT(size int64, linkRate float64, rtt clock.Time) clock.Time {
 	iw := int64(10 * pkt.MSS)
 	rtts := 1
 	for sent := iw; sent < size; sent = sent*2 + iw {
 		rtts++
 	}
-	tx := sim.FromSeconds(float64(size) * 8 / linkRate)
-	return sim.Time(rtts)*rtt + tx
+	tx := clock.FromSeconds(float64(size) * 8 / linkRate)
+	return clock.Time(rtts)*rtt + tx
 }
 
 // SizeClass buckets flows the way Figure 9 groups them.
@@ -182,7 +182,7 @@ func ClassOf(size int64) SizeClass {
 // Recorder accumulates per-flow completion results.
 type Recorder struct {
 	linkRate float64
-	rtt      sim.Time
+	rtt      clock.Time
 
 	// Class tags the recorder with the scheduler traffic class its flows
 	// belong to ("" when the scenario declares no classes). The topo
@@ -207,7 +207,7 @@ type Recorder struct {
 
 // NewRecorder builds a recorder that normalizes against the given unloaded
 // path parameters.
-func NewRecorder(linkRate float64, rtt sim.Time) *Recorder {
+func NewRecorder(linkRate float64, rtt clock.Time) *Recorder {
 	return &Recorder{linkRate: linkRate, rtt: rtt}
 }
 
@@ -255,7 +255,7 @@ func (r *Recorder) UseSketch() {
 func (r *Recorder) RecordUncounted() { r.Completed++ }
 
 // Record registers one completed flow.
-func (r *Recorder) Record(size int64, fct sim.Time) {
+func (r *Recorder) Record(size int64, fct clock.Time) {
 	oracle := OracleFCT(size, r.linkRate, r.rtt)
 	slow := float64(fct) / float64(oracle)
 	if slow < 1 {

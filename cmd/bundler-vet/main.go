@@ -1,0 +1,70 @@
+// Command bundler-vet runs the repository's invariant analyzer suite —
+// clockcheck (PR-9 clock discipline), poolcheck (pkt pool ownership),
+// detrange and sortcmp (output determinism) — over Go package patterns
+// and exits non-zero on any finding. CI runs it over ./... and
+// ./examples/... as a hard gate; locally:
+//
+//	go run ./cmd/bundler-vet ./...
+//	go run ./cmd/bundler-vet -only clockcheck,poolcheck ./internal/tcp
+//
+// Flags:
+//
+//	-only a,b            run a subset of the suite (unknown names error)
+//	-detrange-budget n   cap //bundlervet:allow detrange(...) directives
+//	                     (-1: unlimited)
+//	-list                print the analyzer names and contracts, then exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bundler/internal/analysis/detrange"
+	"bundler/internal/analysis/vet"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer subset (default: all)")
+	budget := flag.Int("detrange-budget", 8, "max detrange suppression directives per run; -1 for unlimited")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: bundler-vet [-only a,b] [-detrange-budget n] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range vet.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := vet.Select(*only)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bundler-vet: %v\n", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	detrange.Budget = *budget
+	findings, err := vet.Run(analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bundler-vet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if n := detrange.Count(); n > 0 {
+		fmt.Fprintf(os.Stderr, "bundler-vet: %d detrange suppression(s) in use (budget %d)\n", n, *budget)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "bundler-vet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

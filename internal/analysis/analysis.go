@@ -1,0 +1,64 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis surface that bundler-vet's
+// invariant checkers are written against. The container this repository
+// grows in has no module proxy access, so the real x/tools framework is
+// unavailable; this package keeps the same shape (Analyzer, Pass,
+// Diagnostic, Reportf) so the analyzers could migrate to the upstream
+// framework by changing only imports.
+//
+// The framework is deliberately small: one package at a time, no
+// cross-analyzer facts, no suggested fixes. Each Analyzer receives a
+// fully type-checked package (see internal/analysis/load) and reports
+// diagnostics through its Pass. Diagnostics are pure data; the driver
+// (cmd/bundler-vet) and the test harness (internal/analysis/analysistest)
+// decide presentation and exit status.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one named invariant check. Run inspects the package in
+// pass and reports violations via pass.Report/Reportf. Run returns an
+// error only for operational failures (the check itself could not run);
+// findings are diagnostics, not errors.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in bundler-vet's
+	// -only flag. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Run performs the check on a single package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one reported violation, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	// Analyzer is the check being run (diagnostic attribution).
+	Analyzer *Analyzer
+	// Fset maps token.Pos values in Files to file positions.
+	Fset *token.FileSet
+	// Files are the package's parsed source files (no test files).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's expression types, uses, and
+	// definitions for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

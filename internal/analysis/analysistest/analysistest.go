@@ -1,0 +1,148 @@
+// Package analysistest runs one analyzer over golden testdata packages
+// and checks its diagnostics against expectations embedded in the
+// sources, mirroring x/tools' analysistest conventions: a comment
+//
+//	// want "regexp" `another regexp`
+//
+// on a line means the analyzer must report diagnostics on that line
+// matching each pattern, and every diagnostic must be claimed by some
+// want. Testdata lives under <dir>/src/<pkg>, and since the go tool
+// never matches testdata directories with ./... wildcards, the golden
+// packages stay invisible to normal builds while remaining ordinary,
+// compilable packages the loader can type-check.
+package analysistest
+
+import (
+	"path"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bundler/internal/analysis"
+	"bundler/internal/analysis/load"
+)
+
+// want is one expected diagnostic: a pattern anchored to a file line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads dir/src/<pkg> for each named package, applies a to each,
+// and reports missing or unexpected diagnostics through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	patterns := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		patterns[i] = "./" + path.Join(dir, "src", p)
+	}
+	loaded, err := load.Load(patterns...)
+	if err != nil {
+		t.Fatalf("loading testdata: %v", err)
+	}
+	for _, pkg := range loaded {
+		checkPackage(t, a, pkg)
+	}
+}
+
+func checkPackage(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer error: %v", pkg.ImportPath, err)
+	}
+
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		claimed := false
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// parseWants extracts the // want expectations from a package's
+// comments.
+func parseWants(t *testing.T, pkg *load.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := wantText(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, raw := range quotedStrings(t, pos.String(), text) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func wantText(comment string) (string, bool) {
+	body, ok := strings.CutPrefix(comment, "//")
+	if !ok {
+		return "", false
+	}
+	body = strings.TrimSpace(body)
+	return strings.CutPrefix(body, "want ")
+}
+
+// quotedStrings decodes the sequence of Go string literals after
+// "want".
+func quotedStrings(t *testing.T, at, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		lit, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("%s: malformed want expectation near %q: %v", at, s, err)
+		}
+		dec, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s: cannot unquote %s: %v", at, lit, err)
+		}
+		out = append(out, dec)
+		s = s[len(lit):]
+	}
+}

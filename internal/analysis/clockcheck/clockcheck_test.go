@@ -1,0 +1,37 @@
+package clockcheck_test
+
+import (
+	"testing"
+
+	"bundler/internal/analysis/analysistest"
+	"bundler/internal/analysis/clockcheck"
+)
+
+func TestClockcheckGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", clockcheck.Analyzer, "bundle", "notsim")
+}
+
+// TestExempt pins the targeting rule: package-name driven, with the
+// issue's allowlist (clock itself, runstore, exp, cmd binaries).
+func TestExempt(t *testing.T) {
+	cases := []struct {
+		name, path string
+		exempt     bool
+	}{
+		{"bundle", "bundler/internal/bundle", false},
+		{"tcp", "bundler/internal/tcp", false},
+		{"shard", "bundler/internal/sim/shard", false},
+		{"pilot", "bundler/internal/pilot", false},
+		{"report", "bundler/internal/report", true}, // not simulation-facing
+		{"clock", "bundler/internal/clock", true},   // the wall-time implementation itself
+		{"runstore", "bundler/internal/runstore", true},
+		{"exp", "bundler/internal/exp", true},       // sweep timing is real execution time
+		{"main", "bundler/cmd/bundler-bench", true}, // process entry points
+		{"sim", "cmd/whatever", true},               // cmd/ prefix without module path
+	}
+	for _, c := range cases {
+		if got := clockcheck.Exempt(c.name, c.path); got != c.exempt {
+			t.Errorf("Exempt(%q, %q) = %v, want %v", c.name, c.path, got, c.exempt)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Package bundle is clockcheck golden testdata: it carries a
+// simulation-facing package name and exercises both the forbidden call
+// set and the patterns that must stay legal.
+package bundle
+
+import (
+	"math/rand"
+	"time"
+)
+
+func violations() {
+	_ = time.Now()                  // want `time\.Now in simulation-facing package bundle`
+	time.Sleep(time.Millisecond)    // want `time\.Sleep`
+	<-time.After(time.Millisecond)  // want `time\.After`
+	t := time.NewTimer(time.Second) // want `time\.NewTimer`
+	t.Stop()
+	tk := time.NewTicker(time.Second) // want `time\.NewTicker`
+	tk.Stop()
+	_ = time.Since(time.Time{})        // want `time\.Since`
+	_ = rand.Intn(4)                   // want `global math/rand\.Intn`
+	_ = rand.Float64()                 // want `global math/rand\.Float64`
+	rand.Shuffle(0, func(i, j int) {}) // want `global math/rand\.Shuffle`
+}
+
+func legal() {
+	// Constructors build local seeded streams; methods on them are the
+	// disciplined way to draw randomness.
+	r := rand.New(rand.NewSource(1))
+	_ = r.Intn(4)
+	// Types, constants, and arithmetic on time.Duration are fine: the
+	// discipline is about reading the process clock, not about units.
+	var d time.Duration = time.Second
+	_ = d * 2
+	// Taking time.Now as a value is the sanctioned injection seam
+	// (internal/runstore wires it as a default this way).
+	now := time.Now
+	_ = now
+}

@@ -1,0 +1,8 @@
+// Package report is clockcheck golden testdata for the targeting rule:
+// its name is not simulation-facing, so process-clock reads here are
+// legal and the analyzer must stay silent.
+package report
+
+import "time"
+
+func stamp() time.Time { return time.Now() }

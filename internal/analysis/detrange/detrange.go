@@ -1,0 +1,252 @@
+// Package detrange enforces output determinism at map-iteration sites:
+// a `range` over a map whose body builds ordered output — appending to
+// a slice, writing to an encoder/writer, or concatenating a string —
+// produces a different byte stream every run, which breaks the golden
+// byte-identity all of this repository's regression gates depend on.
+//
+// The sanctioned pattern is collect-then-sort: a loop whose body only
+// appends the map key to a slice is exempt (the slice is assumed to be
+// sorted before use — every such site in this tree is followed by a
+// sort call). Sites where iteration order provably cannot reach the
+// output can carry an explicit directive on the `for` line or the line
+// above:
+//
+//	//bundlervet:allow detrange(reason why order cannot leak)
+//
+// Directives are counted against a budget (bundler-vet's
+// -detrange-budget flag) so suppressions cannot silently accumulate:
+// once the budget is exceeded, every further directive is itself a
+// diagnostic.
+package detrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"bundler/internal/analysis"
+)
+
+// Analyzer is the map-iteration determinism check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "flag range-over-map loops that feed ordered output (slice appends, encoder/writer " +
+		"writes, string building) without sorting keys first",
+	Run: run,
+}
+
+// Budget caps how many //bundlervet:allow detrange(...) directives one
+// run may consume; -1 means unlimited. The driver sets it from
+// -detrange-budget before running, and tests pin it.
+var Budget = -1
+
+// count tallies directives consumed in the current run, across
+// packages. Reset clears it; the driver and tests call Reset before a
+// run. Packages are analyzed sequentially in deterministic order, so a
+// plain int is enough.
+var count int
+
+// Reset zeroes the run-wide directive tally.
+func Reset() { count = 0 }
+
+// Count reports directives consumed since the last Reset.
+func Count() int { return count }
+
+// directiveRE matches the suppression comment. The reason is mandatory:
+// an unexplained suppression is indistinguishable from a silenced bug.
+var directiveRE = regexp.MustCompile(`^//bundlervet:allow detrange\((.+)\)\s*$`)
+
+// writeMethods are method names that emit bytes in call order: stream
+// writers, string builders, and encoders.
+var writeMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"WriteTo":     true,
+	"Encode":      true,
+}
+
+// writeFuncs are package-level printing functions keyed by package
+// path; any listed call inside the loop body is ordered output.
+var writeFuncs = map[string]map[string]bool{
+	"fmt": {
+		"Fprint": true, "Fprintf": true, "Fprintln": true,
+		"Print": true, "Printf": true, "Println": true,
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		directives := collectDirectives(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			line := pass.Fset.Position(rng.For).Line
+			if directives[line] || directives[line-1] {
+				count++
+				if Budget >= 0 && count > Budget {
+					pass.Reportf(rng.For,
+						"detrange suppression budget exceeded (%d directives, budget %d): fix a site instead of adding directives",
+						count, Budget)
+				}
+				return true
+			}
+			if sink := outputSink(pass, rng); sink != "" {
+				pass.Reportf(rng.For,
+					"range over map feeds %s in iteration order: sort the keys first, or annotate with //bundlervet:allow detrange(reason)",
+					sink)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectDirectives maps source lines carrying a suppression directive.
+func collectDirectives(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if directiveRE.MatchString(c.Text) {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// outputSink classifies the first ordered-output operation in the loop
+// body, or "" if the body is order-safe. The sanctioned collect-then-
+// sort idiom is exempt: appends whose only added element is the range
+// key (possibly filtered by a condition, possibly through a single
+// conversion) put nothing order-dependent in the slice beyond the key
+// set itself, which every such site in this tree sorts before use.
+func outputSink(pass *analysis.Pass, rng *ast.RangeStmt) string {
+	keyObj := rangeKeyObject(pass, rng)
+	sink := ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch m := n.(type) {
+		case *ast.CallExpr:
+			if s := callSink(pass, m, keyObj); s != "" {
+				sink = s
+				return false
+			}
+		case *ast.AssignStmt:
+			if s := stringBuildSink(pass, m); s != "" {
+				sink = s
+				return false
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// callSink classifies one call inside the body.
+func callSink(pass *analysis.Pass, call *ast.CallExpr, keyObj types.Object) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if bi, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && bi.Name() == "append" {
+			if appendsKeyOnly(pass, call, keyObj) {
+				return ""
+			}
+			return "a slice append"
+		}
+	case *ast.SelectorExpr:
+		obj := pass.TypesInfo.Uses[fun.Sel]
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			return ""
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil {
+			if writeMethods[fn.Name()] {
+				return "an encoder/writer"
+			}
+			return ""
+		}
+		if fn.Pkg() != nil {
+			if set, ok := writeFuncs[fn.Pkg().Path()]; ok && set[fn.Name()] {
+				return "formatted output"
+			}
+		}
+	}
+	return ""
+}
+
+// stringBuildSink flags `s += ...` (and `s = s + ...`) where s is a
+// string: classic ordered concatenation.
+func stringBuildSink(pass *analysis.Pass, as *ast.AssignStmt) string {
+	if len(as.Lhs) != 1 {
+		return ""
+	}
+	tv, ok := pass.TypesInfo.Types[as.Lhs[0]]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || basic.Kind() != types.String && basic.Kind() != types.UntypedString {
+		return ""
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN:
+		return "string concatenation"
+	case token.ASSIGN:
+		if bin, ok := as.Rhs[0].(*ast.BinaryExpr); ok && bin.Op == token.ADD && sameIdent(as.Lhs[0], bin.X) {
+			return "string concatenation"
+		}
+	}
+	return ""
+}
+
+func sameIdent(a, b ast.Expr) bool {
+	ai, aok := a.(*ast.Ident)
+	bi, bok := b.(*ast.Ident)
+	return aok && bok && ai.Name == bi.Name
+}
+
+// rangeKeyObject resolves the loop's key variable, or nil when the key
+// is discarded or not a plain identifier.
+func rangeKeyObject(pass *analysis.Pass, rng *ast.RangeStmt) types.Object {
+	keyID, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[keyID]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[keyID]
+}
+
+// appendsKeyOnly reports whether call is `append(s, k)` where k is the
+// range key, optionally through a single conversion like string(k).
+func appendsKeyOnly(pass *analysis.Pass, call *ast.CallExpr, keyObj types.Object) bool {
+	if keyObj == nil || len(call.Args) != 2 || call.Ellipsis.IsValid() {
+		return false
+	}
+	arg := call.Args[1]
+	// Unwrap a single type conversion (append(keys, string(k))) — but
+	// not an arbitrary function call, whose result ordering is the
+	// caller's to prove.
+	if conv, ok := arg.(*ast.CallExpr); ok && len(conv.Args) == 1 && !conv.Ellipsis.IsValid() {
+		if tv, ok := pass.TypesInfo.Types[conv.Fun]; ok && tv.IsType() {
+			arg = conv.Args[0]
+		}
+	}
+	argID, ok := arg.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[argID] == keyObj
+}

@@ -1,0 +1,30 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"bundler/internal/analysis/analysistest"
+	"bundler/internal/analysis/detrange"
+)
+
+func TestDetrangeGolden(t *testing.T) {
+	detrange.Budget = -1
+	detrange.Reset()
+	analysistest.Run(t, "testdata", detrange.Analyzer, "a")
+	if got := detrange.Count(); got != 1 {
+		t.Errorf("suppression count = %d, want 1 (the one directive in testdata/src/a)", got)
+	}
+}
+
+// TestDetrangeBudgetOverflow pins the budget semantics: directives
+// beyond the budget are themselves diagnostics, so suppressions cannot
+// silently accumulate.
+func TestDetrangeBudgetOverflow(t *testing.T) {
+	detrange.Budget = 1
+	defer func() { detrange.Budget = -1 }()
+	detrange.Reset()
+	analysistest.Run(t, "testdata", detrange.Analyzer, "budget")
+	if got := detrange.Count(); got != 2 {
+		t.Errorf("suppression count = %d, want 2", got)
+	}
+}

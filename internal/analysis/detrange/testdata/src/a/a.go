@@ -1,0 +1,98 @@
+// Package a is detrange golden testdata: map iterations that feed
+// ordered output (flagged), the sanctioned collect-then-sort idiom and
+// order-free folds (legal), and a directive-suppressed site.
+package a
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func appendValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `range over map feeds a slice append`
+		out = append(out, v)
+	}
+	return out
+}
+
+func writeOut(m map[string]int, w *strings.Builder) {
+	for k := range m { // want `range over map feeds an encoder/writer`
+		w.WriteString(k)
+	}
+}
+
+func printOut(m map[string]int) {
+	for k, v := range m { // want `range over map feeds formatted output`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func buildString(m map[string]int) string {
+	s := ""
+	for k := range m { // want `range over map feeds string concatenation`
+		s += k
+	}
+	return s
+}
+
+// collectThenSort is the sanctioned prelude: only the key reaches the
+// slice, and the slice is sorted before use.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// filteredCollect guards the key append with a condition; still only
+// the key set lands in the slice.
+func filteredCollect(m map[string]int, drop map[string]bool) []string {
+	var keys []string
+	for k := range m {
+		if !drop[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// convertedCollect appends a type conversion of the key.
+func convertedCollect(m map[int32]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// suppressed carries the explicit directive; detrange counts it against
+// the run budget instead of flagging.
+func suppressed(m map[string]int) int {
+	var out []int
+	//bundlervet:allow detrange(min is commutative; order cannot reach the result)
+	for _, v := range m {
+		out = append(out, v)
+	}
+	min := 1 << 30
+	for _, v := range out {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// sumFold is order-free: no append, no writer, no string build.
+func sumFold(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,22 @@
+// Package budget is detrange golden testdata for the suppression
+// budget: with the budget pinned to 1 by the test, the first directive
+// is consumed silently and the second becomes a diagnostic.
+package budget
+
+func first(m map[string]int) []int {
+	var out []int
+	//bundlervet:allow detrange(first directive: within the test budget)
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+func second(m map[string]int) []int {
+	var out []int
+	//bundlervet:allow detrange(second directive: exceeds the test budget)
+	for _, v := range m { // want `detrange suppression budget exceeded`
+		out = append(out, v)
+	}
+	return out
+}

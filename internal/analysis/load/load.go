@@ -1,0 +1,228 @@
+// Package load turns Go package patterns into fully type-checked
+// packages for the analyzers, using only the standard library and the
+// go command. It is the offline stand-in for x/tools' go/packages: one
+// `go list -deps -json` invocation enumerates the targets and their
+// whole dependency graph in one subprocess, then go/types checks
+// everything from source — dependencies with IgnoreFuncBodies (only
+// their exported API matters), targets with full bodies and a populated
+// types.Info.
+//
+// The listing runs with CGO_ENABLED=0 so the standard library resolves
+// to its pure-Go file sets (net's Go resolver, os/user stubs);
+// typechecking cgo preambles from source is not possible without the
+// cgo tool chain.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	// ImportPath is the package's import path as reported by go list.
+	ImportPath string
+	// Name is the package name from its source files.
+	Name string
+	// Dir is the directory holding the source files.
+	Dir string
+	// Fset positions all token.Pos values in Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test source files, with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info is the type-checker's fact tables for Files.
+	Info *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns with the go command and returns the matched
+// packages type-checked, in deterministic (import path) order. Patterns
+// follow go list syntax relative to the current directory ("./...",
+// "./testdata/src/a"). Any listing or type error in a target package
+// fails the load; dependency packages tolerate errors as long as their
+// exported API survives (their function bodies are never checked).
+func Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := &importer{
+		fset:  fset,
+		index: make(map[string]*listPkg, len(listed)),
+		typed: make(map[string]*types.Package, len(listed)),
+		busy:  make(map[string]bool),
+	}
+	for _, lp := range listed {
+		imp.index[lp.ImportPath] = lp
+	}
+
+	var targets []*listPkg
+	for _, lp := range listed {
+		if lp.DepOnly {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		targets = append(targets, lp)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	pkgs := make([]*Package, 0, len(targets))
+	for _, lp := range targets {
+		p, err := checkTarget(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// goList runs one `go list -deps -json` over patterns and decodes the
+// package stream, dependencies included.
+func goList(patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-deps", "-json=ImportPath,Name,Dir,GoFiles,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPkg
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// checkTarget parses a target package with comments and type-checks it
+// with full function bodies and fact tables.
+func checkTarget(fset *token.FileSet, imp *importer, lp *listPkg) (*Package, error) {
+	files, err := parseFiles(fset, lp, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var terrs []error
+	cfg := &types.Config{
+		Importer: imp,
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	tpkg, _ := cfg.Check(lp.ImportPath, fset, files, info)
+	if len(terrs) > 0 {
+		return nil, fmt.Errorf("load: type errors in %s: %v", lp.ImportPath, terrs[0])
+	}
+	return &Package{
+		ImportPath: lp.ImportPath,
+		Name:       tpkg.Name(),
+		Dir:        lp.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+func parseFiles(fset *token.FileSet, lp *listPkg, mode parser.Mode) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, mode)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// importer resolves import paths against the go list graph, type-
+// checking each dependency from source once, API only. It implements
+// types.Importer.
+type importer struct {
+	fset  *token.FileSet
+	index map[string]*listPkg
+	typed map[string]*types.Package
+	busy  map[string]bool
+}
+
+func (imp *importer) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := imp.typed[path]; ok {
+		return p, nil
+	}
+	lp, ok := imp.index[path]
+	if !ok {
+		return nil, fmt.Errorf("import %q: not in the go list dependency graph", path)
+	}
+	if lp.Error != nil {
+		return nil, fmt.Errorf("import %q: %s", path, lp.Error.Err)
+	}
+	if imp.busy[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	imp.busy[path] = true
+	defer delete(imp.busy, path)
+
+	files, err := parseFiles(imp.fset, lp, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	// Dependencies only contribute their exported API: skip bodies, and
+	// tolerate residual errors (e.g. assembly-backed intrinsics) as long
+	// as the checker produces a usable package.
+	cfg := &types.Config{
+		Importer:         imp,
+		IgnoreFuncBodies: true,
+		Error:            func(error) {},
+	}
+	tpkg, err := cfg.Check(path, imp.fset, files, nil)
+	if tpkg == nil {
+		return nil, fmt.Errorf("import %q: %v", path, err)
+	}
+	imp.typed[path] = tpkg
+	return tpkg, nil
+}

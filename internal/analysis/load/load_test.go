@@ -1,0 +1,60 @@
+package load
+
+import (
+	"go/types"
+	"testing"
+)
+
+// TestLoadTypedPackage loads a real module package with both standard-
+// library and module-internal dependencies and checks the fact tables
+// the analyzers rely on are populated.
+func TestLoadTypedPackage(t *testing.T) {
+	pkgs, err := Load("bundler/internal/pilot")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load returned %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Name != "pilot" || p.ImportPath != "bundler/internal/pilot" {
+		t.Fatalf("unexpected identity: name %q path %q", p.Name, p.ImportPath)
+	}
+	if len(p.Files) == 0 {
+		t.Fatal("no parsed files")
+	}
+	if len(p.Info.Uses) == 0 || len(p.Info.Types) == 0 {
+		t.Fatal("type info not populated")
+	}
+	// The import graph must resolve module-internal dependencies to
+	// their real import paths (poolcheck keys on them).
+	var sawPkt bool
+	for _, imp := range p.Types.Imports() {
+		if imp.Path() == "bundler/internal/pkt" {
+			sawPkt = true
+		}
+	}
+	if !sawPkt {
+		t.Fatal("bundler/internal/pkt missing from pilot's imports")
+	}
+}
+
+// TestLoadDeterministicOrder asserts multi-package loads come back
+// sorted by import path regardless of pattern order.
+func TestLoadDeterministicOrder(t *testing.T) {
+	pkgs, err := Load("bundler/internal/pkt", "bundler/internal/clock")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 || pkgs[0].ImportPath != "bundler/internal/clock" || pkgs[1].ImportPath != "bundler/internal/pkt" {
+		t.Fatalf("unexpected order: %v", []string{pkgs[0].ImportPath, pkgs[1].ImportPath})
+	}
+	var _ *types.Package = pkgs[0].Types
+}
+
+// TestLoadUnknownPattern surfaces go list failures as errors.
+func TestLoadUnknownPattern(t *testing.T) {
+	if _, err := Load("bundler/internal/definitely-not-a-package"); err == nil {
+		t.Fatal("Load of a nonexistent package succeeded")
+	}
+}

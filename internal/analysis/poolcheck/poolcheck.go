@@ -1,0 +1,307 @@
+// Package poolcheck enforces the statically detectable slice of the
+// packet-pool ownership contract (internal/pkt): once a *pkt.Packet is
+// released with Put, the releasing function must not touch it again —
+// not read a field, not hand it off, not return it, and certainly not
+// Put it a second time. At runtime these bugs surface as double-release
+// panics or, worse, as field corruption two flows away once the pool
+// recycles the storage; poolcheck catches the straight-line cases at
+// vet time.
+//
+// The analysis is intra-procedural and path-local: within each function
+// body it walks statement lists in order, tracking which *pkt.Packet
+// variables have been released. Releases inside a branch (if/for/switch
+// arm) poison only that branch — the common `if full { pkt.Put(p);
+// return false }` guard stays legal — and loop bodies are additionally
+// re-walked with the end-of-body state to catch releases that flow
+// around the back edge into the next iteration. `defer pkt.Put(p)` is
+// ignored (it runs at function exit, after every use in the body).
+package poolcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"bundler/internal/analysis"
+)
+
+// Analyzer is the pool-ownership check.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolcheck",
+	Doc: "flag use-after-Put, double-Put, and return/store-after-Put of *pkt.Packet values " +
+		"(the statically detectable slice of the pool ownership contract)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, seen: make(map[string]bool)}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					c.checkList(fn.Body.List, released{})
+				}
+			case *ast.FuncLit:
+				c.checkList(fn.Body.List, released{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// released maps a packet variable to the position of the Put that
+// released it on the current path.
+type released map[*types.Var]token.Pos
+
+func (r released) clone() released {
+	c := make(released, len(r))
+	for k, v := range r {
+		c[k] = v
+	}
+	return c
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// seen dedupes diagnostics: the loop back-edge re-walk visits
+	// statements twice.
+	seen map[string]bool
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	p := c.pass.Fset.Position(pos)
+	key := p.String() + format
+	if c.seen[key] {
+		return
+	}
+	c.seen[key] = true
+	c.pass.Reportf(pos, format, args...)
+}
+
+// checkList walks one statement list in order, mutating state as Puts
+// and reassignments are encountered. Nested control-flow bodies run on
+// clones: their releases never escape to the statements that follow.
+func (c *checker) checkList(list []ast.Stmt, state released) {
+	for _, stmt := range list {
+		c.checkStmt(stmt, state)
+	}
+}
+
+func (c *checker) checkStmt(stmt ast.Stmt, state released) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		c.checkList(s.List, state)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.checkStmt(s.Init, state)
+		}
+		c.useCheck(s.Cond, state, false)
+		c.checkList(s.Body.List, state.clone())
+		if s.Else != nil {
+			c.checkStmt(s.Else, state.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.checkStmt(s.Init, state)
+		}
+		if s.Cond != nil {
+			c.useCheck(s.Cond, state, false)
+		}
+		body := make([]ast.Stmt, 0, len(s.Body.List)+1)
+		body = append(body, s.Body.List...)
+		body = append(body, postStmt(s.Post)...)
+		c.loopBody(body, state)
+	case *ast.RangeStmt:
+		c.useCheck(s.X, state, false)
+		c.loopBody(s.Body.List, state)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.checkStmt(s.Init, state)
+		}
+		if s.Tag != nil {
+			c.useCheck(s.Tag, state, false)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.checkList(cl.Body, state.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.checkList(cl.Body, state.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok {
+				c.checkList(cl.Body, state.clone())
+			}
+		}
+	case *ast.LabeledStmt:
+		c.checkStmt(s.Stmt, state)
+	case *ast.DeferStmt:
+		// Deferred releases run at function exit, after every use in
+		// the body: not a sequential release. Still check the call's
+		// arguments for uses of already-released packets.
+		c.useCheck(s.Call, state, false)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.useCheck(r, state, true)
+		}
+	case *ast.AssignStmt:
+		// RHS evaluates before the LHS binds: uses first, then clear
+		// reassigned packet variables, then record any Puts.
+		for _, r := range s.Rhs {
+			c.useCheck(r, state, false)
+		}
+		for _, l := range s.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				if v := c.packetVar(id); v != nil {
+					delete(state, v)
+					continue
+				}
+			}
+			c.useCheck(l, state, false)
+		}
+		for _, r := range s.Rhs {
+			c.recordPuts(r, state)
+		}
+	default:
+		c.useCheck(stmt, state, false)
+		c.recordPuts(stmt, state)
+	}
+}
+
+// postStmt wraps a for-loop post statement for the back-edge re-walk.
+func postStmt(s ast.Stmt) []ast.Stmt {
+	if s == nil {
+		return nil
+	}
+	return []ast.Stmt{s}
+}
+
+// loopBody checks a loop body twice: once with the incoming state, then
+// once more seeded with the first pass's end state, so a Put at the
+// bottom of the body is seen by the uses at the top of the next
+// iteration. Diagnostics dedupe, so the double walk never double-
+// reports.
+func (c *checker) loopBody(body []ast.Stmt, state released) {
+	first := state.clone()
+	c.checkList(body, first)
+	c.checkList(body, first)
+}
+
+// useCheck reports reads of released packet variables anywhere under n
+// (including inside function literals: capturing a released packet is
+// as much a contract breach as reading it inline). isReturn selects the
+// return-specific wording.
+func (c *checker) useCheck(n ast.Node, state released, isReturn bool) {
+	if n == nil || len(state) == 0 {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		// A Put call's own argument is the release, not a use; it is
+		// judged by recordPuts (double-Put has its own diagnostic).
+		if call, ok := m.(*ast.CallExpr); ok && c.putCallArg(call) != nil {
+			return false
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v := c.packetVar(id)
+		if v == nil {
+			return true
+		}
+		putPos, gone := state[v]
+		if !gone {
+			return true
+		}
+		where := c.pass.Fset.Position(putPos)
+		if isReturn {
+			c.report(id.Pos(), "%s returned after Put (released at %s): ownership ended at the release", id.Name, where)
+		} else {
+			c.report(id.Pos(), "use of %s after Put (released at %s): the pool may already have reissued it", id.Name, where)
+		}
+		return true
+	})
+}
+
+// recordPuts finds Put calls under n (outside nested function literals)
+// and marks their packet arguments released, reporting double-Puts.
+func (c *checker) recordPuts(n ast.Node, state released) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false // a literal's body does not run here
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id := c.putCallArg(call)
+		if id == nil {
+			return true
+		}
+		v := c.packetVar(id)
+		if v == nil {
+			return true
+		}
+		if prev, dup := state[v]; dup {
+			c.report(call.Pos(), "double Put of %s (already released at %s)", id.Name, c.pass.Fset.Position(prev))
+			return true
+		}
+		state[v] = call.Pos()
+		return true
+	})
+}
+
+// putCallArg returns the *ast.Ident argument when call is
+// pkt.Put(ident) or pool.Put(ident), else nil.
+func (c *checker) putCallArg(call *ast.CallExpr) *ast.Ident {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" || len(call.Args) != 1 {
+		return nil
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || !fromPktPackage(fn.Pkg()) {
+		return nil
+	}
+	id, _ := call.Args[0].(*ast.Ident)
+	return id
+}
+
+// packetVar resolves id to a *types.Var of type *pkt.Packet, else nil.
+func (c *checker) packetVar(id *ast.Ident) *types.Var {
+	obj := c.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	ptr, ok := v.Type().(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return nil
+	}
+	tn := named.Obj()
+	if tn.Name() != "Packet" || !fromPktPackage(tn.Pkg()) {
+		return nil
+	}
+	return v
+}
+
+func fromPktPackage(p *types.Package) bool {
+	return p != nil && strings.HasSuffix(p.Path(), "internal/pkt")
+}

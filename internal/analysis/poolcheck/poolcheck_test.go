@@ -1,0 +1,12 @@
+package poolcheck_test
+
+import (
+	"testing"
+
+	"bundler/internal/analysis/analysistest"
+	"bundler/internal/analysis/poolcheck"
+)
+
+func TestPoolcheckGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", poolcheck.Analyzer, "a")
+}

@@ -1,0 +1,87 @@
+// Package a is poolcheck golden testdata: the straight-line ownership
+// violations the analyzer must catch, and the branch-local / reassign /
+// defer patterns that must stay legal.
+package a
+
+import "bundler/internal/pkt"
+
+func useAfterPut(p *pkt.Packet) {
+	pkt.Put(p)
+	_ = p.Size // want `use of p after Put`
+}
+
+func doublePut(p *pkt.Packet) {
+	pkt.Put(p)
+	pkt.Put(p) // want `double Put of p`
+}
+
+func returnAfterPut(p *pkt.Packet) *pkt.Packet {
+	pkt.Put(p)
+	return p // want `p returned after Put`
+}
+
+type holder struct{ p *pkt.Packet }
+
+func storeAfterPut(h *holder, p *pkt.Packet) {
+	pkt.Put(p)
+	h.p = p // want `use of p after Put`
+}
+
+func poolPutUse(pl *pkt.Pool, p *pkt.Packet) {
+	pl.Put(p)
+	_ = p.Seq // want `use of p after Put`
+}
+
+func capturedAfterPut(p *pkt.Packet, run func(func())) {
+	pkt.Put(p)
+	run(func() { _ = p.Seq }) // want `use of p after Put`
+}
+
+func loopBackEdge(p *pkt.Packet) {
+	for i := 0; i < 2; i++ {
+		_ = p.Size // want `use of p after Put`
+		pkt.Put(p) // want `double Put of p`
+	}
+}
+
+// --- legal patterns ---
+
+// branchLocalPut: the common guard `if full { pkt.Put(p); return }`.
+// A release inside a branch poisons only that branch.
+func branchLocalPut(p *pkt.Packet, full bool) bool {
+	if full {
+		pkt.Put(p)
+		return false
+	}
+	_ = p.Size
+	return true
+}
+
+// reassignClears: a fresh Get re-establishes ownership.
+func reassignClears(p *pkt.Packet) {
+	pkt.Put(p)
+	p = pkt.Get()
+	_ = p.Size
+	pkt.Put(p)
+}
+
+// loopScopedGet: per-iteration ownership, released each pass.
+func loopScopedGet() {
+	for i := 0; i < 2; i++ {
+		p := pkt.Get()
+		p.Size = i
+		pkt.Put(p)
+	}
+}
+
+// deferredPut runs at function exit, after every use in the body.
+func deferredPut(p *pkt.Packet) int {
+	defer pkt.Put(p)
+	return p.Size
+}
+
+// handOff transfers ownership without releasing: later code may not be
+// flagged just because the packet left through a channel or call.
+func handOff(p *pkt.Packet, sink func(*pkt.Packet)) {
+	sink(p)
+}

@@ -1,0 +1,72 @@
+// Package sortcmp guards golden byte-identity at sort call sites:
+// a sort.Slice / sort.SliceStable comparator written with <= or >= is
+// not a strict weak ordering. Under <=, equal elements compare "less"
+// both ways, so the final order of ties depends on pivot choice and
+// input permutation — two runs that build the same multiset of rows can
+// emit them in different orders, silently breaking byte-identical
+// goldens. Strict < (with explicit tie-break fields, as
+// sim/shard.drainOutboxes does) is the only stable idiom.
+package sortcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bundler/internal/analysis"
+)
+
+// Analyzer is the comparator-strictness check.
+var Analyzer = &analysis.Analyzer{
+	Name: "sortcmp",
+	Doc: "flag sort.Slice/sort.SliceStable comparators using <= or >=: non-strict orderings " +
+		"make tie order run-dependent and break golden byte-identity",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sort" {
+				return true
+			}
+			if fn.Name() != "Slice" && fn.Name() != "SliceStable" {
+				return true
+			}
+			lit, ok := call.Args[1].(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				bin, ok := m.(*ast.BinaryExpr)
+				if !ok {
+					return true
+				}
+				if bin.Op == token.LEQ || bin.Op == token.GEQ {
+					pass.Reportf(bin.OpPos,
+						"%s comparator uses %s: not a strict ordering, tie order becomes run-dependent; use %s with explicit tie-breaks",
+						fn.Name(), bin.Op, strictOp(bin.Op))
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+func strictOp(op token.Token) token.Token {
+	if op == token.LEQ {
+		return token.LSS
+	}
+	return token.GTR
+}

@@ -1,0 +1,12 @@
+package sortcmp_test
+
+import (
+	"testing"
+
+	"bundler/internal/analysis/analysistest"
+	"bundler/internal/analysis/sortcmp"
+)
+
+func TestSortcmpGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", sortcmp.Analyzer, "a")
+}

@@ -1,0 +1,31 @@
+// Package a is sortcmp golden testdata: non-strict comparators
+// (flagged) next to the strict and tie-broken idioms (legal).
+package a
+
+import "sort"
+
+func bad(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] <= xs[j] })       // want `Slice comparator uses <=`
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] >= xs[j] }) // want `SliceStable comparator uses >=`
+}
+
+func good(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] > xs[j] })
+	// A predicate, not a sort: <= is the correct check for "already
+	// sorted allowing equal runs".
+	_ = sort.SliceIsSorted(xs, func(i, j int) bool { return xs[i] <= xs[j] })
+}
+
+type row struct{ a, b int }
+
+// tieBreak is the required idiom for composite keys: strict compares
+// with explicit secondary fields.
+func tieBreak(rows []row) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].a != rows[j].a {
+			return rows[i].a < rows[j].a
+		}
+		return rows[i].b < rows[j].b
+	})
+}

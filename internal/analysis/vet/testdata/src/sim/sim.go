@@ -1,0 +1,8 @@
+// Package sim is vet-driver testdata: a simulation-facing package name
+// with one clock-discipline violation, used to prove the assembled
+// suite actually trips end to end.
+package sim
+
+import "time"
+
+func bad() time.Time { return time.Now() }

@@ -1,0 +1,129 @@
+// Package vet is the library behind cmd/bundler-vet: the analyzer
+// registry, the -only subset grammar, and the run loop that applies
+// analyzers to loaded packages and returns position-sorted findings.
+// It lives apart from cmd/bundler-vet so the selection grammar and the
+// gate semantics are unit-testable without spawning the binary.
+package vet
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"bundler/internal/analysis"
+	"bundler/internal/analysis/clockcheck"
+	"bundler/internal/analysis/detrange"
+	"bundler/internal/analysis/load"
+	"bundler/internal/analysis/poolcheck"
+	"bundler/internal/analysis/sortcmp"
+)
+
+// All returns the full analyzer suite in its canonical order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		clockcheck.Analyzer,
+		poolcheck.Analyzer,
+		detrange.Analyzer,
+		sortcmp.Analyzer,
+	}
+}
+
+// Select resolves a comma-separated -only list against the registry.
+// An empty spec selects the whole suite; an unknown name is an error
+// naming the valid set, so a typo in CI fails loudly instead of
+// silently gating nothing.
+func Select(spec string) ([]*analysis.Analyzer, error) {
+	if spec == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*analysis.Analyzer)
+	var valid []string
+	for _, a := range All() {
+		byName[a.Name] = a
+		valid = append(valid, a.Name)
+	}
+	var picked []*analysis.Analyzer
+	seen := make(map[string]bool)
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (valid: %s)", name, strings.Join(valid, ", "))
+		}
+		if !seen[name] {
+			seen[name] = true
+			picked = append(picked, a)
+		}
+	}
+	if len(picked) == 0 {
+		return nil, fmt.Errorf("-only selected no analyzers (valid: %s)", strings.Join(valid, ", "))
+	}
+	return picked, nil
+}
+
+// Finding is one diagnostic resolved to a file position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run loads the packages matching patterns and applies each analyzer to
+// each package, returning findings sorted by position (then analyzer,
+// then message) so output is byte-stable across runs. The detrange
+// suppression tally is reset at the start of the run; callers that gate
+// on the budget read detrange.Count afterwards.
+func Run(analyzers []*analysis.Analyzer, patterns ...string) ([]Finding, error) {
+	pkgs, err := load.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	detrange.Reset()
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				findings = append(findings, Finding{
+					Pos:      pkg.Fset.Position(d.Pos),
+					Analyzer: a.Name,
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}

@@ -1,0 +1,89 @@
+package vet_test
+
+import (
+	"strings"
+	"testing"
+
+	"bundler/internal/analysis/vet"
+)
+
+func names(spec string, t *testing.T) []string {
+	t.Helper()
+	as, err := vet.Select(spec)
+	if err != nil {
+		t.Fatalf("Select(%q): %v", spec, err)
+	}
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
+}
+
+func TestSelect(t *testing.T) {
+	if got := names("", t); strings.Join(got, ",") != "clockcheck,poolcheck,detrange,sortcmp" {
+		t.Errorf("empty spec selected %v", got)
+	}
+	if got := names("clockcheck,poolcheck", t); strings.Join(got, ",") != "clockcheck,poolcheck" {
+		t.Errorf("subset selected %v", got)
+	}
+	// Whitespace and duplicates are tolerated; order is request order.
+	if got := names(" sortcmp , sortcmp ,clockcheck", t); strings.Join(got, ",") != "sortcmp,clockcheck" {
+		t.Errorf("messy spec selected %v", got)
+	}
+}
+
+// TestSelectUnknown is the CI-bisection contract: a typo in -only must
+// fail loudly and name the valid analyzers.
+func TestSelectUnknown(t *testing.T) {
+	_, err := vet.Select("clockcheck,nosuchcheck")
+	if err == nil {
+		t.Fatal("unknown analyzer name accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "nosuchcheck") || !strings.Contains(msg, "poolcheck") {
+		t.Errorf("error %q should name the bad input and the valid set", msg)
+	}
+	if _, err := vet.Select(" , "); err == nil {
+		t.Fatal("spec selecting nothing accepted")
+	}
+}
+
+// TestRunClean runs the whole suite over a package that must be clean.
+func TestRunClean(t *testing.T) {
+	findings, err := vet.Run(vet.All(), "bundler/internal/pkt")
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+// TestRunTrips proves the assembled suite fails on a violation — the
+// unit-level twin of CI's synthetic-violation self-test.
+func TestRunTrips(t *testing.T) {
+	findings, err := vet.Run(vet.All(), "./testdata/src/sim")
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "clockcheck" || !strings.Contains(f.Message, "time.Now") {
+		t.Errorf("unexpected finding: %s", f)
+	}
+	// Subset selection skipping clockcheck must not trip.
+	subset, err := vet.Select("poolcheck,detrange,sortcmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err = vet.Run(subset, "./testdata/src/sim")
+	if err != nil {
+		t.Fatalf("Run subset: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("subset without clockcheck still found %v", findings)
+	}
+}

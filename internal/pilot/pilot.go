@@ -219,9 +219,14 @@ func RunSend(cfg Config, conn *net.UDPConn, peer *net.UDPAddr) (exp.Result, erro
 	tr.deliver = muxA
 	go tr.readLoop()
 
+	// The horizon fallback runs on the pilot's own wall clock rather
+	// than time.After: one time source for the whole datapath (and the
+	// clockcheck analyzer holds this package to it).
+	expired := make(chan struct{})
+	clock.After(w, clock.Time(cfg.Horizon), func() { close(expired) })
 	select {
 	case <-done:
-	case <-time.After(cfg.Horizon):
+	case <-expired:
 		w.Close()
 		return exp.Result{}, fmt.Errorf("pilot: send horizon %v expired with %d/%d flows incomplete",
 			cfg.Horizon, remaining, len(flows))
@@ -270,9 +275,11 @@ func RunRecv(cfg Config, conn *net.UDPConn, peer *net.UDPAddr) error {
 	tr.onDone = func() { close(done) }
 	go tr.readLoop()
 
+	expired := make(chan struct{})
+	clock.After(w, clock.Time(cfg.Horizon), func() { close(expired) })
 	select {
 	case <-done:
-	case <-time.After(cfg.Horizon):
+	case <-expired:
 		return fmt.Errorf("pilot: recv horizon %v expired without DONE", cfg.Horizon)
 	}
 	w.Close()

@@ -31,6 +31,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -121,6 +122,11 @@ var _ exp.Cache = (*Store)(nil)
 type Store struct {
 	root string
 
+	// now is the store's injected time source: Created stamps in Save,
+	// the age cutoff in Prune. Open wires time.Now; tests pin it to
+	// make Prune's cutoff arithmetic checkable without sleeping.
+	now func() time.Time
+
 	mu      sync.Mutex
 	saveErr error // first persist failure, surfaced via Err
 }
@@ -146,7 +152,7 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runstore: %w", err)
 	}
-	return &Store{root: dir}, nil
+	return &Store{root: dir, now: time.Now}, nil
 }
 
 // Root returns the store's directory.
@@ -249,7 +255,7 @@ func (s *Store) Save(e exp.Experiment, pt exp.Point, res exp.Result, dur time.Du
 		}
 	}
 	m := &Manifest{
-		Created:    time.Now().UTC(),
+		Created:    s.now().UTC(),
 		DurationMS: float64(dur.Nanoseconds()) / 1e6,
 		Meta:       meta,
 		Result:     res,
@@ -273,7 +279,7 @@ func (s *Store) Save(e exp.Experiment, pt exp.Point, res exp.Result, dur time.Du
 // cache, so pruning can never lose information that a re-run cannot
 // recompute.
 func (s *Store) Prune(maxAge time.Duration) (int, error) {
-	cutoff := time.Now().Add(-maxAge)
+	cutoff := s.now().Add(-maxAge)
 	removed := 0
 	mtimeBefore := func(d os.DirEntry) bool {
 		info, err := d.Info()
@@ -340,32 +346,54 @@ var (
 // the code). $BUNDLER_FINGERPRINT overrides it — for dev loops that
 // want a cache to survive recompiles, and for tests pinning keys.
 //
-// When the executable cannot be hashed (unlinked binary, restricted
-// /proc), the fallback fails closed: a per-process value that no other
-// process can reproduce, so checkpoints still work within the run but
-// a later -resume misses and recomputes rather than trusting cells a
-// different (possibly different-code) binary produced.
+// Every fallback is a content identity, never a wall-time one: a
+// fingerprint that depended on when the process started would make a
+// warm cache miss on every invocation (each run would disown the cells
+// the previous one wrote). When os.Executable cannot be resolved the
+// binary is re-tried via os.Args[0], and when no file can be hashed at
+// all the identity degrades to a digest of the build metadata compiled
+// into the binary (module version, dependency sums, VCS revision) —
+// coarser than file content, but stable across runs of the same build
+// and different across rebuilds with changed inputs.
 func Fingerprint() string {
 	fpOnce.Do(func() {
 		if v := os.Getenv("BUNDLER_FINGERPRINT"); v != "" {
 			fpVal = v
 			return
 		}
-		fpVal = fmt.Sprintf("unhashed-%d-%d", os.Getpid(), time.Now().UnixNano())
-		exe, err := os.Executable()
-		if err != nil {
+		if exe, err := os.Executable(); err == nil {
+			if h, ok := hashFile(exe); ok {
+				fpVal = h
+				return
+			}
+		}
+		if h, ok := hashFile(os.Args[0]); ok {
+			fpVal = h
 			return
 		}
-		f, err := os.Open(exe)
-		if err != nil {
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			sum := sha256.Sum256([]byte(bi.String()))
+			fpVal = "buildinfo-" + hex.EncodeToString(sum[:])[:16]
 			return
 		}
-		defer f.Close()
-		h := sha256.New()
-		if _, err := io.Copy(h, f); err != nil {
-			return
-		}
-		fpVal = hex.EncodeToString(h.Sum(nil))[:16]
+		// No executable file, no build info: nothing content-like to
+		// hash. A constant at least keeps the cache warm within one
+		// build environment.
+		fpVal = "unhashed"
 	})
 	return fpVal
+}
+
+// hashFile digests one file's content to the fingerprint form.
+func hashFile(path string) (string, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", false
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", false
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16], true
 }

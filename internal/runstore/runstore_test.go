@@ -338,11 +338,107 @@ func TestPruneEvictsOrphanedTempFiles(t *testing.T) {
 	}
 }
 
+// TestPruneCutoffInjectedClock pins the store's injected time source
+// and checks the age-cutoff arithmetic exactly, without sleeping or
+// touching the process clock: a cell strictly older than maxAge is
+// evicted, a cell exactly at the cutoff survives.
+func TestPruneCutoffInjectedClock(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	e := fakeExp{name: "prunecutoff"}
+
+	older := exp.Point{Seed: 1, Params: exp.Params{"x": "old"}}
+	res, _ := e.Run(1, older.Params.Clone())
+	s.now = func() time.Time { return base }
+	s.Save(e, older, res, time.Millisecond)
+
+	edge := exp.Point{Seed: 2, Params: exp.Params{"x": "edge"}}
+	res2, _ := e.Run(2, edge.Params.Clone())
+	s.now = func() time.Time { return base.Add(time.Hour) }
+	s.Save(e, edge, res2, time.Millisecond)
+
+	// Save must stamp Created from the injected clock, not the wall.
+	if m, ok := s.Get(KeyFor(e, edge)); !ok || !m.Created.Equal(base.Add(time.Hour)) {
+		t.Fatalf("Created stamp not from injected clock: %+v", m)
+	}
+
+	// At base+25h with maxAge 24h the cutoff is base+1h: the first cell
+	// (age 25h) goes, the second (exactly at the cutoff) stays.
+	s.now = func() time.Time { return base.Add(25 * time.Hour) }
+	removed, err := s.Prune(24 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("pruned %d cells, want 1", removed)
+	}
+	if _, ok := s.Load(e, older); ok {
+		t.Fatal("cell older than maxAge survived")
+	}
+	if _, ok := s.Load(e, edge); !ok {
+		t.Fatal("cell exactly at the cutoff was evicted")
+	}
+}
+
 // TestFingerprintStable: within one process the fingerprint is constant
 // and well-formed — it participates in every code-keyed run key.
 func TestFingerprintStable(t *testing.T) {
 	a, b := Fingerprint(), Fingerprint()
 	if a == "" || a != b {
 		t.Fatalf("fingerprint unstable: %q vs %q", a, b)
+	}
+}
+
+// TestFingerprintIsContentHash: under `go test` the executable is the
+// test binary, so the non-override path must produce a plain 16-hex
+// content digest — never a pid- or wall-time-derived value (which would
+// disown the warm cache on every run).
+func TestFingerprintIsContentHash(t *testing.T) {
+	if os.Getenv("BUNDLER_FINGERPRINT") != "" {
+		t.Skip("fingerprint overridden in the environment")
+	}
+	fp := Fingerprint()
+	if len(fp) != 16 {
+		t.Fatalf("fingerprint %q is not a 16-hex content digest", fp)
+	}
+	for _, c := range fp {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			t.Fatalf("fingerprint %q contains non-hex %q", fp, c)
+		}
+	}
+}
+
+// TestHashFile pins the digest the fingerprint chain is built on:
+// content-determined, content-sensitive, and absent for unreadable
+// paths.
+func TestHashFile(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a")
+	b := filepath.Join(dir, "b")
+	if err := os.WriteFile(a, []byte("same bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte("same bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ha, ok := hashFile(a)
+	if !ok || len(ha) != 16 {
+		t.Fatalf("hashFile(a) = %q, %v", ha, ok)
+	}
+	hb, _ := hashFile(b)
+	if ha != hb {
+		t.Fatalf("identical content hashed differently: %q vs %q", ha, hb)
+	}
+	if err := os.WriteFile(b, []byte("other bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if hb2, _ := hashFile(b); hb2 == ha {
+		t.Fatal("different content produced the same digest")
+	}
+	if _, ok := hashFile(filepath.Join(dir, "missing")); ok {
+		t.Fatal("hashFile of a missing file reported success")
 	}
 }
